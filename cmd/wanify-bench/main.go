@@ -1,0 +1,76 @@
+// Command wanify-bench regenerates the paper's tables and figures from
+// the simulated testbed. Each experiment id corresponds to one paper
+// artifact (see DESIGN.md §3):
+//
+//	wanify-bench -list
+//	wanify-bench -run table1
+//	wanify-bench -run all -scale 0.2 -seed 7
+//
+// Output is the same rows/series the paper reports, with the paper's
+// numbers quoted inline for comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/wanify/wanify/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "experiment id to run, or 'all'")
+		list  = flag.Bool("list", false, "list experiment ids")
+		seed  = flag.Uint64("seed", 1, "simulation seed")
+		seeds = flag.Int("seeds", 1, "repeat over this many consecutive seeds (the paper averages 5 runs)")
+		scale = flag.Float64("scale", 1.0, "input-size scale (1.0 = paper scale)")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("experiments:")
+		for _, id := range experiments.IDs() {
+			fmt.Printf("  %s\n", id)
+		}
+		if *run == "" {
+			fmt.Println("\nusage: wanify-bench -run <id>|all [-seed N] [-scale F]")
+		}
+		return
+	}
+
+	ids := []string{*run}
+	if *run == "all" {
+		ids = experiments.IDs()
+	}
+	if *seeds < 1 {
+		*seeds = 1
+	}
+	failed := 0
+	for _, id := range ids {
+		runner, ok := experiments.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		for k := 0; k < *seeds; k++ {
+			params := experiments.Params{Seed: *seed + uint64(k), Scale: *scale}
+			start := time.Now()
+			res, err := runner(params)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s (seed %d): %v\n", id, params.Seed, err)
+				failed++
+				continue
+			}
+			label := id
+			if *seeds > 1 {
+				label = fmt.Sprintf("%s seed=%d", id, params.Seed)
+			}
+			fmt.Printf("=== %s (%.1fs wall) ===\n%s\n", label, time.Since(start).Seconds(), res)
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,219 @@
+// Command wanify-sim runs a single geo-distributed analytics job on the
+// simulated 8-region testbed under a chosen scheduler and connection
+// strategy, printing per-stage timing and the itemized cost.
+//
+//	wanify-sim -job terasort -gb 100
+//	wanify-sim -job tpcds-78 -sched tetrium -conns wanify
+//	wanify-sim -job wordcount -mb 600 -skew -sched kimchi -conns uniform
+//
+// Schedulers: locality (vanilla Spark), iridium (Pu et al.'s classic
+// per-site placement), tetrium, kimchi. For the WAN-aware schedulers,
+// -believe picks the bandwidth matrix they plan with (static,
+// simultaneous, predicted). Connection strategies: single, uniform
+// (8 per pair), wanify (predicted BWs + heterogeneous agent-managed
+// pools + throttling). -overlap pipelines compute into the transfer
+// window (SDTP-style).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	wanify "github.com/wanify/wanify"
+	"github.com/wanify/wanify/internal/agent"
+	"github.com/wanify/wanify/internal/bwmatrix"
+	"github.com/wanify/wanify/internal/cost"
+	"github.com/wanify/wanify/internal/gda"
+	"github.com/wanify/wanify/internal/geo"
+	"github.com/wanify/wanify/internal/measure"
+	"github.com/wanify/wanify/internal/netsim"
+	"github.com/wanify/wanify/internal/spark"
+	"github.com/wanify/wanify/internal/trace"
+	"github.com/wanify/wanify/internal/workloads"
+)
+
+func main() {
+	var (
+		jobName = flag.String("job", "terasort", "terasort | wordcount | tpcds-82 | tpcds-95 | tpcds-11 | tpcds-78")
+		gb      = flag.Float64("gb", 100, "input size in GB (terasort, tpcds)")
+		mb      = flag.Float64("mb", 600, "input size in MB (wordcount)")
+		skew    = flag.Bool("skew", false, "skew input onto 4 hot DCs (§5.8.1)")
+		sched   = flag.String("sched", "locality", "locality | iridium | tetrium | kimchi")
+		believe = flag.String("believe", "predicted", "static | simultaneous | predicted (for tetrium/kimchi)")
+		conns   = flag.String("conns", "single", "single | uniform | wanify")
+		overlap = flag.Bool("overlap", false, "pipeline compute into the transfer window (SDTP-style)")
+		traceTo = flag.String("trace", "", "write a per-pair rate time series (CSV) to this file")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	rates := cost.DefaultRates()
+	sim := netsim.NewSim(netsim.UniformCluster(geo.Testbed(), netsim.T2Medium, *seed))
+	n := sim.NumDCs()
+
+	// Input layout.
+	var input []float64
+	switch {
+	case *jobName == "wordcount" && *skew:
+		input = workloads.SkewedInput(n, *mb*1e6, []int{0, 1, 2, 3}, 0.95)
+	case *jobName == "wordcount":
+		input = workloads.UniformInput(n, *mb*1e6)
+	default:
+		input = workloads.UniformInput(n, *gb*1e9)
+	}
+
+	// Job.
+	var job spark.Job
+	switch {
+	case *jobName == "terasort":
+		job = workloads.TeraSort(input)
+	case *jobName == "wordcount":
+		job = workloads.WordCount(input, sumOf(input))
+	case strings.HasPrefix(*jobName, "tpcds-"):
+		var q int
+		if _, err := fmt.Sscanf(*jobName, "tpcds-%d", &q); err != nil {
+			log.Fatalf("bad job name %q", *jobName)
+		}
+		var err error
+		job, err = workloads.TPCDS(q, input)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown job %q", *jobName)
+	}
+
+	// WANify framework (trained on demand) when needed.
+	var fw *wanify.Framework
+	needsModel := *conns == "wanify" || (*sched != "locality" && *believe == "predicted")
+	if needsModel {
+		fmt.Println("training the offline prediction model (quick configuration)...")
+		model, rep, err := wanify.QuickModel(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("model ready: %d rows, %.1f%% train accuracy\n", rep.Rows, rep.TrainAccuracy*100)
+		fw, err = wanify.New(wanify.Config{
+			Sim: sim, Rates: rates, Seed: *seed,
+			Agent: agent.Config{Throttle: true},
+		}, model)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Believed bandwidth matrix for WAN-aware schedulers.
+	var believed bwmatrix.Matrix
+	if *sched != "locality" {
+		switch *believe {
+		case "static":
+			believed, _ = measure.StaticIndependent(sim, measure.Options{DurationS: 8, Conns: 1})
+		case "simultaneous":
+			believed, _ = measure.StaticSimultaneous(sim, measure.StableOptions())
+		case "predicted":
+			believed, _ = fw.DetermineRuntimeBW()
+		default:
+			log.Fatalf("unknown belief %q", *believe)
+		}
+	}
+
+	// Connection policy.
+	var policy spark.ConnPolicy = spark.SingleConn{}
+	switch *conns {
+	case "single":
+	case "uniform":
+		policy = spark.UniformConn{K: 8}
+	case "wanify":
+		pred := believed
+		if pred == nil {
+			pred, _ = fw.DetermineRuntimeBW()
+		}
+		var ws []float64
+		if *skew {
+			ws = workloads.SkewWeights(input)
+		}
+		plan := fw.Optimize(pred, wanify.OptimizeOptions{SkewWeights: ws})
+		fw.DeployAgents(pred, plan)
+		defer fw.StopAgents()
+		policy = fw.ConnPolicy()
+	default:
+		log.Fatalf("unknown conns %q", *conns)
+	}
+
+	// Scheduler.
+	var scheduler spark.Scheduler
+	info := gda.NewClusterInfo(sim, rates)
+	switch *sched {
+	case "locality":
+		scheduler = gda.Locality{}
+	case "iridium":
+		scheduler = gda.Iridium{Believed: believed, Info: info}
+	case "tetrium":
+		scheduler = gda.Tetrium{Believed: believed, Info: info}
+	case "kimchi":
+		scheduler = gda.Kimchi{Believed: believed, Info: info}
+	default:
+		log.Fatalf("unknown scheduler %q", *sched)
+	}
+
+	fmt.Printf("\nrunning %s on 8 DCs: scheduler=%s conns=%s\n", job.Name, scheduler.Name(), *conns)
+	eng := spark.NewEngine(sim, rates)
+	eng.OverlapFetchCompute = *overlap
+	var rec *trace.Recorder
+	if *traceTo != "" {
+		rec = trace.NewRecorder(sim, 1.0)
+	}
+	res, err := eng.RunJob(job, scheduler, policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rec != nil {
+		rec.Close()
+		f, err := os.Create(*traceTo)
+		if err != nil {
+			log.Fatalf("create trace file: %v", err)
+		}
+		if err := rec.WriteCSV(f, true); err != nil {
+			log.Fatalf("write trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("close trace: %v", err)
+		}
+		fmt.Printf("rate trace (%d samples) written to %s\n", rec.Len(), *traceTo)
+	}
+
+	fmt.Printf("\n%-14s%12s%12s%14s%14s\n", "stage", "transfer(s)", "compute(s)", "WAN bytes", "placement")
+	for _, st := range res.Stages {
+		fmt.Printf("%-14s%12.1f%12.1f%14.3g  %s\n",
+			st.Name, st.TransferS, st.ComputeS, st.WANBytes, placementString(st.Placement))
+	}
+	fmt.Printf("\nJCT: %.1f s (%.1f min)\n", res.JCTSeconds, res.JCTSeconds/60)
+	fmt.Printf("min observed pair BW: %.0f Mbps\n", res.MinShuffleMbps)
+	fmt.Printf("WAN bytes total: %.2f GB\n", res.WANBytes/1e9)
+	fmt.Printf("cost: $%.3f (compute $%.3f + network $%.3f + storage $%.4f)\n",
+		res.Cost.Total(), res.Cost.ComputeUSD, res.Cost.NetworkUSD, res.Cost.StorageUSD)
+}
+
+func sumOf(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func placementString(p spark.Placement) string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, v := range p {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.2f", v)
+	}
+	b.WriteByte(']')
+	return b.String()
+}

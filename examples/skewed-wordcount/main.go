@@ -1,0 +1,82 @@
+// Skewed WordCount: WANify's skew weights in action (§3.3.1, Fig. 10).
+//
+// HDFS blocks are concentrated on four hot regions, so the shuffle is
+// dominated by traffic *leaving* those regions. The example runs the
+// same job four ways on identical weather — single connection, uniform
+// parallelism, WANify without skew weights, WANify with skew weights —
+// and shows how the optimizer re-allocates connection budgets toward
+// data-intensive sources.
+//
+//	go run ./examples/skewed-wordcount
+package main
+
+import (
+	"fmt"
+	"log"
+
+	wanify "github.com/wanify/wanify"
+	"github.com/wanify/wanify/internal/agent"
+	"github.com/wanify/wanify/internal/cost"
+	"github.com/wanify/wanify/internal/gda"
+	"github.com/wanify/wanify/internal/geo"
+	"github.com/wanify/wanify/internal/netsim"
+	"github.com/wanify/wanify/internal/spark"
+	"github.com/wanify/wanify/internal/workloads"
+)
+
+const (
+	seed     = 11
+	jobStart = 700.0
+)
+
+func main() {
+	rates := cost.DefaultRates()
+	model, _, err := wanify.QuickModel(seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2.4 GB of all-distinct words, 95% of it on 4 hot DCs.
+	input := workloads.SkewedInput(8, 2400e6, []int{0, 1, 2, 3}, 0.95)
+	job := workloads.WordCount(input, 2400e6)
+	ws := workloads.SkewWeights(input)
+	fmt.Printf("input skew weights ws = %.2f (hot: US East/West, AP South/SE)\n\n", ws)
+
+	run := func(name string, useAgents bool, skew []float64, policy spark.ConnPolicy) {
+		sim := netsim.NewSim(netsim.UniformCluster(geo.Testbed(), netsim.T2Medium, seed))
+		fw, err := wanify.New(wanify.Config{
+			Sim: sim, Rates: rates, Seed: seed,
+			Agent: agent.Config{Throttle: true},
+		}, model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim.RunUntil(jobStart - 1)
+		pred, _ := fw.DetermineRuntimeBW()
+		plan := fw.Optimize(pred, wanify.OptimizeOptions{SkewWeights: skew})
+		if useAgents {
+			fw.DeployAgents(pred, plan)
+			defer fw.StopAgents()
+			policy = fw.ConnPolicy()
+		}
+		if skew != nil {
+			fmt.Printf("  (hot-source US East max-conns row: %v)\n", plan.MaxConns[0])
+		}
+		eng := spark.NewEngine(sim, rates)
+		sched := gda.Tetrium{Label: "tetrium(" + name + ")", Believed: pred, Info: gda.NewClusterInfo(sim, rates)}
+		res, err := eng.RunJob(job, sched, policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s JCT %6.1f s   cost $%.3f   min BW %4.0f Mbps\n",
+			name, res.JCTSeconds, res.Cost.Total(), res.MinShuffleMbps)
+	}
+
+	run("single-conn", false, nil, spark.SingleConn{})
+	run("uniform-8", false, nil, spark.UniformConn{K: 8})
+	run("wanify-no-skew", true, nil, nil)
+	run("wanify-skew-aware", true, ws, nil)
+
+	fmt.Println("\npaper: the skew-aware variant improves latency 7.1% over plain WANify")
+	fmt.Println("and 26.5% over the single-connection baseline (Fig. 10).")
+}

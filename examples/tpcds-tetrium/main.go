@@ -1,0 +1,125 @@
+// TPC-DS on Tetrium: how bandwidth beliefs change a WAN-aware
+// scheduler's decisions (the paper's Table 4 / Fig. 7 scenario).
+//
+// The same heavy query (TPC-DS 78, scaled) runs three times on
+// identical network weather. Only the bandwidth matrix Tetrium plans
+// with differs:
+//
+//   - static-independent iPerf (what Tetrium/Kimchi/Iridium really use),
+//
+//   - WANify's predicted runtime bandwidths, single connection,
+//
+//   - full WANify: predicted bandwidths plus heterogeneous
+//     agent-managed parallel connections and throttling.
+//
+//     go run ./examples/tpcds-tetrium
+package main
+
+import (
+	"fmt"
+	"log"
+
+	wanify "github.com/wanify/wanify"
+	"github.com/wanify/wanify/internal/agent"
+	"github.com/wanify/wanify/internal/cost"
+	"github.com/wanify/wanify/internal/gda"
+	"github.com/wanify/wanify/internal/geo"
+	"github.com/wanify/wanify/internal/measure"
+	"github.com/wanify/wanify/internal/netsim"
+	"github.com/wanify/wanify/internal/spark"
+	"github.com/wanify/wanify/internal/workloads"
+)
+
+const (
+	seed       = 7
+	inputBytes = 25e9  // 25 GB (the paper runs 100 GB)
+	queryStart = 700.0 // all variants launch at the same instant
+)
+
+func main() {
+	rates := cost.DefaultRates()
+	model, _, err := wanify.QuickModel(seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	input := workloads.UniformInput(8, inputBytes)
+	job, err := workloads.TPCDS(78, input)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type outcome struct {
+		name  string
+		jct   float64
+		cost  float64
+		minBW float64
+	}
+	var outcomes []outcome
+
+	// Variant 1: vanilla Tetrium on static-independent beliefs.
+	{
+		sim := netsim.NewSim(netsim.UniformCluster(geo.Testbed(), netsim.T2Medium, seed))
+		believed, _ := measure.StaticIndependent(sim, measure.Options{DurationS: 8, Conns: 1})
+		sim.RunUntil(queryStart)
+		eng := spark.NewEngine(sim, rates)
+		sched := gda.Tetrium{Label: "tetrium(static)", Believed: believed, Info: gda.NewClusterInfo(sim, rates)}
+		res, err := eng.RunJob(job, sched, spark.SingleConn{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		outcomes = append(outcomes, outcome{"static beliefs, 1 conn", res.JCTSeconds, res.Cost.Total(), res.MinShuffleMbps})
+	}
+
+	// Variant 2: Tetrium on predicted runtime beliefs, single conn.
+	{
+		sim := netsim.NewSim(netsim.UniformCluster(geo.Testbed(), netsim.T2Medium, seed))
+		fw, err := wanify.New(wanify.Config{Sim: sim, Rates: rates, Seed: seed}, model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim.RunUntil(queryStart - 1)
+		pred, _ := fw.DetermineRuntimeBW()
+		eng := spark.NewEngine(sim, rates)
+		sched := gda.Tetrium{Label: "tetrium(predicted)", Believed: pred, Info: gda.NewClusterInfo(sim, rates)}
+		res, err := eng.RunJob(job, sched, spark.SingleConn{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		outcomes = append(outcomes, outcome{"predicted beliefs, 1 conn", res.JCTSeconds, res.Cost.Total(), res.MinShuffleMbps})
+	}
+
+	// Variant 3: full WANify.
+	{
+		sim := netsim.NewSim(netsim.UniformCluster(geo.Testbed(), netsim.T2Medium, seed))
+		fw, err := wanify.New(wanify.Config{
+			Sim: sim, Rates: rates, Seed: seed,
+			Agent: agent.Config{Throttle: true},
+		}, model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim.RunUntil(queryStart - 1)
+		pred, policy, _ := fw.Enable(wanify.OptimizeOptions{})
+		defer fw.StopAgents()
+		eng := spark.NewEngine(sim, rates)
+		sched := gda.Tetrium{Label: "tetrium(wanify)", Believed: pred, Info: gda.NewClusterInfo(sim, rates)}
+		res, err := eng.RunJob(job, sched, policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		outcomes = append(outcomes, outcome{"full WANify", res.JCTSeconds, res.Cost.Total(), res.MinShuffleMbps})
+	}
+
+	fmt.Printf("TPC-DS query 78 (%.0f GB) on Tetrium, 8 AWS regions\n\n", inputBytes/1e9)
+	fmt.Printf("%-28s%10s%10s%14s\n", "variant", "JCT(s)", "cost($)", "min BW(Mbps)")
+	base := outcomes[0].jct
+	for _, o := range outcomes {
+		fmt.Printf("%-28s%10.1f%10.3f%14.0f", o.name, o.jct, o.cost, o.minBW)
+		if o.jct != base {
+			fmt.Printf("   (%+.1f%% vs static)", (o.jct-base)/base*100)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\npaper: runtime beliefs alone are worth up to ~14% on this query;")
+	fmt.Println("with heterogeneous connections the total reaches ~24% (Fig. 7).")
+}

@@ -1,0 +1,336 @@
+// Package agent implements WANify's Local Agent (§3.2.2, §4.1.3): the
+// per-VM runtime component that fine-tunes the heterogeneous connection
+// counts inside the [minCons, maxCons] window computed by the global
+// optimizer.
+//
+// Each agent bundles the paper's three sub-modules:
+//
+//   - WAN Monitor: ifTop-like accounting of the VM's achieved outbound
+//     rate toward every destination DC (derived from the bytes its
+//     registered transfers moved during the last epoch).
+//   - Local Optimizer: an AIMD loop on a 5-second epoch. Targets start
+//     at the maximum of the window; when the monitored rate falls
+//     significantly (>100 Mbps) below target — congestion — connections
+//     and target BW halve (not below the minimum); otherwise they climb
+//     additively (+1 connection, linear BW) back toward the maximum.
+//     Pairs that moved less than 1 MB in the epoch are skipped, since
+//     an idle link says nothing about congestion.
+//   - Connections Manager: applies the chosen counts to the active
+//     transfer pool and answers "how many connections should a new
+//     transfer to DC j use?".
+//
+// Agents also throttle BW-rich destinations (simulated `tc`): links
+// whose achievable bandwidth exceeds the source's mean achievable
+// bandwidth T are capped at T, so nearby DCs cannot starve distant ones.
+package agent
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/wanify/wanify/internal/bwmatrix"
+	"github.com/wanify/wanify/internal/netsim"
+	"github.com/wanify/wanify/internal/optimize"
+)
+
+// Mode is the AIMD decision an agent took for a pair in an epoch.
+type Mode int8
+
+// AIMD modes.
+const (
+	ModeIdle     Mode = iota // skipped: < MinTransferBytes moved
+	ModeIncrease             // additive increase
+	ModeDecrease             // multiplicative decrease
+)
+
+// Config configures a local agent.
+type Config struct {
+	// EpochS is the AIMD epoch (default 5 s, §5.7).
+	EpochS float64
+	// SignificantMbps is the congestion threshold Δ (default 100 Mbps).
+	SignificantMbps float64
+	// MinTransferBytes is the per-epoch transfer size below which a
+	// pair is skipped (default 1 MB, §3.2.2).
+	MinTransferBytes float64
+	// Throttle enables BW-rich link throttling via simulated `tc`.
+	Throttle bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.EpochS == 0 {
+		c.EpochS = 5
+	}
+	if c.SignificantMbps == 0 {
+		c.SignificantMbps = 100
+	}
+	if c.MinTransferBytes == 0 {
+		c.MinTransferBytes = 1 << 20
+	}
+	return c
+}
+
+// PlanRow is the slice of a global-optimization Plan that concerns one
+// source VM: per-destination-DC connection windows and BW targets. For
+// multi-VM DCs the caller chunks the DC-level plan first
+// (optimize.SplitAcrossVMs).
+type PlanRow struct {
+	MinConns, MaxConns []int
+	MinBW, MaxBW       []float64
+	// PredBW is the predicted per-connection runtime bandwidth toward
+	// each destination; the linear achievable-BW model (Eq. 3) scales
+	// it by the connection count.
+	PredBW []float64
+}
+
+// RowFor extracts the plan row of source DC i from a global Plan.
+func RowFor(plan optimize.Plan, pred bwmatrix.Matrix, i int) PlanRow {
+	n := len(plan.MinConns)
+	row := PlanRow{
+		MinConns: make([]int, n),
+		MaxConns: make([]int, n),
+		MinBW:    make([]float64, n),
+		MaxBW:    make([]float64, n),
+		PredBW:   make([]float64, n),
+	}
+	copy(row.MinConns, plan.MinConns[i])
+	copy(row.MaxConns, plan.MaxConns[i])
+	copy(row.MinBW, plan.MinBW[i])
+	copy(row.MaxBW, plan.MaxBW[i])
+	copy(row.PredBW, pred[i])
+	return row
+}
+
+// EpochRecord captures one AIMD epoch for analysis (Fig. 9 computes the
+// standard deviation of TargetBW across destinations per epoch).
+type EpochRecord struct {
+	Now       float64
+	TargetBW  []float64
+	Monitored []float64
+	Conns     []int
+	Modes     []Mode
+}
+
+// Agent is a local agent bound to one VM.
+type Agent struct {
+	sim *netsim.Sim
+	vm  netsim.VMID
+	dc  int
+	cfg Config
+
+	row        PlanRow
+	conns      []int     // current target connections per destination DC
+	targetBW   []float64 // current target bandwidth per destination DC
+	active     []*netsim.Flow
+	lastBytes  map[netsim.FlowID]float64
+	epochBytes []float64 // per destination DC, bytes moved this epoch
+
+	history []EpochRecord
+	cancel  func()
+	started bool
+}
+
+// New creates an agent for the given VM. ApplyPlan must be called
+// before Start.
+func New(sim *netsim.Sim, vm netsim.VMID, cfg Config) *Agent {
+	return &Agent{
+		sim:       sim,
+		vm:        vm,
+		dc:        sim.DCOf(vm),
+		cfg:       cfg.withDefaults(),
+		lastBytes: make(map[netsim.FlowID]float64),
+	}
+}
+
+// DC returns the agent's data center index.
+func (a *Agent) DC() int { return a.dc }
+
+// VM returns the agent's VM.
+func (a *Agent) VM() netsim.VMID { return a.vm }
+
+// ApplyPlan installs (or replaces) the optimization window and resets
+// targets to the maximum configuration, the AIMD starting state chosen
+// "as the initial state ... begins from maximum throughput and
+// gradually reduces with congestion" (§3.2.2).
+func (a *Agent) ApplyPlan(row PlanRow) {
+	n := a.sim.NumDCs()
+	if len(row.MinConns) != n || len(row.MaxConns) != n || len(row.MinBW) != n ||
+		len(row.MaxBW) != n || len(row.PredBW) != n {
+		panic(fmt.Sprintf("agent: plan row width != %d DCs", n))
+	}
+	a.row = row
+	a.conns = append([]int(nil), row.MaxConns...)
+	a.targetBW = append([]float64(nil), row.MaxBW...)
+	a.epochBytes = make([]float64, n)
+	if a.cfg.Throttle {
+		a.applyThrottles()
+	}
+}
+
+// applyThrottles installs `tc` limits on BW-rich destinations: T is the
+// mean achievable (max) BW from this DC; richer links are capped at T.
+func (a *Agent) applyThrottles() {
+	n := a.sim.NumDCs()
+	sum, cnt := 0.0, 0
+	for j := 0; j < n; j++ {
+		if j != a.dc {
+			sum += a.row.MaxBW[j]
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return
+	}
+	t := sum / float64(cnt)
+	for j := 0; j < n; j++ {
+		if j == a.dc {
+			continue
+		}
+		if a.row.MaxBW[j] > t {
+			a.sim.SetPairLimit(a.dc, j, t)
+		} else {
+			a.sim.ClearPairLimit(a.dc, j)
+		}
+	}
+}
+
+// Start begins the AIMD epochs.
+func (a *Agent) Start() {
+	if a.started {
+		return
+	}
+	if a.conns == nil {
+		panic("agent: Start before ApplyPlan")
+	}
+	a.started = true
+	a.cancel = a.sim.Every(a.cfg.EpochS, a.epoch)
+}
+
+// Stop halts the AIMD loop and removes this agent's throttles.
+func (a *Agent) Stop() {
+	if !a.started {
+		return
+	}
+	a.started = false
+	a.cancel()
+	if a.cfg.Throttle {
+		for j := 0; j < a.sim.NumDCs(); j++ {
+			if j != a.dc {
+				a.sim.ClearPairLimit(a.dc, j)
+			}
+		}
+	}
+}
+
+// ConnsTo returns the connection count a new transfer from this VM to
+// dstDC should open — the Connections Manager's answer.
+func (a *Agent) ConnsTo(dstDC int) int {
+	if a.conns == nil || dstDC == a.dc {
+		return 1
+	}
+	c := a.conns[dstDC]
+	if c < 1 {
+		return 1
+	}
+	return c
+}
+
+// Register adds an active transfer to the agent's pool so the
+// Connections Manager can resize it and the WAN Monitor can account its
+// bytes. Only flows originating at the agent's VM are accepted.
+func (a *Agent) Register(f *netsim.Flow) {
+	if f.Src() != a.vm {
+		panic("agent: registering a flow from another VM")
+	}
+	a.active = append(a.active, f)
+	a.lastBytes[f.ID()] = f.TransferredBytes()
+}
+
+// TargetBW returns a copy of the current per-destination target
+// bandwidths.
+func (a *Agent) TargetBW() []float64 {
+	return append([]float64(nil), a.targetBW...)
+}
+
+// Conns returns a copy of the current per-destination connection
+// targets.
+func (a *Agent) Conns() []int {
+	return append([]int(nil), a.conns...)
+}
+
+// History returns the recorded AIMD epochs.
+func (a *Agent) History() []EpochRecord { return a.history }
+
+// epoch runs one AIMD step.
+func (a *Agent) epoch(now float64) {
+	n := a.sim.NumDCs()
+	monitored := make([]float64, n)
+	for j := range a.epochBytes {
+		a.epochBytes[j] = 0
+	}
+
+	// WAN Monitor: account bytes moved by the registered pool since the
+	// last epoch, dropping completed flows.
+	kept := a.active[:0]
+	for _, f := range a.active {
+		moved := f.TransferredBytes() - a.lastBytes[f.ID()]
+		dst := a.sim.DCOf(f.Dst())
+		a.epochBytes[dst] += moved
+		if f.Done() {
+			delete(a.lastBytes, f.ID())
+			continue
+		}
+		a.lastBytes[f.ID()] = f.TransferredBytes()
+		kept = append(kept, f)
+	}
+	a.active = kept
+	for j := 0; j < n; j++ {
+		monitored[j] = a.epochBytes[j] * 8 / 1e6 / a.cfg.EpochS // Mbps
+	}
+
+	modes := make([]Mode, n)
+	for j := 0; j < n; j++ {
+		if j == a.dc {
+			continue
+		}
+		// Skip rule: a pair that moved almost nothing tells us nothing.
+		if a.epochBytes[j] < a.cfg.MinTransferBytes {
+			modes[j] = ModeIdle
+			continue
+		}
+		if a.targetBW[j]-monitored[j] > a.cfg.SignificantMbps {
+			// Multiplicative decrease: congestion.
+			modes[j] = ModeDecrease
+			a.conns[j] = maxInt(a.row.MinConns[j], a.conns[j]/2)
+			a.targetBW[j] = math.Max(a.row.MinBW[j], a.targetBW[j]/2)
+		} else {
+			// Additive increase back toward the maximum configuration.
+			modes[j] = ModeIncrease
+			if a.conns[j] < a.row.MaxConns[j] {
+				a.conns[j]++
+			}
+			a.targetBW[j] = math.Min(a.row.MaxBW[j],
+				math.Max(a.targetBW[j], float64(a.conns[j])*a.row.PredBW[j]))
+		}
+		// Resize the live pool toward the new target.
+		for _, f := range a.active {
+			if a.sim.DCOf(f.Dst()) == j {
+				f.SetConns(a.conns[j])
+			}
+		}
+	}
+
+	a.history = append(a.history, EpochRecord{
+		Now:       now,
+		TargetBW:  append([]float64(nil), a.targetBW...),
+		Monitored: monitored,
+		Conns:     append([]int(nil), a.conns...),
+		Modes:     modes,
+	})
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

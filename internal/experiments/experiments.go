@@ -1,0 +1,202 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (plus the §2 motivation artifacts). Every driver
+// is deterministic for a given seed, returns a structured result whose
+// String() prints the same rows/series the paper reports, and is
+// exposed through Registry for cmd/wanify-bench and bench_test.go.
+//
+// See DESIGN.md §3 for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured numbers.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/wanify/wanify/internal/bwmatrix"
+	"github.com/wanify/wanify/internal/cost"
+	"github.com/wanify/wanify/internal/gda"
+	"github.com/wanify/wanify/internal/geo"
+	"github.com/wanify/wanify/internal/measure"
+	"github.com/wanify/wanify/internal/ml/dataset"
+	"github.com/wanify/wanify/internal/ml/rf"
+	"github.com/wanify/wanify/internal/netsim"
+	"github.com/wanify/wanify/internal/predict"
+	"github.com/wanify/wanify/internal/simrand"
+	"github.com/wanify/wanify/internal/spark"
+)
+
+// Params configures an experiment run.
+type Params struct {
+	// Seed makes the run reproducible.
+	Seed uint64
+	// Scale multiplies the paper's input sizes (1.0 = 100 GB TPC-DS /
+	// TeraSort). Benchmarks run at reduced scale; results report the
+	// scale used.
+	Scale float64
+	// Model is a trained prediction model to reuse across experiments;
+	// nil trains one on demand (cached per seed).
+	Model *predict.Model
+}
+
+func (p Params) withDefaults() Params {
+	if p.Scale == 0 {
+		p.Scale = 1.0
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// Result is what every experiment returns: something printable.
+type Result interface{ String() string }
+
+// Runner executes one experiment.
+type Runner func(p Params) (Result, error)
+
+// Registry maps experiment ids (DESIGN.md §3) to runners.
+var Registry = map[string]Runner{
+	"fig1":   func(p Params) (Result, error) { return Fig1(p) },
+	"table1": func(p Params) (Result, error) { return Table1(p) },
+	"table2": func(p Params) (Result, error) { return Table2(p) },
+	"fig2":   func(p Params) (Result, error) { return Fig2(p) },
+	"table4": func(p Params) (Result, error) { return Table4(p) },
+	"fig4":   func(p Params) (Result, error) { return Fig4(p) },
+	"fig5":   func(p Params) (Result, error) { return Fig5(p) },
+	"fig6":   func(p Params) (Result, error) { return Fig6(p) },
+	"fig7":   func(p Params) (Result, error) { return Fig7(p) },
+	"fig8a":  func(p Params) (Result, error) { return Fig8a(p) },
+	"fig8b":  func(p Params) (Result, error) { return Fig8b(p) },
+	"fig9":   func(p Params) (Result, error) { return Fig9(p) },
+	"fig10":  func(p Params) (Result, error) { return Fig10(p) },
+	"fig11a": func(p Params) (Result, error) { return Fig11a(p) },
+	"fig11b": func(p Params) (Result, error) { return Fig11b(p) },
+	"sec583": func(p Params) (Result, error) { return Sec583(p) },
+}
+
+// IDs returns the registered experiment ids in a stable order.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- shared model cache ---
+
+var (
+	modelMu    sync.Mutex
+	modelCache = map[uint64]*predict.Model{}
+)
+
+// sharedModel returns the prediction model for p, training one if
+// needed. Training uses the paper's pipeline at a reduced session count
+// so experiments stay fast; accuracy is evaluated in fig11a/table4.
+func sharedModel(p Params) (*predict.Model, error) {
+	if p.Model != nil {
+		return p.Model, nil
+	}
+	modelMu.Lock()
+	defer modelMu.Unlock()
+	if m, ok := modelCache[p.Seed]; ok {
+		return m, nil
+	}
+	gen := dataset.GenConfig{
+		Sizes:        []int{3, 4, 5, 6, 7, 8},
+		DrawsPerSize: 8,
+		Seed:         p.Seed ^ 0xd1ce,
+	}
+	ds, _ := dataset.Generate(gen)
+	m, err := predict.Train(ds, predict.TrainConfig{Forest: rf.Config{NumTrees: 60, Seed: p.Seed}})
+	if err != nil {
+		return nil, err
+	}
+	modelCache[p.Seed] = m
+	return m, nil
+}
+
+// --- shared cluster/measurement protocol ---
+
+// queryStart is the common simulated instant (seconds) at which every
+// compared variant launches its query. Static-independent measurement
+// happens early (and is stale by then); simultaneous measurement and
+// snapshots happen just before. Link-fluctuation draws depend only on
+// elapsed time, so all variants see identical network weather from
+// queryStart onward.
+const queryStart = 700.0
+
+// beliefKind selects how a scheduler's bandwidth matrix is obtained.
+type beliefKind int
+
+const (
+	beliefStaticIndependent beliefKind = iota
+	beliefStaticSimultaneous
+	beliefPredicted
+)
+
+func (k beliefKind) String() string {
+	switch k {
+	case beliefStaticIndependent:
+		return "static-independent"
+	case beliefStaticSimultaneous:
+		return "static-simultaneous"
+	default:
+		return "predicted"
+	}
+}
+
+// testbedSim builds the standard 8-DC (or n-DC) worker cluster.
+func testbedSim(n int, seed uint64) *netsim.Sim {
+	return netsim.NewSim(netsim.UniformCluster(geo.TestbedSubset(n), netsim.T2Medium, seed))
+}
+
+// obtainBelief measures/predicts a bandwidth matrix on sim according to
+// kind, then fast-forwards to queryStart so the subsequent query runs
+// under identical conditions for every variant.
+func obtainBelief(sim *netsim.Sim, kind beliefKind, model *predict.Model, seed uint64) (bwmatrix.Matrix, error) {
+	switch kind {
+	case beliefStaticIndependent:
+		// Measured early, one pair at a time — stale by query time.
+		m, _ := measure.StaticIndependent(sim, measure.Options{DurationS: 8, Conns: 1})
+		if sim.Now() > queryStart {
+			return nil, fmt.Errorf("experiments: static measurement overran query start (%.0fs)", sim.Now())
+		}
+		sim.RunUntil(queryStart)
+		return m, nil
+	case beliefStaticSimultaneous:
+		sim.RunUntil(queryStart - 20)
+		m, _ := measure.StaticSimultaneous(sim, measure.StableOptions())
+		return m, nil
+	default:
+		sim.RunUntil(queryStart - 1)
+		feats, _ := dataset.SnapshotFeatures(sim, simrand.Derive(seed, "belief-snapshot"))
+		return model.PredictMatrix(feats), nil
+	}
+}
+
+// schedFor builds a Tetrium or Kimchi scheduler over a believed matrix.
+func schedFor(system string, label string, believed bwmatrix.Matrix, info gda.ClusterInfo) spark.Scheduler {
+	switch system {
+	case "tetrium":
+		return gda.Tetrium{Label: label, Believed: believed, Info: info}
+	case "kimchi":
+		return gda.Kimchi{Label: label, Believed: believed, Info: info}
+	default:
+		panic("experiments: unknown system " + system)
+	}
+}
+
+// pct returns the relative improvement of v over base in percent
+// (positive = v is lower/better).
+func pct(base, v float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - v) / base * 100
+}
+
+// rates is the shared pricing table.
+var rates = cost.DefaultRates()

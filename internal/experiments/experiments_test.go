@@ -1,0 +1,348 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyParams runs experiments at reduced input scale so the whole suite
+// stays test-friendly while preserving every qualitative shape.
+func tinyParams() Params { return Params{Seed: 1, Scale: 0.1} }
+
+// TestRegistryComplete checks every paper artifact has a registered
+// runner.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		// Paper artifacts.
+		"fig1", "table1", "table2", "fig2", "table4", "fig4", "fig5",
+		"fig6", "fig7", "fig8a", "fig8b", "fig9", "fig10", "fig11a",
+		"fig11b", "sec583",
+		// Extensions (DESIGN.md §3).
+		"ablation-model", "ablation-netsim", "multicloud",
+	}
+	for _, id := range want {
+		if _, ok := Registry[id]; !ok {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("registry has %d entries, want %d", len(IDs()), len(want))
+	}
+}
+
+// TestFig1Anchors checks the topology anchors of the motivation.
+func TestFig1Anchors(t *testing.T) {
+	r, err := Fig1(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BW[0][1] < 1400 || r.BW[0][1] > 2100 {
+		t.Errorf("US East->US West = %.0f, want ~1700", r.BW[0][1])
+	}
+	if r.BW[0][3] < 80 || r.BW[0][3] > 170 {
+		t.Errorf("US East->AP SE = %.0f, want ~121", r.BW[0][3])
+	}
+	if !strings.Contains(r.String(), "anchors") {
+		t.Error("rendering lacks the anchor line")
+	}
+}
+
+// TestTable1Shape checks significant static-vs-runtime gaps exist.
+func TestTable1Shape(t *testing.T) {
+	r, err := Table1(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pairs != 28 {
+		t.Errorf("%d pairs, want 28", r.Pairs)
+	}
+	if r.Significant < 4 {
+		t.Errorf("only %d significant gaps (paper: 18)", r.Significant)
+	}
+	if len(r.Buckets) != 3 {
+		t.Errorf("%d buckets", len(r.Buckets))
+	}
+}
+
+// TestTable2Reproduction checks the monitoring-cost table against the
+// paper's figures.
+func TestTable2Reproduction(t *testing.T) {
+	r, err := Table2(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Savings < 0.90 {
+		t.Errorf("savings %.2f, want >= 0.90 (paper ~0.96)", r.Savings)
+	}
+	wantMon := map[int]float64{4: 703, 6: 1055, 8: 1406}
+	for _, row := range r.Rows {
+		if w := wantMon[row.N]; row.RuntimeMonitoring < w*0.95 || row.RuntimeMonitoring > w*1.05 {
+			t.Errorf("monitoring N=%d: $%.0f, want ~$%.0f", row.N, row.RuntimeMonitoring, w)
+		}
+		if row.ModelTraining+row.Predictions >= row.RuntimeMonitoring {
+			t.Errorf("prediction not cheaper at N=%d", row.N)
+		}
+	}
+}
+
+// TestFig2HeterogeneousWins checks the §2.2 motivation experiment: the
+// heterogeneous assignment beats uniform on min BW and bottleneck time,
+// trading max BW down.
+func TestFig2HeterogeneousWins(t *testing.T) {
+	r, err := Fig2(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MinHet < 1.6*r.MinUniform {
+		t.Errorf("het min %.0f < 1.6x uniform min %.0f (paper 2.1x)", r.MinHet, r.MinUniform)
+	}
+	if r.Het.MaxOffDiagonal() >= r.Single.MaxOffDiagonal() {
+		t.Error("heterogeneous did not trade the strong link down")
+	}
+	if r.LatHet >= r.LatSingle || r.LatHet >= r.LatUniform {
+		t.Errorf("het bottleneck %.1fs not best (single %.1f, uniform %.1f)", r.LatHet, r.LatSingle, r.LatUniform)
+	}
+	// The budget is preserved (8 conns x 6 links, small rounding slack).
+	if got := r.HetConns.TotalOffDiagonal(); got < 40 || got > 8*6 {
+		t.Errorf("het budget %d, want <= 48", got)
+	}
+}
+
+// TestTable4RuntimeBeliefsHelp checks the headline of §5.2: runtime
+// (simultaneous or predicted) beliefs never hurt much and help the
+// heavy query clearly.
+func TestTable4RuntimeBeliefsHelp(t *testing.T) {
+	r, err := Table4(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := r.Cells["tetrium"][beliefPredicted.String()][78]
+	if cell.PerfPct < 1 {
+		t.Errorf("tetrium q78 predicted gain %.1f%%, want clearly positive (paper 14%%)", cell.PerfPct)
+	}
+	if r.MonitoringPredictedUSD >= r.MonitoringSimultaneousUSD {
+		t.Error("snapshot monitoring should be much cheaper than 20s simultaneous")
+	}
+}
+
+// TestFig5Ordering checks §5.3.1: WANify-TC/Dynamic beat the vanilla
+// single-connection baseline on latency and min BW, and beat uniform
+// parallelism on min BW.
+func TestFig5Ordering(t *testing.T) {
+	r, err := Fig5(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[pdtVariant]Fig5Row{}
+	for _, row := range r.Rows {
+		rows[row.Variant] = row
+	}
+	if rows[variantThrottle].JCTMin >= rows[variantVanilla].JCTMin {
+		t.Errorf("WANify-TC %.2fm not faster than vanilla %.2fm", rows[variantThrottle].JCTMin, rows[variantVanilla].JCTMin)
+	}
+	if rows[variantThrottle].MinBWMbps <= rows[variantVanilla].MinBWMbps {
+		t.Error("WANify-TC min BW not above vanilla")
+	}
+	if rows[variantDynamic].MinBWMbps <= rows[variantUniform].MinBWMbps {
+		t.Error("heterogeneous AIMD min BW not above uniform parallelism")
+	}
+}
+
+// TestFig6GainsGrowWithShuffle checks §5.3.2's trend.
+func TestFig6GainsGrowWithShuffle(t *testing.T) {
+	r, err := Fig6(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) < 3 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	last := r.Rows[len(r.Rows)-1]
+	if last.WANifyJCT >= last.VanillaJCT {
+		t.Errorf("no gain at the largest shuffle: %.1f vs %.1f", last.WANifyJCT, last.VanillaJCT)
+	}
+	if last.WANifyMinBW <= last.VanillaMinBW {
+		t.Error("min BW not improved at the largest shuffle")
+	}
+}
+
+// TestFig7WANifyHelps checks §5.4's headline on the heavy query.
+func TestFig7WANifyHelps(t *testing.T) {
+	r, err := Fig7(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if row.Query != 78 {
+			continue
+		}
+		gain := pct(row.VanillaJCT, row.WANifyJCT)
+		if gain < 5 {
+			t.Errorf("%s q78 gain %.1f%%, want clearly positive (paper up to 24%%)", row.System, gain)
+		}
+	}
+}
+
+// TestFig8aFullBeatsVanilla checks the ablation's envelope: every
+// WANify variant beats vanilla on the heavy query.
+func TestFig8aFullBeatsVanilla(t *testing.T) {
+	r, err := Fig8a(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if row.System != "tetrium" || row.Variant == "vanilla" {
+			continue
+		}
+		if row.GainPct <= 0 {
+			t.Errorf("tetrium %s gain %.1f%%, want positive", row.Variant, row.GainPct)
+		}
+	}
+}
+
+// TestFig9TracksAndCounts checks the dynamics experiment produces
+// epochs and flags significant deltas under injected error.
+func TestFig9TracksAndCounts(t *testing.T) {
+	r, err := Fig9(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Epochs) < 3 {
+		t.Fatalf("only %d epochs", len(r.Epochs))
+	}
+	if r.SigDeltasWithErr == 0 {
+		t.Error("20% injected error produced no significant deltas (paper: 6)")
+	}
+}
+
+// TestFig11aPredictionBeatsStatic checks the accuracy comparison at the
+// full cluster size.
+func TestFig11aPredictionBeatsStatic(t *testing.T) {
+	r, err := Fig11a(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := r.Rows[len(r.Rows)-1] // N=8
+	if last.PredictedSig >= last.StaticSig {
+		t.Errorf("N=8: predicted %d significant errors vs static %d — prediction should win", last.PredictedSig, last.StaticSig)
+	}
+}
+
+// TestFig11bAssociationBeatsStatic checks the multi-VM accuracy path.
+func TestFig11bAssociationBeatsStatic(t *testing.T) {
+	r, err := Fig11b(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := 0
+	for _, row := range r.Rows {
+		if row.PredictedSig < row.StaticSig {
+			wins++
+		}
+	}
+	if wins < len(r.Rows)-1 {
+		t.Errorf("prediction won only %d/%d configurations", wins, len(r.Rows))
+	}
+}
+
+// TestFig4Ordering checks the §5.6 variant ranking on cost: quantized
+// variants beat NoQ, and WANify-enabled quantization is the cheapest.
+func TestFig4Ordering(t *testing.T) {
+	r, err := Fig4(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Fig4Row{}
+	for _, row := range r.Rows {
+		byName[row.Variant] = row
+	}
+	if byName["SAGQ"].TrainMin >= byName["NoQ"].TrainMin {
+		t.Error("SAGQ not faster than NoQ")
+	}
+	if byName["WQ"].CostUSD > byName["SAGQ"].CostUSD {
+		t.Error("WQ not cheaper than SAGQ")
+	}
+	if byName["WQ"].MinBWMbps <= byName["SAGQ"].MinBWMbps {
+		t.Error("WQ min BW not above SAGQ")
+	}
+}
+
+// TestResultsRender checks every runner produces non-empty printable
+// output (the cmd/wanify-bench contract).
+func TestResultsRender(t *testing.T) {
+	for _, id := range []string{"table2", "fig2"} {
+		res, err := Registry[id](tinyParams())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(res.String()) < 50 {
+			t.Errorf("%s rendering suspiciously short", id)
+		}
+	}
+}
+
+// TestAblationModelRFCompetitive checks the model-choice extension: the
+// Random Forest achieves the best (or tied-best) RMSE on held-out
+// cluster sizes.
+func TestAblationModelRFCompetitive(t *testing.T) {
+	r, err := AblationModel(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rf, bestOther AblationModelRow
+	bestOther.RMSE = 1e18
+	for _, row := range r.Rows {
+		if row.Model == "random-forest" {
+			rf = row
+		} else if row.RMSE < bestOther.RMSE {
+			bestOther = row
+		}
+	}
+	if rf.Accuracy < 0.9 {
+		t.Errorf("RF held-out accuracy %.3f", rf.Accuracy)
+	}
+	if rf.RMSE > bestOther.RMSE*1.1 {
+		t.Errorf("RF RMSE %.1f clearly worse than best baseline %.1f (%s)", rf.RMSE, bestOther.RMSE, bestOther.Model)
+	}
+}
+
+// TestAblationNetsimShape checks the knob sweep reproduces the design
+// argument: at the shipped RTT-bias exponent (1.5), uniform parallelism
+// gives the weak link little-to-nothing while the heterogeneous budget
+// roughly doubles it; at a weak exponent (0.5) uniform parallelism
+// would look useful, contradicting the paper.
+func TestAblationNetsimShape(t *testing.T) {
+	r, err := AblationNetsim(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKnob := map[string]map[float64]AblationNetsimRow{}
+	for _, row := range r.Rows {
+		if byKnob[row.Knob] == nil {
+			byKnob[row.Knob] = map[float64]AblationNetsimRow{}
+		}
+		byKnob[row.Knob][row.Value] = row
+	}
+	shipped := byKnob["rtt-bias-exp"][1.5]
+	if shipped.UniformX > 1.2 {
+		t.Errorf("at exp=1.5 uniform-8 min BW ratio %.2f, want ~1 or below", shipped.UniformX)
+	}
+	if shipped.HetX < 1.6 {
+		t.Errorf("at exp=1.5 heterogeneous ratio %.2f, want ~2x", shipped.HetX)
+	}
+	weak := byKnob["rtt-bias-exp"][0.5]
+	if weak.UniformX <= shipped.UniformX {
+		t.Error("a weaker RTT bias should make uniform parallelism look better")
+	}
+}
+
+// TestMultiCloudPredictionWins checks the §5.8.3 extension.
+func TestMultiCloudPredictionWins(t *testing.T) {
+	r, err := MultiCloud(tinyParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PredictedSig >= r.StaticSig {
+		t.Errorf("multi-cloud: predicted %d significant errors vs static %d", r.PredictedSig, r.StaticSig)
+	}
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	wanify "github.com/wanify/wanify"
+	"github.com/wanify/wanify/internal/agent"
+	"github.com/wanify/wanify/internal/bwmatrix"
+	"github.com/wanify/wanify/internal/spark"
+	"github.com/wanify/wanify/internal/workloads"
+)
+
+// --- Fig. 4: WAN-aware ML with gradient quantization ---
+
+// Fig4Row is one quantization variant's outcome.
+type Fig4Row struct {
+	Variant   string
+	TrainMin  float64
+	CostUSD   float64
+	MinBWMbps float64
+	Bits      []int
+}
+
+// Fig4Result compares NoQ / SAGQ / SimQ / PredQ / WQ.
+type Fig4Result struct{ Rows []Fig4Row }
+
+// Fig4 trains the §5.6 model for 10 epochs under the five variants:
+// no quantization, quantization driven by static-independent BWs
+// (SAGQ), by simultaneous BWs (SimQ), by predicted BWs (PredQ), and
+// WANify-enabled quantization with heterogeneous parallel connections
+// (WQ).
+func Fig4(p Params) (*Fig4Result, error) {
+	p = p.withDefaults()
+	model, err := sharedModel(p)
+	if err != nil {
+		return nil, err
+	}
+	cfg := workloads.DefaultMLConfig()
+	res := &Fig4Result{}
+
+	type variant struct {
+		name    string
+		belief  beliefKind
+		noQuant bool
+		wanify  bool
+	}
+	variants := []variant{
+		{name: "NoQ", noQuant: true},
+		{name: "SAGQ", belief: beliefStaticIndependent},
+		{name: "SimQ", belief: beliefStaticSimultaneous},
+		{name: "PredQ", belief: beliefPredicted},
+		{name: "WQ", belief: beliefPredicted, wanify: true},
+	}
+	for _, v := range variants {
+		sim := testbedSim(8, p.Seed+404)
+		var believed bwmatrix.Matrix
+		if !v.noQuant {
+			b, err := obtainBelief(sim, v.belief, model, p.Seed)
+			if err != nil {
+				return nil, err
+			}
+			believed = b
+		} else {
+			sim.RunUntil(queryStart)
+		}
+
+		policy := spark.ConnPolicy(spark.SingleConn{})
+		if v.wanify {
+			fw, err := wanify.New(wanify.Config{
+				Sim: sim, Rates: rates, Seed: p.Seed,
+				Agent: agent.Config{Throttle: true},
+			}, model)
+			if err != nil {
+				return nil, err
+			}
+			plan := fw.Optimize(believed, wanify.OptimizeOptions{})
+			fw.DeployAgents(believed, plan)
+			defer fw.StopAgents()
+			policy = fw.ConnPolicy()
+		}
+
+		run, err := workloads.RunQuantizedTraining(sim, rates, believed, policy, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 %s: %w", v.name, err)
+		}
+		res.Rows = append(res.Rows, Fig4Row{
+			Variant:   v.name,
+			TrainMin:  run.TrainSeconds / 60,
+			CostUSD:   run.Cost.Total(),
+			MinBWMbps: run.MinLinkMbps,
+			Bits:      run.BitsPerDC,
+		})
+	}
+	return res, nil
+}
+
+// String renders Fig. 4.
+func (r *Fig4Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 4: WAN-aware ML with gradient quantization (10 epochs, 8 DCs)\n")
+	fmt.Fprintf(&b, "%-8s%14s%12s%14s  %s\n", "variant", "train(min)", "cost($)", "min BW(Mbps)", "bits per DC")
+	var noq, sagq float64
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8s%14.1f%12.3f%14.0f  %v\n", row.Variant, row.TrainMin, row.CostUSD, row.MinBWMbps, row.Bits)
+		switch row.Variant {
+		case "NoQ":
+			noq = row.TrainMin
+		case "SAGQ":
+			sagq = row.TrainMin
+		}
+	}
+	if noq > 0 && sagq > 0 {
+		fmt.Fprintf(&b, "SAGQ vs NoQ: %.1f%% faster (paper ~22%%)\n", (noq-sagq)/noq*100)
+	}
+	for _, row := range r.Rows {
+		if row.Variant == "WQ" && sagq > 0 {
+			fmt.Fprintf(&b, "WQ vs SAGQ: %.1f%% faster (paper ~26%%)\n", (sagq-row.TrainMin)/sagq*100)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,358 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	wanify "github.com/wanify/wanify"
+	"github.com/wanify/wanify/internal/agent"
+	"github.com/wanify/wanify/internal/bwmatrix"
+	"github.com/wanify/wanify/internal/gda"
+	"github.com/wanify/wanify/internal/ml/dataset"
+	"github.com/wanify/wanify/internal/netsim"
+	"github.com/wanify/wanify/internal/optimize"
+	"github.com/wanify/wanify/internal/predict"
+	"github.com/wanify/wanify/internal/simrand"
+	"github.com/wanify/wanify/internal/spark"
+	"github.com/wanify/wanify/internal/workloads"
+)
+
+// runWANifyQuery runs one TPC-DS query on a WAN-aware system with full
+// WANify enabled (predicted BWs + agents). perturb optionally modifies
+// the predicted matrix before use (Fig 8(b)'s WANify-err), and
+// skewWeights feeds §3.3.1.
+func runWANifyQuery(p Params, system string, query int, input []float64,
+	perturb func(bwmatrix.Matrix) bwmatrix.Matrix,
+	skewWeights []float64, throttle bool) (spark.RunResult, error) {
+
+	model, err := sharedModel(p)
+	if err != nil {
+		return spark.RunResult{}, err
+	}
+	job, err := workloads.TPCDS(query, input)
+	if err != nil {
+		return spark.RunResult{}, err
+	}
+	sim := testbedSim(8, p.Seed+uint64(query)*13)
+	fw, err := wanify.New(wanify.Config{
+		Sim: sim, Rates: rates, Seed: p.Seed,
+		Agent: agent.Config{Throttle: throttle},
+	}, model)
+	if err != nil {
+		return spark.RunResult{}, err
+	}
+	sim.RunUntil(queryStart - 1)
+	pred, _ := fw.DetermineRuntimeBW()
+	if perturb != nil {
+		pred = perturb(pred)
+	}
+	plan := fw.Optimize(pred, wanify.OptimizeOptions{SkewWeights: skewWeights})
+	fw.DeployAgents(pred, plan)
+	defer fw.StopAgents()
+
+	eng := spark.NewEngine(sim, rates)
+	info := gda.NewClusterInfo(sim, rates)
+	sched := schedFor(system, system+"(wanify)", pred, info)
+	return eng.RunJob(job, sched, fw.ConnPolicy())
+}
+
+// runVanillaQuery runs one TPC-DS query on a WAN-aware system with
+// static-independent beliefs and a single connection.
+func runVanillaQuery(p Params, system string, query int, input []float64) (spark.RunResult, error) {
+	model, err := sharedModel(p)
+	if err != nil {
+		return spark.RunResult{}, err
+	}
+	job, err := workloads.TPCDS(query, input)
+	if err != nil {
+		return spark.RunResult{}, err
+	}
+	sim := testbedSim(8, p.Seed+uint64(query)*13)
+	believed, err := obtainBelief(sim, beliefStaticIndependent, model, p.Seed)
+	if err != nil {
+		return spark.RunResult{}, err
+	}
+	eng := spark.NewEngine(sim, rates)
+	info := gda.NewClusterInfo(sim, rates)
+	sched := schedFor(system, system+"(vanilla)", believed, info)
+	return eng.RunJob(job, sched, spark.SingleConn{})
+}
+
+// --- Fig. 7: state-of-the-art systems with/without WANify ---
+
+// Fig7Row is one query × system comparison.
+type Fig7Row struct {
+	System                  string
+	Query                   int
+	VanillaJCT, WANifyJCT   float64
+	VanillaCost, WANifyCost float64
+	MinBWRatio              float64
+}
+
+// Fig7Result holds the grid.
+type Fig7Result struct {
+	Rows    []Fig7Row
+	InputGB float64
+}
+
+// Fig7 compares Tetrium and Kimchi on TPC-DS with and without WANify
+// (predicted BWs + heterogeneous parallel connections + throttling).
+func Fig7(p Params) (*Fig7Result, error) {
+	p = p.withDefaults()
+	input := workloads.UniformInput(8, 100e9*p.Scale)
+	res := &Fig7Result{InputGB: 100 * p.Scale}
+	for _, system := range []string{"tetrium", "kimchi"} {
+		for _, q := range workloads.TPCDSQueries() {
+			van, err := runVanillaQuery(p, system, q, input)
+			if err != nil {
+				return nil, err
+			}
+			wan, err := runWANifyQuery(p, system, q, input, nil, nil, true)
+			if err != nil {
+				return nil, err
+			}
+			row := Fig7Row{
+				System: system, Query: q,
+				VanillaJCT: van.JCTSeconds, WANifyJCT: wan.JCTSeconds,
+				VanillaCost: van.Cost.Total(), WANifyCost: wan.Cost.Total(),
+			}
+			if van.MinShuffleMbps > 0 {
+				row.MinBWRatio = wan.MinShuffleMbps / van.MinShuffleMbps
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// String renders Fig. 7's latency and cost panels.
+func (r *Fig7Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 7: Tetrium/Kimchi on TPC-DS (%.0f GB) with and without WANify\n", r.InputGB)
+	fmt.Fprintf(&b, "%-10s%-7s%14s%14s%10s%10s%12s%10s\n",
+		"system", "query", "vanilla(s)", "wanify(s)", "gain(%)", "van($)", "wanify($)", "minBW x")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s%-7d%14.1f%14.1f%10.1f%10.3f%12.3f%10.2f\n",
+			row.System, row.Query, row.VanillaJCT, row.WANifyJCT,
+			pct(row.VanillaJCT, row.WANifyJCT), row.VanillaCost, row.WANifyCost, row.MinBWRatio)
+	}
+	b.WriteString("(paper: latency up to 24% lower, cost up to 8% lower, 3.3x min BW)\n")
+	return b.String()
+}
+
+// --- Fig. 8(a): ablation of global and local optimization ---
+
+// Fig8aRow is one variant of the ablation.
+type Fig8aRow struct {
+	Variant    string
+	System     string
+	JCT        float64
+	GainPct    float64 // vs vanilla
+	MinBWRatio float64 // vs vanilla
+}
+
+// Fig8aResult is the §5.5 ablation on query 78.
+type Fig8aResult struct{ Rows []Fig8aRow }
+
+// Fig8a runs query 78 under Vanilla / Global-only / Local-only / full
+// WANify for both systems.
+func Fig8a(p Params) (*Fig8aResult, error) {
+	p = p.withDefaults()
+	model, err := sharedModel(p)
+	if err != nil {
+		return nil, err
+	}
+	input := workloads.UniformInput(8, 100e9*p.Scale)
+	const query = 78
+	res := &Fig8aResult{}
+
+	for _, system := range []string{"tetrium", "kimchi"} {
+		van, err := runVanillaQuery(p, system, query, input)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Fig8aRow{Variant: "vanilla", System: system, JCT: van.JCTSeconds, MinBWRatio: 1})
+
+		type variantRun struct {
+			name string
+			run  func() (spark.RunResult, error)
+		}
+		variants := []variantRun{
+			{"global-only", func() (spark.RunResult, error) {
+				return runGlobalOnly(p, model, system, query, input)
+			}},
+			{"local-only", func() (spark.RunResult, error) {
+				return runLocalOnly(p, model, system, query, input)
+			}},
+			{"wanify", func() (spark.RunResult, error) {
+				return runWANifyQuery(p, system, query, input, nil, nil, true)
+			}},
+		}
+		for _, v := range variants {
+			run, err := v.run()
+			if err != nil {
+				return nil, fmt.Errorf("fig8a %s/%s: %w", system, v.name, err)
+			}
+			row := Fig8aRow{Variant: v.name, System: system, JCT: run.JCTSeconds,
+				GainPct: pct(van.JCTSeconds, run.JCTSeconds)}
+			if van.MinShuffleMbps > 0 {
+				row.MinBWRatio = run.MinShuffleMbps / van.MinShuffleMbps
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// runGlobalOnly applies the global optimizer's heterogeneous solution
+// as a static connection matrix (no agents, no AIMD, no throttling).
+func runGlobalOnly(p Params, model *predict.Model, system string, query int, input []float64) (spark.RunResult, error) {
+	job, err := workloads.TPCDS(query, input)
+	if err != nil {
+		return spark.RunResult{}, err
+	}
+	sim := testbedSim(8, p.Seed+uint64(query)*13)
+	sim.RunUntil(queryStart - 1)
+	pred, err := predictOn(sim, model, p.Seed)
+	if err != nil {
+		return spark.RunResult{}, err
+	}
+	plan := optimize.GlobalOptimize(pred, optimize.Options{})
+	eng := spark.NewEngine(sim, rates)
+	info := gda.NewClusterInfo(sim, rates)
+	sched := schedFor(system, system+"(global-only)", pred, info)
+	return eng.RunJob(job, sched, spark.FixedConn{Sim: sim, Matrix: plan.MaxConns})
+}
+
+// runLocalOnly runs agents with the §5.5 static window (1–8 connections
+// for every pair) and no global closeness inference.
+func runLocalOnly(p Params, model *predict.Model, system string, query int, input []float64) (spark.RunResult, error) {
+	job, err := workloads.TPCDS(query, input)
+	if err != nil {
+		return spark.RunResult{}, err
+	}
+	sim := testbedSim(8, p.Seed+uint64(query)*13)
+	sim.RunUntil(queryStart - 1)
+	pred, err := predictOn(sim, model, p.Seed)
+	if err != nil {
+		return spark.RunResult{}, err
+	}
+	n := sim.NumDCs()
+	var agents []*agent.Agent
+	for dc := 0; dc < n; dc++ {
+		for _, vm := range sim.VMsOfDC(dc) {
+			row := agent.PlanRow{
+				MinConns: make([]int, n), MaxConns: make([]int, n),
+				MinBW: make([]float64, n), MaxBW: make([]float64, n),
+				PredBW: make([]float64, n),
+			}
+			for j := 0; j < n; j++ {
+				row.MinConns[j], row.MaxConns[j] = 1, 8
+				if j != dc {
+					row.PredBW[j] = pred[dc][j]
+					row.MinBW[j] = pred[dc][j]
+					row.MaxBW[j] = pred[dc][j] * 8
+				}
+			}
+			a := agent.New(sim, vm, agent.Config{})
+			a.ApplyPlan(row)
+			a.Start()
+			agents = append(agents, a)
+		}
+	}
+	defer func() {
+		for _, a := range agents {
+			a.Stop()
+		}
+	}()
+	eng := spark.NewEngine(sim, rates)
+	info := gda.NewClusterInfo(sim, rates)
+	sched := schedFor(system, system+"(local-only)", pred, info)
+	return eng.RunJob(job, sched, spark.NewAgentConn(agents))
+}
+
+// String renders the ablation.
+func (r *Fig8aResult) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 8(a): ablation on TPC-DS query 78\n")
+	fmt.Fprintf(&b, "%-14s%-10s%12s%10s%10s\n", "variant", "system", "JCT(s)", "gain(%)", "minBW x")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-14s%-10s%12.1f%10.1f%10.2f\n", row.Variant, row.System, row.JCT, row.GainPct, row.MinBWRatio)
+	}
+	b.WriteString("(paper: global-only ~16%, local-only ~11%, full WANify ~23% latency gain)\n")
+	return b.String()
+}
+
+// --- Fig. 8(b): impact of prediction error ---
+
+// Fig8bResult compares WANify with WANify-err (±100 Mbps random error
+// injected into predictions).
+type Fig8bResult struct {
+	System                string
+	WANifyJCT, ErrJCT     float64
+	WANifyCost, ErrCost   float64
+	WANifyMinBW, ErrMinBW float64
+}
+
+// Fig8b injects significant (±100 Mbps) random errors into the
+// predicted BWs and measures the damage on query 78.
+func Fig8b(p Params) (*Fig8bResult, error) {
+	p = p.withDefaults()
+	input := workloads.UniformInput(8, 100e9*p.Scale)
+	const query = 78
+
+	good, err := runWANifyQuery(p, "tetrium", query, input, nil, nil, true)
+	if err != nil {
+		return nil, err
+	}
+	rng := simrand.Derive(p.Seed, "fig8b-error")
+	perturb := func(m bwmatrix.Matrix) bwmatrix.Matrix {
+		out := m.Clone()
+		for i := range out {
+			for j := range out[i] {
+				if i == j {
+					continue
+				}
+				if rng.Bool(0.5) {
+					out[i][j] += 100
+				} else {
+					out[i][j] -= 100
+					if out[i][j] < 10 {
+						out[i][j] = 10
+					}
+				}
+			}
+		}
+		return out
+	}
+	bad, err := runWANifyQuery(p, "tetrium", query, input, perturb, nil, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig8bResult{
+		System:    "tetrium",
+		WANifyJCT: good.JCTSeconds, ErrJCT: bad.JCTSeconds,
+		WANifyCost: good.Cost.Total(), ErrCost: bad.Cost.Total(),
+		WANifyMinBW: good.MinShuffleMbps, ErrMinBW: bad.MinShuffleMbps,
+	}, nil
+}
+
+// String renders the comparison.
+func (r *Fig8bResult) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 8(b): impact of ±100 Mbps prediction error (query 78)\n")
+	fmt.Fprintf(&b, "%-12s%12s%12s%14s\n", "variant", "JCT(s)", "cost($)", "min BW(Mbps)")
+	fmt.Fprintf(&b, "%-12s%12.1f%12.3f%14.0f\n", "wanify", r.WANifyJCT, r.WANifyCost, r.WANifyMinBW)
+	fmt.Fprintf(&b, "%-12s%12.1f%12.3f%14.0f\n", "wanify-err", r.ErrJCT, r.ErrCost, r.ErrMinBW)
+	fmt.Fprintf(&b, "latency +%.1f%%, cost +%.1f%%, min BW %.0f%% of accurate (paper: +18%% latency, +5%% cost, -38%% min BW)\n",
+		-pct(r.WANifyJCT, r.ErrJCT), -pct(r.WANifyCost, r.ErrCost), 100*r.ErrMinBW/nonZero(r.WANifyMinBW))
+	return b.String()
+}
+
+// --- shared helper: predict on a live sim ---
+
+// predictOn snapshots the sim and predicts the runtime BW matrix.
+func predictOn(sim *netsim.Sim, model *predict.Model, seed uint64) (bwmatrix.Matrix, error) {
+	feats, _ := dataset.SnapshotFeatures(sim, simrand.Derive(seed, "ablation-snapshot"))
+	return model.PredictMatrix(feats), nil
+}

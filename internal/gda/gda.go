@@ -1,0 +1,384 @@
+// Package gda implements the WAN-aware geo-distributed analytics
+// schedulers the paper evaluates WANify with:
+//
+//   - Locality: vanilla Spark's data-locality placement (the
+//     "No WAN-aware" baseline of §5.3.1).
+//   - Tetrium [21]: multi-resource placement minimizing estimated stage
+//     completion time (network transfer + compute) over task fractions.
+//   - Kimchi [30]: network-cost-aware placement minimizing dollar cost
+//     of WAN transfers subject to staying within a latency envelope of
+//     the fastest placement.
+//
+// Each scheduler consumes a *believed* bandwidth matrix. Feeding the
+// same scheduler statically-independent, statically-simultaneous, or
+// WANify-predicted matrices is exactly how the paper's Table 4 and
+// Figs. 7/8/10/11 vary their conditions — bad beliefs yield bad
+// placements on the real (simulated) network.
+package gda
+
+import (
+	"math"
+
+	"github.com/wanify/wanify/internal/bwmatrix"
+	"github.com/wanify/wanify/internal/cost"
+	"github.com/wanify/wanify/internal/geo"
+	"github.com/wanify/wanify/internal/netsim"
+	"github.com/wanify/wanify/internal/spark"
+)
+
+// ClusterInfo describes what schedulers know about the cluster.
+type ClusterInfo struct {
+	// Regions in cluster order.
+	Regions []geo.Region
+	// ComputeRates is the aggregate task-processing rate per DC.
+	ComputeRates []float64
+	// EgressPerGB is the WAN egress price per DC.
+	EgressPerGB []float64
+}
+
+// NewClusterInfo extracts scheduler-visible cluster facts from a
+// simulator and pricing table.
+func NewClusterInfo(sim *netsim.Sim, rates cost.Rates) ClusterInfo {
+	n := sim.NumDCs()
+	info := ClusterInfo{
+		Regions:      sim.Regions(),
+		ComputeRates: make([]float64, n),
+		EgressPerGB:  make([]float64, n),
+	}
+	for dc := 0; dc < n; dc++ {
+		for _, vm := range sim.VMsOfDC(dc) {
+			info.ComputeRates[dc] += sim.Spec(vm).ComputeRate
+		}
+		info.EgressPerGB[dc] = rates.EgressPerGBFor(info.Regions[dc])
+	}
+	return info
+}
+
+// N returns the cluster size.
+func (c ClusterInfo) N() int { return len(c.Regions) }
+
+// Locality is vanilla Spark: tasks go where the data is, for every
+// stage. Map stages move nothing; shuffles land proportional to the
+// intermediate data.
+type Locality struct{}
+
+// Name implements spark.Scheduler.
+func (Locality) Name() string { return "locality" }
+
+// Place implements spark.Scheduler.
+func (Locality) Place(_ int, _ spark.Stage, layout []float64) spark.Placement {
+	return spark.LocalityPlacement(layout)
+}
+
+// estimator predicts a stage's completion time and WAN cost for a
+// candidate placement under a believed bandwidth matrix — the planning
+// model Tetrium and Kimchi share.
+type estimator struct {
+	believed bwmatrix.Matrix
+	info     ClusterInfo
+}
+
+// estimate returns (seconds, networkUSD) for running the stage with
+// placement p over the current layout.
+func (e estimator) estimate(stage spark.Stage, layout []float64, p spark.Placement) (float64, float64) {
+	secs, _, usd := e.estimateDetail(stage, layout, p)
+	return secs, usd
+}
+
+// estimateDetail additionally returns the *sum* of per-link and per-DC
+// times. Greedy descent on a pure max() objective plateaus (a single
+// move cannot lower the max when several DCs tie at it), so schedulers
+// add a small multiple of the sum as gradient pressure.
+func (e estimator) estimateDetail(stage spark.Stage, layout []float64, p spark.Placement) (secs, loadSum, usd float64) {
+	var transfer [][]float64
+	if stage.Kind == spark.MapKind {
+		transfer = spark.MigrationMatrix(layout, p)
+	} else {
+		transfer = spark.ShuffleMatrix(layout, p)
+	}
+	n := e.info.N()
+	tNet := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b := transfer[i][j]
+			if i == j || b <= 0 {
+				continue
+			}
+			bw := e.believed[i][j]
+			if bw < 1 {
+				bw = 1
+			}
+			t := b * 8 / (bw * 1e6)
+			loadSum += t
+			if t > tNet {
+				tNet = t
+			}
+			usd += b / 1e9 * e.info.EgressPerGB[i]
+		}
+	}
+	total := 0.0
+	for _, b := range layout {
+		total += b
+	}
+	tComp := 0.0
+	for j := 0; j < n; j++ {
+		share := total * p[j]
+		if share <= 0 {
+			continue
+		}
+		rate := e.info.ComputeRates[j]
+		if rate <= 0 {
+			rate = 1e-6
+		}
+		t := share / 1e9 * stage.SecPerGB / rate
+		loadSum += t
+		if t > tComp {
+			tComp = t
+		}
+	}
+	return tNet + tComp, loadSum, usd
+}
+
+// descend greedily improves a placement under the given objective
+// (lower is better), moving probability mass between DCs in shrinking
+// steps. It is deterministic and terminates after the step underflows.
+func descend(n int, start spark.Placement, objective func(spark.Placement) float64) spark.Placement {
+	p := append(spark.Placement(nil), start.Normalize()...)
+	best := objective(p)
+	step := 0.10
+	for step >= 0.005 {
+		improved := false
+		for {
+			var bestP spark.Placement
+			bestV := best
+			for from := 0; from < n; from++ {
+				if p[from] < step {
+					continue
+				}
+				for to := 0; to < n; to++ {
+					if to == from {
+						continue
+					}
+					cand := append(spark.Placement(nil), p...)
+					cand[from] -= step
+					cand[to] += step
+					if v := objective(cand); v < bestV-1e-9 {
+						bestV = v
+						bestP = cand
+					}
+				}
+			}
+			if bestP == nil {
+				break
+			}
+			p, best = bestP, bestV
+			improved = true
+		}
+		if !improved {
+			step /= 2
+		} else {
+			step /= 2
+		}
+	}
+	return p
+}
+
+// Tetrium minimizes estimated stage completion time (network + compute)
+// over task placements, following Hung et al.'s multi-resource
+// formulation [21].
+type Tetrium struct {
+	// Label distinguishes variants in reports, e.g. "tetrium(static)".
+	Label string
+	// Believed is the bandwidth matrix the scheduler plans with.
+	Believed bwmatrix.Matrix
+	// Info is the cluster description.
+	Info ClusterInfo
+}
+
+// Name implements spark.Scheduler.
+func (t Tetrium) Name() string {
+	if t.Label != "" {
+		return t.Label
+	}
+	return "tetrium"
+}
+
+// Place implements spark.Scheduler.
+func (t Tetrium) Place(_ int, stage spark.Stage, layout []float64) spark.Placement {
+	est := estimator{believed: t.Believed, info: t.Info}
+	obj := func(p spark.Placement) float64 {
+		secs, loadSum, usd := est.estimateDetail(stage, layout, p)
+		// Tetrium optimizes completion time. The loadSum term guides
+		// the greedy search off max() plateaus, and the (weaker still)
+		// dollar term breaks ties among near-equal placements (Hung et
+		// al. break ties toward lower cost) so WAN bytes don't drift up.
+		return secs + 1e-3*loadSum + 0.05*usd
+	}
+	n := t.Info.N()
+	// Three deterministic starts — data locality, uniform, and
+	// compute-proportional — because the max() objective has valleys a
+	// single-move greedy cannot cross (e.g. shifting work toward a fast
+	// DC raises the network max before the compute max falls).
+	starts := []spark.Placement{
+		spark.LocalityPlacement(layout),
+		spark.UniformPlacement(n),
+		spark.Placement(append([]float64(nil), t.Info.ComputeRates...)).Normalize(),
+	}
+	var best spark.Placement
+	bestV := 0.0
+	for i, s := range starts {
+		cand := descend(n, s, obj)
+		if v := obj(cand); i == 0 || v < bestV {
+			best, bestV = cand, v
+		}
+	}
+	return best
+}
+
+// Kimchi minimizes the WAN dollar cost of a stage subject to its
+// estimated completion time staying within Slack of the fastest
+// placement found — Oh et al.'s network-cost-aware placement [30].
+type Kimchi struct {
+	// Label distinguishes variants in reports.
+	Label string
+	// Believed is the bandwidth matrix the scheduler plans with.
+	Believed bwmatrix.Matrix
+	// Info is the cluster description.
+	Info ClusterInfo
+	// Slack is the tolerated latency inflation over the fastest
+	// placement (default 0.10 = 10%).
+	Slack float64
+}
+
+// Name implements spark.Scheduler.
+func (k Kimchi) Name() string {
+	if k.Label != "" {
+		return k.Label
+	}
+	return "kimchi"
+}
+
+// Place implements spark.Scheduler.
+func (k Kimchi) Place(si int, stage spark.Stage, layout []float64) spark.Placement {
+	slack := k.Slack
+	if slack == 0 {
+		slack = 0.10
+	}
+	est := estimator{believed: k.Believed, info: k.Info}
+	// Fastest placement first (Tetrium objective).
+	fast := Tetrium{Believed: k.Believed, Info: k.Info}.Place(si, stage, layout)
+	tBest, _ := est.estimate(stage, layout, fast)
+	budget := tBest * (1 + slack)
+
+	// Then descend on dollars with the latency envelope as a penalty
+	// wall.
+	obj := func(p spark.Placement) float64 {
+		secs, usd := est.estimate(stage, layout, p)
+		if secs > budget {
+			return usd + 1e6*(secs-budget)
+		}
+		return usd
+	}
+	return descend(k.Info.N(), fast, obj)
+}
+
+// Iridium is the classic WAN-aware placement of Pu et al. [33], the
+// lineage Tetrium and Kimchi extend: choose reduce-task fractions
+// minimizing the slowest DC's shuffle time, where each DC is modelled
+// by an aggregate uplink and downlink derived from the believed matrix
+// (Iridium's per-site bandwidth model predates pairwise matrices).
+// It ignores compute — the gap Tetrium's multi-resource objective
+// closes — and is included as a third comparison baseline.
+type Iridium struct {
+	// Label distinguishes variants in reports.
+	Label string
+	// Believed is the bandwidth matrix the scheduler plans with.
+	Believed bwmatrix.Matrix
+	// Info is the cluster description.
+	Info ClusterInfo
+}
+
+// Name implements spark.Scheduler.
+func (ir Iridium) Name() string {
+	if ir.Label != "" {
+		return ir.Label
+	}
+	return "iridium"
+}
+
+// Place implements spark.Scheduler: minimize max_i max(upload_i,
+// download_i) with upload_i = data_i·(1−p_i)/U_i and download_i =
+// (total−data_i)·p_i/D_i, U/D being the believed aggregate egress and
+// ingress of site i.
+func (ir Iridium) Place(_ int, stage spark.Stage, layout []float64) spark.Placement {
+	n := ir.Info.N()
+	up := make([]float64, n)
+	down := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				up[i] += ir.Believed[i][j]
+				down[i] += ir.Believed[j][i]
+			}
+		}
+		if up[i] < 1 {
+			up[i] = 1
+		}
+		if down[i] < 1 {
+			down[i] = 1
+		}
+	}
+	total := 0.0
+	for _, b := range layout {
+		total += b
+	}
+	obj := func(p spark.Placement) float64 {
+		if stage.Kind == spark.MapKind {
+			// Iridium moves input only when tasks leave the data; use
+			// the same upload/download model on the migration volume.
+			worst, sum := 0.0, 0.0
+			for i := 0; i < n; i++ {
+				deficit := total*p[i] - layout[i]
+				var t float64
+				if deficit < 0 {
+					t = -deficit * 8 / (up[i] * 1e6)
+				} else {
+					t = deficit * 8 / (down[i] * 1e6)
+				}
+				sum += t
+				if t > worst {
+					worst = t
+				}
+			}
+			return worst + 1e-3*sum
+		}
+		worst, sum := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			tu := layout[i] * (1 - p[i]) * 8 / (up[i] * 1e6)
+			td := (total - layout[i]) * p[i] * 8 / (down[i] * 1e6)
+			t := math.Max(tu, td)
+			sum += t
+			if t > worst {
+				worst = t
+			}
+		}
+		return worst + 1e-3*sum
+	}
+	a := descend(n, spark.LocalityPlacement(layout), obj)
+	b := descend(n, spark.UniformPlacement(n), obj)
+	if obj(a) <= obj(b) {
+		return a
+	}
+	return b
+}
+
+var (
+	_ spark.Scheduler = Locality{}
+	_ spark.Scheduler = Tetrium{}
+	_ spark.Scheduler = Kimchi{}
+	_ spark.Scheduler = Iridium{}
+)
+
+// MinBelievedBW is a convenience for experiments: the weakest believed
+// link, used when reporting "minimum BW of the cluster" improvements.
+func MinBelievedBW(m bwmatrix.Matrix) float64 { return m.MinOffDiagonal() }

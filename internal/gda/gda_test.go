@@ -1,0 +1,214 @@
+package gda
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/wanify/wanify/internal/bwmatrix"
+	"github.com/wanify/wanify/internal/cost"
+	"github.com/wanify/wanify/internal/geo"
+	"github.com/wanify/wanify/internal/netsim"
+	"github.com/wanify/wanify/internal/spark"
+)
+
+// testInfo builds a 4-DC cluster description with unit compute and the
+// default egress prices.
+func testInfo() ClusterInfo {
+	regions := geo.TestbedSubset(4)
+	rates := cost.DefaultRates()
+	info := ClusterInfo{Regions: regions}
+	for _, r := range regions {
+		info.ComputeRates = append(info.ComputeRates, 1)
+		info.EgressPerGB = append(info.EgressPerGB, rates.EgressPerGBFor(r))
+	}
+	return info
+}
+
+// asymmetricBW builds a believed matrix where DC3's inbound links are
+// weak but its outbound links are fine — the situation where placement
+// genuinely matters: reduce tasks placed at DC3 pull data over 80 Mbps,
+// while DC3's own intermediate can leave at full speed.
+func asymmetricBW() bwmatrix.Matrix {
+	m := bwmatrix.NewFilled(4, 900)
+	for i := 0; i < 4; i++ {
+		m[i][i] = 0
+		m[i][3] = 80
+	}
+	return m
+}
+
+// reduceStage is a shuffle-heavy stage for placement tests.
+var reduceStage = spark.Stage{Name: "r", Kind: spark.ReduceKind, SecPerGB: 1, Selectivity: 1}
+
+// TestLocalityFollowsData checks the vanilla policy.
+func TestLocalityFollowsData(t *testing.T) {
+	p := Locality{}.Place(0, reduceStage, []float64{30, 10, 0, 0})
+	if p[0] != 0.75 || p[1] != 0.25 || p[2] != 0 {
+		t.Errorf("locality placement %v", p)
+	}
+}
+
+// TestTetriumAvoidsWeakDC checks the core WAN-aware behavior: with a
+// weak DC3, Tetrium places fewer reduce tasks there than locality
+// would, cutting the estimated stage time.
+func TestTetriumAvoidsWeakDC(t *testing.T) {
+	info := testInfo()
+	believed := asymmetricBW()
+	layout := []float64{10e9, 10e9, 10e9, 10e9}
+
+	tp := Tetrium{Believed: believed, Info: info}.Place(0, reduceStage, layout)
+	lp := spark.LocalityPlacement(layout)
+
+	if tp[3] >= lp[3] {
+		t.Errorf("Tetrium kept %.2f of tasks on the weak DC (locality %.2f)", tp[3], lp[3])
+	}
+	est := estimator{believed: believed, info: info}
+	tSecs, _ := est.estimate(reduceStage, layout, tp)
+	lSecs, _ := est.estimate(reduceStage, layout, lp)
+	if tSecs >= lSecs {
+		t.Errorf("Tetrium est %.1fs not below locality %.1fs", tSecs, lSecs)
+	}
+}
+
+// TestTetriumBalancesCompute checks the multi-resource side: with a
+// uniform network but one fast DC, placement shifts toward compute.
+func TestTetriumBalancesCompute(t *testing.T) {
+	info := testInfo()
+	info.ComputeRates = []float64{4, 1, 1, 1}
+	believed := bwmatrix.NewFilled(4, 800)
+	computeHeavy := spark.Stage{Name: "c", Kind: spark.ReduceKind, SecPerGB: 200, Selectivity: 1}
+	layout := []float64{5e9, 5e9, 5e9, 5e9}
+	p := Tetrium{Believed: believed, Info: info}.Place(0, computeHeavy, layout)
+	for j := 1; j < 4; j++ {
+		if p[0] <= p[j] {
+			t.Errorf("fast DC got %.2f, slow DC %d got %.2f", p[0], j, p[j])
+		}
+	}
+}
+
+// TestKimchiCheaperWithinEnvelope checks Kimchi's contract: its
+// placement costs no more dollars than Tetrium's, and its estimated
+// time stays within the slack envelope.
+func TestKimchiCheaperWithinEnvelope(t *testing.T) {
+	info := testInfo()
+	believed := asymmetricBW()
+	layout := []float64{20e9, 10e9, 5e9, 5e9}
+	est := estimator{believed: believed, info: info}
+
+	tp := Tetrium{Believed: believed, Info: info}.Place(0, reduceStage, layout)
+	kp := Kimchi{Believed: believed, Info: info, Slack: 0.15}.Place(0, reduceStage, layout)
+
+	tSecs, tUSD := est.estimate(reduceStage, layout, tp)
+	kSecs, kUSD := est.estimate(reduceStage, layout, kp)
+	if kUSD > tUSD*1.0001 {
+		t.Errorf("Kimchi $%.3f costs more than Tetrium $%.3f", kUSD, tUSD)
+	}
+	if kSecs > tSecs*1.151 {
+		t.Errorf("Kimchi est %.1fs breaks the 15%% envelope over %.1fs", kSecs, tSecs)
+	}
+}
+
+// TestPlacementsAreDistributions property-checks every scheduler
+// returns a valid distribution over DCs.
+func TestPlacementsAreDistributions(t *testing.T) {
+	info := testInfo()
+	f := func(seedBW [12]uint16, layoutRaw [4]uint16) bool {
+		believed := bwmatrix.New(4)
+		k := 0
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				if i != j {
+					believed[i][j] = float64(seedBW[k]%2000) + 20
+					k++
+				}
+			}
+		}
+		layout := make([]float64, 4)
+		for i, v := range layoutRaw {
+			layout[i] = float64(v) * 1e6
+		}
+		for _, sched := range []spark.Scheduler{
+			Locality{},
+			Tetrium{Believed: believed, Info: info},
+			Kimchi{Believed: believed, Info: info},
+		} {
+			p := sched.Place(0, reduceStage, layout)
+			sum := 0.0
+			for _, v := range p {
+				if v < -1e-9 {
+					return false
+				}
+				sum += v
+			}
+			if sum < 0.999 || sum > 1.001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNewClusterInfo checks extraction from a live sim.
+func TestNewClusterInfo(t *testing.T) {
+	cfg := netsim.UniformCluster(geo.TestbedSubset(3), netsim.T2Medium, 1)
+	cfg.Frozen = true
+	sim := netsim.NewSim(cfg)
+	info := NewClusterInfo(sim, cost.DefaultRates())
+	if info.N() != 3 {
+		t.Fatalf("N = %d", info.N())
+	}
+	for i, r := range info.ComputeRates {
+		if r != netsim.T2Medium.ComputeRate {
+			t.Errorf("compute rate %d = %v", i, r)
+		}
+	}
+	if info.EgressPerGB[0] != 0.02 {
+		t.Errorf("US East egress = %v", info.EgressPerGB[0])
+	}
+}
+
+// TestSchedulerNames checks labels flow through.
+func TestSchedulerNames(t *testing.T) {
+	if (Tetrium{Label: "tetrium(static)"}).Name() != "tetrium(static)" {
+		t.Error("label ignored")
+	}
+	if (Tetrium{}).Name() != "tetrium" {
+		t.Error("default name wrong")
+	}
+	if (Kimchi{}).Name() != "kimchi" {
+		t.Error("kimchi default name wrong")
+	}
+}
+
+// TestIridiumAvoidsWeakUplink checks the Iridium baseline: a DC with a
+// weak aggregate downlink receives fewer reduce tasks than locality
+// would give it.
+func TestIridiumAvoidsWeakUplink(t *testing.T) {
+	info := testInfo()
+	believed := asymmetricBW() // DC3's inbound links are 80 Mbps
+	layout := []float64{10e9, 10e9, 10e9, 10e9}
+	p := Iridium{Believed: believed, Info: info}.Place(0, reduceStage, layout)
+	lp := spark.LocalityPlacement(layout)
+	if p[3] >= lp[3] {
+		t.Errorf("Iridium kept %.2f of tasks on the weak-downlink DC (locality %.2f)", p[3], lp[3])
+	}
+}
+
+// TestIridiumIgnoresCompute contrasts Iridium with Tetrium: on a
+// network-uniform cluster with one fast DC, Iridium (network-only
+// objective) stays near uniform while Tetrium shifts toward compute.
+func TestIridiumIgnoresCompute(t *testing.T) {
+	info := testInfo()
+	info.ComputeRates = []float64{4, 1, 1, 1}
+	believed := bwmatrix.NewFilled(4, 800)
+	computeHeavy := spark.Stage{Name: "c", Kind: spark.ReduceKind, SecPerGB: 200, Selectivity: 1}
+	layout := []float64{5e9, 5e9, 5e9, 5e9}
+	ip := Iridium{Believed: believed, Info: info}.Place(0, computeHeavy, layout)
+	tp := Tetrium{Believed: believed, Info: info}.Place(0, computeHeavy, layout)
+	if tp[0] <= ip[0] {
+		t.Errorf("Tetrium (%.2f on fast DC) should exceed Iridium (%.2f): Iridium ignores compute", tp[0], ip[0])
+	}
+}

@@ -1,0 +1,195 @@
+package measure
+
+import (
+	"math"
+	"testing"
+
+	"github.com/wanify/wanify/internal/geo"
+	"github.com/wanify/wanify/internal/netsim"
+	"github.com/wanify/wanify/internal/simrand"
+)
+
+func frozenSim(n int, seed uint64) *netsim.Sim {
+	cfg := netsim.UniformCluster(geo.TestbedSubset(n), netsim.T2Medium, seed)
+	cfg.Frozen = true
+	return netsim.NewSim(cfg)
+}
+
+// TestStaticIndependentMatchesUncontendedCaps checks that one-at-a-time
+// probing on a frozen network reads close to the per-connection caps
+// (the probes run alone, so nothing contends).
+func TestStaticIndependentMatchesUncontendedCaps(t *testing.T) {
+	sim := frozenSim(4, 1)
+	m, rep := StaticIndependent(sim, Options{DurationS: 10, Conns: 1})
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i == j {
+				if m[i][j] != 0 {
+					t.Errorf("diagonal [%d][%d] = %v", i, j, m[i][j])
+				}
+				continue
+			}
+			cap := math.Min(sim.PerConnCapMbps(i, j), netsim.T2Medium.EgressMbps)
+			// The slow-start ramp costs a little of the 10 s window.
+			if m[i][j] < cap*0.85 || m[i][j] > cap*1.01 {
+				t.Errorf("static[%d][%d] = %.0f, want ~%.0f (pair cap)", i, j, m[i][j], cap)
+			}
+		}
+	}
+	if rep.BytesTransferred <= 0 || rep.ElapsedS != 12*10 {
+		t.Errorf("report = %+v: want 120s elapsed (12 ordered pairs x 10s)", rep)
+	}
+}
+
+// TestSimultaneousBelowIndependent checks the §2.2 motivation on the
+// measurement layer itself: contended readings cannot exceed the
+// uncontended ones on strong links.
+func TestSimultaneousBelowIndependent(t *testing.T) {
+	sim := frozenSim(8, 2)
+	indep, _ := StaticIndependent(sim, Options{DurationS: 6, Conns: 1})
+	simul, _ := StaticSimultaneous(sim, StableOptions())
+	if simul.MaxOffDiagonal() >= indep.MaxOffDiagonal() {
+		t.Errorf("simultaneous max %.0f >= independent max %.0f", simul.MaxOffDiagonal(), indep.MaxOffDiagonal())
+	}
+	// Total egress of any DC stays within its VM cap.
+	for i := 0; i < 8; i++ {
+		sum := 0.0
+		for j := 0; j < 8; j++ {
+			sum += simul[i][j]
+		}
+		if sum > netsim.T2Medium.EgressMbps*1.01 {
+			t.Errorf("DC %d simultaneous egress sum %.0f exceeds cap", i, sum)
+		}
+	}
+}
+
+// TestSnapshotNoise checks that snapshots are noisy but unbiased-ish,
+// and that noiseless options produce deterministic readings.
+func TestSnapshotNoise(t *testing.T) {
+	sim := frozenSim(3, 3)
+	rng := simrand.Derive(9, "test")
+	a, _, _ := Snapshot(sim, SnapshotOptions(rng))
+	b, _, _ := Snapshot(sim, SnapshotOptions(rng))
+	diff := 0
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i != j && a[i][j] != b[i][j] {
+				diff++
+			}
+		}
+	}
+	if diff == 0 {
+		t.Error("consecutive noisy snapshots identical; noise not applied")
+	}
+}
+
+// TestSnapshotPanicsWithoutRng checks the misuse guard.
+func TestSnapshotPanicsWithoutRng(t *testing.T) {
+	sim := frozenSim(2, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for NoiseSD without Rng")
+		}
+	}()
+	StaticSimultaneous(sim, Options{DurationS: 1, Conns: 1, NoiseSD: 0.1})
+}
+
+// TestSnapshotUnderreportsFarLinks checks the slow-start interaction
+// the prediction model must learn: a 1-second probe over a long-RTT
+// path reads below the stable value.
+func TestSnapshotUnderreportsFarLinks(t *testing.T) {
+	sim := frozenSim(4, 5)
+	short, _ := StaticSimultaneous(sim, Options{DurationS: 1, Conns: 1})
+	long, _ := StaticSimultaneous(sim, Options{DurationS: 20, Conns: 1})
+	// DC0 (US East) -> DC3 (AP SE): ~220 ms RTT, ramp eats most of 1 s.
+	if short[0][3] >= long[0][3]*0.95 {
+		t.Errorf("1s far-link reading %.0f not below 20s reading %.0f", short[0][3], long[0][3])
+	}
+}
+
+// TestSnapshotByVM checks the VM-granularity association path.
+func TestSnapshotByVM(t *testing.T) {
+	regions := geo.TestbedSubset(3)
+	vms := [][]netsim.VMSpec{
+		{netsim.T2Medium, netsim.T2Medium}, // 2 VMs in DC0
+		{netsim.T2Medium},
+		{netsim.T2Medium},
+	}
+	cfg := netsim.Config{Regions: regions, VMs: vms, Seed: 6, Frozen: true}
+	sim := netsim.NewSim(cfg)
+	m, stats, _ := SnapshotByVM(sim, Options{DurationS: 5, Conns: 1})
+	if m.N() != 4 {
+		t.Fatalf("VM matrix is %dx%d, want 4x4", m.N(), m.N())
+	}
+	if len(stats) != 4 {
+		t.Fatalf("%d stat entries", len(stats))
+	}
+	// Intra-DC pairs (VM 0 and 1 share DC0) must be zero.
+	if m[0][1] != 0 || m[1][0] != 0 {
+		t.Error("intra-DC VM pairs measured")
+	}
+	// Cross-DC pairs measured positive.
+	if m[0][2] <= 0 || m[1][2] <= 0 {
+		t.Errorf("cross-DC VM pairs not measured: %v %v", m[0][2], m[1][2])
+	}
+}
+
+// TestMonitorWindowedAverage checks the ifTop-like monitor.
+func TestMonitorWindowedAverage(t *testing.T) {
+	sim := frozenSim(3, 7)
+	mon := NewMonitor(sim, 0, 1.0, 5)
+	defer mon.Close()
+	if r := mon.Rates(); r[1] != 0 {
+		t.Error("monitor reported rates before any sample")
+	}
+	f := sim.StartProbe(sim.FirstVMOfDC(0), sim.FirstVMOfDC(1), 1)
+	sim.RunFor(6)
+	rates := mon.Rates()
+	if rates[1] <= 0 {
+		t.Error("monitor missed an active flow")
+	}
+	got := f.Rate()
+	if math.Abs(rates[1]-got) > got*0.25 {
+		t.Errorf("windowed avg %.0f far from instantaneous %.0f", rates[1], got)
+	}
+	if rates[2] != 0 {
+		t.Errorf("idle destination shows %.1f Mbps", rates[2])
+	}
+	f.Stop()
+}
+
+// TestMonitorClose checks sampling stops after Close.
+func TestMonitorClose(t *testing.T) {
+	sim := frozenSim(3, 8)
+	mon := NewMonitor(sim, 0, 1.0, 3)
+	f := sim.StartProbe(sim.FirstVMOfDC(0), sim.FirstVMOfDC(1), 1)
+	sim.RunFor(4)
+	mon.Close()
+	before := mon.Rates()[1]
+	f.Stop()
+	sim.RunFor(5)
+	after := mon.Rates()[1]
+	if before != after {
+		t.Error("monitor kept sampling after Close")
+	}
+}
+
+// TestReportAccounting checks measurement-cost bookkeeping.
+func TestReportAccounting(t *testing.T) {
+	sim := frozenSim(3, 9)
+	_, rep := StaticSimultaneous(sim, Options{DurationS: 10, Conns: 1})
+	if rep.ElapsedS != 10 {
+		t.Errorf("elapsed %v, want 10", rep.ElapsedS)
+	}
+	if rep.VMSeconds != 30 {
+		t.Errorf("VM-seconds %v, want 30", rep.VMSeconds)
+	}
+	// 6 ordered pairs at a few hundred Mbps for 10s: order-of-GB total.
+	if rep.BytesTransferred < 1e8 || rep.BytesTransferred > 1e11 {
+		t.Errorf("bytes transferred %.3g implausible", rep.BytesTransferred)
+	}
+	sum := rep.Add(rep)
+	if sum.ElapsedS != 20 || sum.VMSeconds != 60 {
+		t.Errorf("Add broken: %+v", sum)
+	}
+}

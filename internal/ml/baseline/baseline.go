@@ -1,0 +1,287 @@
+// Package baseline provides the simpler predictors WANify's §3.1
+// design discussion argues against, so the Random-Forest choice can be
+// validated empirically (the paper reports trying CNN at ~85% accuracy
+// and dismissing SVM/plain decision trees; we implement the
+// stdlib-feasible comparison set):
+//
+//   - Passthrough: predict the stable runtime BW as exactly the
+//     1-second snapshot reading. What a system would do with no model
+//     at all — the floor any learned model must beat.
+//   - LinearRegression: ordinary least squares on the Table 3 features
+//     (a "statistical regression technique", which §3.1 notes is
+//     vulnerable to the outliers in BW data).
+//   - KNN: k-nearest-neighbor regression in normalized feature space —
+//     a strong non-parametric baseline that, unlike trees, cannot be
+//     warm-started and is expensive at prediction time.
+//
+// All satisfy Regressor, as does an adapter over the Random Forest.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/wanify/wanify/internal/ml/dataset"
+	"github.com/wanify/wanify/internal/ml/rf"
+)
+
+// Regressor is the minimal fit/predict contract shared by the
+// comparison models.
+type Regressor interface {
+	// Name identifies the model in reports.
+	Name() string
+	// Fit trains on the dataset.
+	Fit(ds rf.Dataset) error
+	// Predict returns the estimate for one feature vector.
+	Predict(x []float64) float64
+}
+
+// --- snapshot passthrough ---
+
+// Passthrough predicts stable runtime bandwidth = snapshot bandwidth.
+type Passthrough struct{}
+
+// Name implements Regressor.
+func (Passthrough) Name() string { return "snapshot-passthrough" }
+
+// Fit is a no-op.
+func (Passthrough) Fit(rf.Dataset) error { return nil }
+
+// Predict returns the S_BWij feature unchanged.
+func (Passthrough) Predict(x []float64) float64 { return x[dataset.FeatSnapBW] }
+
+// --- ordinary least squares ---
+
+// LinearRegression fits y = w·x + b by the normal equations.
+type LinearRegression struct {
+	weights []float64 // last entry is the intercept
+}
+
+// Name implements Regressor.
+func (l *LinearRegression) Name() string { return "linear-regression" }
+
+// Fit solves (XᵀX)w = Xᵀy with Gaussian elimination (the feature count
+// is tiny). A ridge term stabilizes near-singular systems.
+func (l *LinearRegression) Fit(ds rf.Dataset) error {
+	if err := ds.Validate(); err != nil {
+		return err
+	}
+	p := len(ds.X[0]) + 1 // + intercept
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p)
+	}
+	xty := make([]float64, p)
+	row := make([]float64, p)
+	for r := range ds.X {
+		copy(row, ds.X[r])
+		row[p-1] = 1
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				xtx[i][j] += row[i] * row[j]
+			}
+			xty[i] += row[i] * ds.Y[r]
+		}
+	}
+	const ridge = 1e-6
+	for i := 0; i < p; i++ {
+		xtx[i][i] += ridge * (xtx[i][i] + 1)
+	}
+	w, err := solve(xtx, xty)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	l.weights = w
+	return nil
+}
+
+// Predict evaluates the linear model.
+func (l *LinearRegression) Predict(x []float64) float64 {
+	if l.weights == nil {
+		return 0
+	}
+	s := l.weights[len(l.weights)-1]
+	for i, v := range x {
+		s += l.weights[i] * v
+	}
+	if s < 0 {
+		s = 0
+	}
+	return s
+}
+
+// solve performs Gaussian elimination with partial pivoting.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64(nil), a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return nil, fmt.Errorf("singular system at column %d", col)
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = m[i][n] / m[i][i]
+	}
+	return out, nil
+}
+
+// --- k-nearest neighbors ---
+
+// KNN is distance-weighted k-nearest-neighbor regression over
+// feature-normalized training rows.
+type KNN struct {
+	// K is the neighborhood size (default 7).
+	K int
+
+	x     [][]float64 // normalized training rows
+	y     []float64
+	scale []float64 // per-feature normalization (max abs)
+}
+
+// Name implements Regressor.
+func (k *KNN) Name() string { return "knn" }
+
+// Fit stores the normalized training set.
+func (k *KNN) Fit(ds rf.Dataset) error {
+	if err := ds.Validate(); err != nil {
+		return err
+	}
+	if k.K == 0 {
+		k.K = 7
+	}
+	p := len(ds.X[0])
+	k.scale = make([]float64, p)
+	for _, row := range ds.X {
+		for i, v := range row {
+			if a := math.Abs(v); a > k.scale[i] {
+				k.scale[i] = a
+			}
+		}
+	}
+	for i := range k.scale {
+		if k.scale[i] == 0 {
+			k.scale[i] = 1
+		}
+	}
+	k.x = make([][]float64, len(ds.X))
+	for r, row := range ds.X {
+		nr := make([]float64, p)
+		for i, v := range row {
+			nr[i] = v / k.scale[i]
+		}
+		k.x[r] = nr
+	}
+	k.y = append([]float64(nil), ds.Y...)
+	return nil
+}
+
+// Predict averages the K nearest training labels, weighted by inverse
+// distance.
+func (k *KNN) Predict(x []float64) float64 {
+	if len(k.x) == 0 {
+		return 0
+	}
+	nx := make([]float64, len(x))
+	for i, v := range x {
+		nx[i] = v / k.scale[i]
+	}
+	type cand struct {
+		d float64
+		y float64
+	}
+	cands := make([]cand, len(k.x))
+	for r, row := range k.x {
+		d := 0.0
+		for i := range row {
+			dv := row[i] - nx[i]
+			d += dv * dv
+		}
+		cands[r] = cand{d: d, y: k.y[r]}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+	kk := k.K
+	if kk > len(cands) {
+		kk = len(cands)
+	}
+	num, den := 0.0, 0.0
+	for _, c := range cands[:kk] {
+		w := 1 / (c.d + 1e-9)
+		num += w * c.y
+		den += w
+	}
+	return num / den
+}
+
+// --- Random Forest adapter ---
+
+// Forest adapts rf.Forest to the Regressor interface for side-by-side
+// comparison.
+type Forest struct {
+	// Config holds the forest hyperparameters (zero value = defaults).
+	Config rf.Config
+	f      *rf.Forest
+}
+
+// Name implements Regressor.
+func (fr *Forest) Name() string { return "random-forest" }
+
+// Fit trains the forest.
+func (fr *Forest) Fit(ds rf.Dataset) error {
+	f, err := rf.Train(ds, fr.Config)
+	if err != nil {
+		return err
+	}
+	fr.f = f
+	return nil
+}
+
+// Predict delegates to the forest.
+func (fr *Forest) Predict(x []float64) float64 {
+	v := fr.f.Predict(x)
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// Evaluate scores a fitted regressor on a dataset: accuracy at the
+// significance threshold, RMSE and mean absolute error.
+func Evaluate(r Regressor, ds rf.Dataset, thresholdMbps float64) (acc, rmse, mae float64) {
+	if ds.Len() == 0 {
+		return 0, 0, 0
+	}
+	within := 0
+	var sse, sae float64
+	for i := range ds.X {
+		p := r.Predict(ds.X[i])
+		d := p - ds.Y[i]
+		if math.Abs(d) <= thresholdMbps {
+			within++
+		}
+		sse += d * d
+		sae += math.Abs(d)
+	}
+	n := float64(ds.Len())
+	return float64(within) / n, math.Sqrt(sse / n), sae / n
+}

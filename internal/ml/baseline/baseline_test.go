@@ -1,0 +1,133 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"github.com/wanify/wanify/internal/ml/dataset"
+	"github.com/wanify/wanify/internal/ml/rf"
+	"github.com/wanify/wanify/internal/simrand"
+	"github.com/wanify/wanify/internal/stats"
+)
+
+// linearDataset builds a dataset with a known linear relationship over
+// Table 3-shaped features.
+func linearDataset(n int, seed uint64) rf.Dataset {
+	rng := simrand.Derive(seed, "baseline-test")
+	var ds rf.Dataset
+	for i := 0; i < n; i++ {
+		x := make([]float64, dataset.NumFeatures)
+		x[dataset.FeatN] = float64(2 + rng.IntN(7))
+		x[dataset.FeatSnapBW] = rng.Uniform(50, 1800)
+		x[dataset.FeatMemDst] = rng.Uniform(0.2, 0.9)
+		x[dataset.FeatCPUSrc] = rng.Uniform(0, 1)
+		x[dataset.FeatRetrans] = rng.Uniform(0, 20)
+		x[dataset.FeatDist] = rng.Uniform(300, 11000)
+		y := 1.2*x[dataset.FeatSnapBW] - 0.01*x[dataset.FeatDist] + rng.Norm(0, 10)
+		ds.X = append(ds.X, x)
+		ds.Y = append(ds.Y, math.Max(0, y))
+	}
+	return ds
+}
+
+// TestLinearRegressionRecoversLinearTarget checks OLS on its home turf.
+func TestLinearRegressionRecoversLinearTarget(t *testing.T) {
+	ds := linearDataset(800, 1)
+	test := linearDataset(200, 2)
+	var lr LinearRegression
+	if err := lr.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	acc, rmse, _ := Evaluate(&lr, test, 100)
+	if acc < 0.95 {
+		t.Errorf("linear accuracy %.3f on a linear target, want >= 0.95", acc)
+	}
+	if rmse > 30 {
+		t.Errorf("linear rmse %.1f, want small", rmse)
+	}
+}
+
+// TestPassthroughUsesSnapshot checks the no-model floor.
+func TestPassthroughUsesSnapshot(t *testing.T) {
+	var p Passthrough
+	x := make([]float64, dataset.NumFeatures)
+	x[dataset.FeatSnapBW] = 432.1
+	if got := p.Predict(x); got != 432.1 {
+		t.Errorf("passthrough = %v", got)
+	}
+}
+
+// TestKNNBeatsMeanPredictor checks KNN carries real signal: its RMSE
+// must be clearly below the label standard deviation (the error of
+// predicting the global mean). With four irrelevant features diluting
+// the distance metric, KNN cannot be expected to hit the 100 Mbps
+// accuracy bar on this synthetic target — which is itself part of the
+// §3.1 argument for trees (they select features; KNN cannot).
+func TestKNNBeatsMeanPredictor(t *testing.T) {
+	ds := linearDataset(800, 3)
+	test := linearDataset(150, 4)
+	knn := KNN{K: 5}
+	if err := knn.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	_, rmse, _ := Evaluate(&knn, test, 100)
+	labelSD := stats.StdDev(test.Y)
+	if rmse > 0.7*labelSD {
+		t.Errorf("knn rmse %.1f not clearly below label SD %.1f", rmse, labelSD)
+	}
+}
+
+// TestModelComparisonOnRealData runs the §3.1 model-choice argument on
+// simulator-generated data: the Random Forest must beat plain
+// passthrough and at least match linear regression at the paper's
+// significance threshold.
+func TestModelComparisonOnRealData(t *testing.T) {
+	train, _ := dataset.Generate(dataset.GenConfig{Sizes: []int{3, 5, 8}, DrawsPerSize: 5, Seed: 10})
+	test, _ := dataset.Generate(dataset.GenConfig{Sizes: []int{4, 6}, DrawsPerSize: 3, Seed: 11})
+
+	models := []Regressor{
+		Passthrough{},
+		&LinearRegression{},
+		&KNN{K: 7},
+		&Forest{Config: rf.Config{NumTrees: 80, MaxFeatures: 4, Seed: 12}},
+	}
+	accs := map[string]float64{}
+	for _, m := range models {
+		if err := m.Fit(train); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		acc, rmse, mae := Evaluate(m, test, 100)
+		accs[m.Name()] = acc
+		t.Logf("%-22s acc=%.3f rmse=%.1f mae=%.1f", m.Name(), acc, rmse, mae)
+	}
+	// On simulator data the snapshot-to-stable mapping is close to
+	// linear, so OLS is a strong baseline here (the paper's RF argument
+	// rests on real-WAN outliers; see EXPERIMENTS.md). The enforceable
+	// claims: RF is accurate in absolute terms and competitive with
+	// every baseline.
+	if accs["random-forest"] < 0.90 {
+		t.Errorf("RF accuracy %.3f, want >= 0.90", accs["random-forest"])
+	}
+	if accs["random-forest"]+0.03 < accs["snapshot-passthrough"] {
+		t.Errorf("RF (%.3f) clearly lost to passthrough (%.3f)", accs["random-forest"], accs["snapshot-passthrough"])
+	}
+	if accs["random-forest"]+0.04 < accs["linear-regression"] {
+		t.Errorf("RF (%.3f) clearly lost to linear regression (%.3f)", accs["random-forest"], accs["linear-regression"])
+	}
+}
+
+// TestSolveSingular checks the elimination error path.
+func TestSolveSingular(t *testing.T) {
+	a := [][]float64{{1, 1}, {1, 1}} // rank 1
+	if _, err := solve(a, []float64{1, 2}); err == nil {
+		t.Error("singular system accepted")
+	}
+}
+
+// TestEvaluateEmpty checks the degenerate path.
+func TestEvaluateEmpty(t *testing.T) {
+	acc, rmse, mae := Evaluate(Passthrough{}, rf.Dataset{}, 100)
+	if acc != 0 || rmse != 0 || mae != 0 {
+		t.Error("empty evaluation should be zeros")
+	}
+}

@@ -1,0 +1,92 @@
+package rf
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// The on-disk format mirrors the in-memory structures with exported
+// fields so encoding/gob can reach them. The format is versioned to
+// fail loudly on incompatible files rather than mis-predicting.
+
+const persistVersion = 1
+
+type persistNode struct {
+	Feature   int
+	Threshold float64
+	Value     float64
+	Left      int32
+	Right     int32
+}
+
+type persistTree struct {
+	Nodes    []persistNode
+	FeatGain []float64
+}
+
+type persistForest struct {
+	Version   int
+	NFeatures int
+	Config    Config
+	Trees     []persistTree
+}
+
+// Save serializes the forest (trees and hyperparameters; out-of-bag
+// bookkeeping is training-time state and is not persisted).
+func (f *Forest) Save(w io.Writer) error {
+	pf := persistForest{
+		Version:   persistVersion,
+		NFeatures: f.nFeatures,
+		Config:    f.cfg,
+		Trees:     make([]persistTree, len(f.trees)),
+	}
+	for i, t := range f.trees {
+		pt := persistTree{
+			Nodes:    make([]persistNode, len(t.nodes)),
+			FeatGain: append([]float64(nil), t.featGain...),
+		}
+		for j, nd := range t.nodes {
+			pt.Nodes[j] = persistNode{
+				Feature: nd.feature, Threshold: nd.threshold,
+				Value: nd.value, Left: nd.left, Right: nd.right,
+			}
+		}
+		pf.Trees[i] = pt
+	}
+	return gob.NewEncoder(w).Encode(pf)
+}
+
+// Load deserializes a forest saved with Save. Loaded forests predict
+// and warm-start normally; out-of-bag statistics restart empty.
+func Load(r io.Reader) (*Forest, error) {
+	var pf persistForest
+	if err := gob.NewDecoder(r).Decode(&pf); err != nil {
+		return nil, fmt.Errorf("rf: decode: %w", err)
+	}
+	if pf.Version != persistVersion {
+		return nil, fmt.Errorf("rf: model file version %d, want %d", pf.Version, persistVersion)
+	}
+	if pf.NFeatures <= 0 || len(pf.Trees) == 0 {
+		return nil, fmt.Errorf("rf: model file is empty")
+	}
+	f := &Forest{
+		cfg:       pf.Config,
+		nFeatures: pf.NFeatures,
+		rng:       nil, // set lazily by WarmStart if ever needed
+	}
+	for _, pt := range pf.Trees {
+		t := &tree{
+			nodes:    make([]node, len(pt.Nodes)),
+			featGain: append([]float64(nil), pt.FeatGain...),
+		}
+		for j, nd := range pt.Nodes {
+			t.nodes[j] = node{
+				feature: nd.Feature, threshold: nd.Threshold,
+				value: nd.Value, left: nd.Left, right: nd.Right,
+			}
+		}
+		f.trees = append(f.trees, t)
+	}
+	return f, nil
+}

@@ -1,0 +1,69 @@
+package rf
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSaveLoadRoundTrip checks persisted forests predict identically.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ds := synth(300, 30, func(x []float64) float64 { return 5*x[0] + x[2] })
+	f, err := Train(ds, Config{NumTrees: 15, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTrees() != f.NumTrees() || g.NumFeatures() != f.NumFeatures() {
+		t.Fatalf("shape mismatch after load")
+	}
+	for i := 0; i < 50; i++ {
+		x := ds.X[i]
+		if f.Predict(x) != g.Predict(x) {
+			t.Fatalf("prediction mismatch on row %d", i)
+		}
+	}
+	// Importances survive the round trip.
+	fi, gi := f.FeatureImportance(), g.FeatureImportance()
+	for k := range fi {
+		if fi[k] != gi[k] {
+			t.Errorf("importance %d differs", k)
+		}
+	}
+}
+
+// TestLoadedForestCanWarmStart checks restored models keep learning.
+func TestLoadedForestCanWarmStart(t *testing.T) {
+	ds := synth(200, 32, func(x []float64) float64 { return 10 })
+	f, _ := Train(ds, Config{NumTrees: 10, Seed: 33})
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WarmStart(ds, 5); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTrees() != 15 {
+		t.Errorf("trees after warm start = %d", g.NumTrees())
+	}
+}
+
+// TestLoadRejectsGarbage checks error handling on corrupt input.
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}

@@ -1,0 +1,275 @@
+// Package rf implements a decision-tree-based Random Forest regressor
+// from scratch, the prediction technique WANify selects in §3.1:
+// bagged CART regression trees with per-split feature subsampling.
+//
+// The paper motivates the choice: the runtime-BW problem is a
+// multivariate regression with many outliers, where ensembles of
+// variance-reduction trees resist over-fitting and need far less
+// training data than deep models. This implementation supports the two
+// capabilities §3.3 depends on — warm-start retraining (new trees
+// appended on fresh data when cluster sizes change or the model goes
+// stale) and out-of-bag error tracking (the §3.3.4 staleness signal) —
+// plus impurity-based feature importance used to validate that "all
+// features in Table 3 were significant".
+package rf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/wanify/wanify/internal/simrand"
+)
+
+// Dataset is a supervised regression dataset: X[i] is a feature vector,
+// Y[i] its label. All rows must share the same width.
+type Dataset struct {
+	X [][]float64
+	Y []float64
+}
+
+// Len returns the number of rows.
+func (d Dataset) Len() int { return len(d.X) }
+
+// Validate checks shape consistency.
+func (d Dataset) Validate() error {
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("rf: %d feature rows vs %d labels", len(d.X), len(d.Y))
+	}
+	if len(d.X) == 0 {
+		return errors.New("rf: empty dataset")
+	}
+	w := len(d.X[0])
+	if w == 0 {
+		return errors.New("rf: zero-width feature vectors")
+	}
+	for i, row := range d.X {
+		if len(row) != w {
+			return fmt.Errorf("rf: row %d has width %d, want %d", i, len(row), w)
+		}
+	}
+	return nil
+}
+
+// Split partitions the dataset into train/test by the given test
+// fraction, shuffled with rng.
+func (d Dataset) Split(testFrac float64, rng *simrand.Source) (train, test Dataset) {
+	n := d.Len()
+	perm := rng.Perm(n)
+	nTest := int(float64(n) * testFrac)
+	for k, i := range perm {
+		if k < nTest {
+			test.X = append(test.X, d.X[i])
+			test.Y = append(test.Y, d.Y[i])
+		} else {
+			train.X = append(train.X, d.X[i])
+			train.Y = append(train.Y, d.Y[i])
+		}
+	}
+	return train, test
+}
+
+// Append returns d with the rows of o appended.
+func (d Dataset) Append(o Dataset) Dataset {
+	return Dataset{
+		X: append(append([][]float64{}, d.X...), o.X...),
+		Y: append(append([]float64{}, d.Y...), o.Y...),
+	}
+}
+
+// Config holds the forest hyperparameters. The zero value is usable:
+// every field defaults as documented.
+type Config struct {
+	// NumTrees is the ensemble size (default 100, the paper's best
+	// estimator count, §5.1).
+	NumTrees int
+	// MaxDepth bounds tree depth; 0 means unbounded.
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (default 2).
+	MinLeaf int
+	// MinSplit is the minimum node size to attempt a split (default 5).
+	MinSplit int
+	// MaxFeatures is the number of features sampled per split
+	// (default max(1, p/3), the usual regression-forest heuristic).
+	MaxFeatures int
+	// Seed drives bootstrap sampling and feature subsampling.
+	Seed uint64
+}
+
+func (c Config) withDefaults(nFeatures int) Config {
+	if c.NumTrees == 0 {
+		c.NumTrees = 100
+	}
+	if c.MinLeaf == 0 {
+		c.MinLeaf = 2
+	}
+	if c.MinSplit == 0 {
+		c.MinSplit = 5
+	}
+	if c.MaxFeatures == 0 {
+		c.MaxFeatures = nFeatures / 3
+	}
+	if c.MaxFeatures < 1 {
+		c.MaxFeatures = 1
+	}
+	if c.MaxFeatures > nFeatures {
+		c.MaxFeatures = nFeatures
+	}
+	return c
+}
+
+// Forest is a trained Random Forest regressor.
+type Forest struct {
+	cfg       Config
+	nFeatures int
+	trees     []*tree
+	rng       *simrand.Source
+
+	// oobSum/oobCount accumulate out-of-bag predictions per training
+	// row of the most recent Train/WarmStart dataset.
+	oobSum   []float64
+	oobCount []int
+	oobY     []float64
+}
+
+// Train fits a forest on the dataset.
+func Train(ds Dataset, cfg Config) (*Forest, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	nFeat := len(ds.X[0])
+	cfg = cfg.withDefaults(nFeat)
+	f := &Forest{
+		cfg:       cfg,
+		nFeatures: nFeat,
+		rng:       simrand.Derive(cfg.Seed, "rf"),
+		oobSum:    make([]float64, ds.Len()),
+		oobCount:  make([]int, ds.Len()),
+		oobY:      append([]float64(nil), ds.Y...),
+	}
+	f.addTrees(ds, cfg.NumTrees)
+	return f, nil
+}
+
+// addTrees grows k bootstrap trees on ds and appends them.
+func (f *Forest) addTrees(ds Dataset, k int) {
+	if f.rng == nil {
+		// Forests restored via Load have no RNG until they warm-start.
+		f.rng = simrand.Derive(f.cfg.Seed, "rf-loaded")
+	}
+	p := treeParams{
+		maxDepth:    f.cfg.MaxDepth,
+		minLeaf:     f.cfg.MinLeaf,
+		minSplit:    f.cfg.MinSplit,
+		maxFeatures: f.cfg.MaxFeatures,
+	}
+	n := ds.Len()
+	for t := 0; t < k; t++ {
+		inBag := make([]bool, n)
+		idx := make([]int, n)
+		for i := range idx {
+			j := f.rng.IntN(n)
+			idx[i] = j
+			inBag[j] = true
+		}
+		tr := growTree(ds.X, ds.Y, idx, p, f.nFeatures, f.rng)
+		f.trees = append(f.trees, tr)
+		// Out-of-bag bookkeeping (only valid for rows of ds).
+		if len(f.oobSum) == n {
+			for i := 0; i < n; i++ {
+				if !inBag[i] {
+					f.oobSum[i] += tr.predict(ds.X[i])
+					f.oobCount[i]++
+				}
+			}
+		}
+	}
+}
+
+// WarmStart grows k additional trees on ds (which may contain new
+// cluster sizes or freshly collected rows) and appends them to the
+// ensemble — the paper's §3.3.2/§3.3.4 retraining path. OOB statistics
+// are reset to the new dataset.
+func (f *Forest) WarmStart(ds Dataset, k int) error {
+	if err := ds.Validate(); err != nil {
+		return err
+	}
+	if len(ds.X[0]) != f.nFeatures {
+		return fmt.Errorf("rf: warm-start width %d != model width %d", len(ds.X[0]), f.nFeatures)
+	}
+	f.oobSum = make([]float64, ds.Len())
+	f.oobCount = make([]int, ds.Len())
+	f.oobY = append([]float64(nil), ds.Y...)
+	f.addTrees(ds, k)
+	return nil
+}
+
+// NumTrees returns the ensemble size.
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// NumFeatures returns the feature-vector width the model expects.
+func (f *Forest) NumFeatures() int { return f.nFeatures }
+
+// Predict returns the ensemble mean prediction for one feature vector.
+func (f *Forest) Predict(x []float64) float64 {
+	if len(x) != f.nFeatures {
+		panic(fmt.Sprintf("rf: predict width %d != model width %d", len(x), f.nFeatures))
+	}
+	s := 0.0
+	for _, t := range f.trees {
+		s += t.predict(x)
+	}
+	return s / float64(len(f.trees))
+}
+
+// PredictBatch predicts every row of X.
+func (f *Forest) PredictBatch(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = f.Predict(x)
+	}
+	return out
+}
+
+// OOBRMSE returns the out-of-bag root-mean-square error over the most
+// recent training dataset — an unbiased generalization estimate used as
+// the staleness threshold signal (§3.3.4). Rows never out of bag are
+// skipped; it returns 0 when no row qualifies.
+func (f *Forest) OOBRMSE() float64 {
+	var sse float64
+	var n int
+	for i := range f.oobSum {
+		if f.oobCount[i] == 0 {
+			continue
+		}
+		d := f.oobSum[i]/float64(f.oobCount[i]) - f.oobY[i]
+		sse += d * d
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(sse / float64(n))
+}
+
+// FeatureImportance returns per-feature importance: total SSE reduction
+// attributed to splits on each feature, normalized to sum to 1 (when
+// any split exists).
+func (f *Forest) FeatureImportance() []float64 {
+	imp := make([]float64, f.nFeatures)
+	for _, t := range f.trees {
+		for i, g := range t.featGain {
+			imp[i] += g
+		}
+	}
+	total := 0.0
+	for _, v := range imp {
+		total += v
+	}
+	if total > 0 {
+		for i := range imp {
+			imp[i] /= total
+		}
+	}
+	return imp
+}

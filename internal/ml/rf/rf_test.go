@@ -1,0 +1,291 @@
+package rf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/wanify/wanify/internal/simrand"
+	"github.com/wanify/wanify/internal/stats"
+)
+
+// synth builds a regression dataset from a known function with noise.
+func synth(n int, seed uint64, f func(x []float64) float64) Dataset {
+	rng := simrand.Derive(seed, "synth")
+	var ds Dataset
+	for i := 0; i < n; i++ {
+		x := []float64{rng.Uniform(0, 10), rng.Uniform(0, 10), rng.Uniform(0, 10)}
+		ds.X = append(ds.X, x)
+		ds.Y = append(ds.Y, f(x)+rng.Norm(0, 0.5))
+	}
+	return ds
+}
+
+// TestLearnsPiecewiseFunction checks the forest fits an axis-aligned
+// step function (CART's native shape) well out of sample.
+func TestLearnsPiecewiseFunction(t *testing.T) {
+	target := func(x []float64) float64 {
+		if x[0] > 5 {
+			return 100
+		}
+		if x[1] > 7 {
+			return 50
+		}
+		return 10
+	}
+	train := synth(800, 1, target)
+	test := synth(200, 2, target)
+	f, err := Train(train, Config{NumTrees: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := f.PredictBatch(test.X)
+	if r2 := stats.R2(pred, test.Y); r2 < 0.95 {
+		t.Errorf("out-of-sample R2 = %.3f, want >= 0.95", r2)
+	}
+}
+
+// TestLearnsLinearFunction checks reasonable fit on a smooth target
+// (trees approximate, so the bar is lower).
+func TestLearnsLinearFunction(t *testing.T) {
+	target := func(x []float64) float64 { return 3*x[0] + 2*x[1] - x[2] }
+	train := synth(1000, 4, target)
+	test := synth(200, 5, target)
+	f, err := Train(train, Config{NumTrees: 60, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := f.PredictBatch(test.X)
+	if r2 := stats.R2(pred, test.Y); r2 < 0.85 {
+		t.Errorf("out-of-sample R2 = %.3f, want >= 0.85", r2)
+	}
+}
+
+// TestPredictionsWithinLabelHull property-checks that forest predictions
+// never leave the training-label range (they are averages of leaf
+// means).
+func TestPredictionsWithinLabelHull(t *testing.T) {
+	train := synth(300, 7, func(x []float64) float64 { return x[0] * x[1] })
+	f, err := Train(train, Config{NumTrees: 20, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := stats.Min(train.Y), stats.Max(train.Y)
+	check := func(a, b, c float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) || math.IsNaN(c) || math.IsInf(c, 0) {
+			return true
+		}
+		p := f.Predict([]float64{a, b, c})
+		return p >= lo-1e-9 && p <= hi+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeterministicTraining checks the same seed yields the same model.
+func TestDeterministicTraining(t *testing.T) {
+	ds := synth(300, 9, func(x []float64) float64 { return x[0] })
+	f1, _ := Train(ds, Config{NumTrees: 10, Seed: 11})
+	f2, _ := Train(ds, Config{NumTrees: 10, Seed: 11})
+	probe := []float64{3.3, 4.4, 5.5}
+	if f1.Predict(probe) != f2.Predict(probe) {
+		t.Error("same-seed forests disagree")
+	}
+	f3, _ := Train(ds, Config{NumTrees: 10, Seed: 12})
+	if f1.Predict(probe) == f3.Predict(probe) {
+		t.Log("different seeds agreed (possible but unlikely)")
+	}
+}
+
+// TestWarmStart checks the §3.3.2/§3.3.4 path: appending trees on new
+// data grows the ensemble and shifts predictions toward the new regime.
+func TestWarmStart(t *testing.T) {
+	old := synth(400, 13, func(x []float64) float64 { return 10 })
+	f, err := Train(old, Config{NumTrees: 20, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumTrees() != 20 {
+		t.Fatalf("tree count %d", f.NumTrees())
+	}
+	probe := []float64{5, 5, 5}
+	before := f.Predict(probe)
+
+	newData := synth(400, 15, func(x []float64) float64 { return 90 })
+	if err := f.WarmStart(newData, 40); err != nil {
+		t.Fatal(err)
+	}
+	if f.NumTrees() != 60 {
+		t.Fatalf("tree count after warm start %d, want 60", f.NumTrees())
+	}
+	after := f.Predict(probe)
+	if after <= before+20 {
+		t.Errorf("warm start barely moved prediction: %.1f -> %.1f", before, after)
+	}
+
+	// Width mismatch is rejected.
+	bad := Dataset{X: [][]float64{{1, 2}}, Y: []float64{1}}
+	if err := f.WarmStart(bad, 1); err == nil {
+		t.Error("warm start accepted mismatched width")
+	}
+}
+
+// TestOOBRMSE checks the out-of-bag error is a sane magnitude.
+func TestOOBRMSE(t *testing.T) {
+	ds := synth(600, 16, func(x []float64) float64 {
+		if x[0] > 5 {
+			return 100
+		}
+		return 10
+	})
+	f, err := Train(ds, Config{NumTrees: 40, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oob := f.OOBRMSE()
+	if oob <= 0 || oob > 30 {
+		t.Errorf("OOB RMSE = %.2f, want small positive", oob)
+	}
+}
+
+// TestFeatureImportance checks that the only informative feature
+// dominates.
+func TestFeatureImportance(t *testing.T) {
+	ds := synth(600, 18, func(x []float64) float64 { return 20 * x[1] })
+	f, err := Train(ds, Config{NumTrees: 30, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := f.FeatureImportance()
+	if len(imp) != 3 {
+		t.Fatalf("importance width %d", len(imp))
+	}
+	if imp[1] < 0.8 {
+		t.Errorf("informative feature importance %.2f, want dominant", imp[1])
+	}
+	sum := imp[0] + imp[1] + imp[2]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("importances sum to %v", sum)
+	}
+}
+
+// TestDatasetValidate checks shape validation errors.
+func TestDatasetValidate(t *testing.T) {
+	cases := map[string]Dataset{
+		"empty":        {},
+		"len mismatch": {X: [][]float64{{1}}, Y: []float64{1, 2}},
+		"zero width":   {X: [][]float64{{}}, Y: []float64{1}},
+		"ragged":       {X: [][]float64{{1, 2}, {3}}, Y: []float64{1, 2}},
+	}
+	for name, ds := range cases {
+		if err := ds.Validate(); err == nil {
+			t.Errorf("%s: no validation error", name)
+		}
+	}
+	ok := Dataset{X: [][]float64{{1, 2}, {3, 4}}, Y: []float64{1, 2}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid dataset rejected: %v", err)
+	}
+}
+
+// TestDatasetSplitAndAppend checks partitioning helpers.
+func TestDatasetSplitAndAppend(t *testing.T) {
+	ds := synth(100, 20, func(x []float64) float64 { return x[0] })
+	rng := simrand.Derive(21, "split")
+	train, test := ds.Split(0.2, rng)
+	if train.Len() != 80 || test.Len() != 20 {
+		t.Errorf("split sizes %d/%d", train.Len(), test.Len())
+	}
+	joined := train.Append(test)
+	if joined.Len() != 100 {
+		t.Errorf("append len %d", joined.Len())
+	}
+	// Append must not alias the receiver.
+	joined.Y[0] = -999
+	if train.Y[0] == -999 {
+		t.Error("Append aliases receiver labels")
+	}
+}
+
+// TestTrainRejectsBadData checks error paths.
+func TestTrainRejectsBadData(t *testing.T) {
+	if _, err := Train(Dataset{}, Config{}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+// TestPredictPanicsOnWidth checks the width guard.
+func TestPredictPanicsOnWidth(t *testing.T) {
+	ds := synth(50, 22, func(x []float64) float64 { return 1 })
+	f, _ := Train(ds, Config{NumTrees: 5, Seed: 23})
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on wrong feature width")
+		}
+	}()
+	f.Predict([]float64{1})
+}
+
+// TestConstantLabels checks degenerate training works (single leaf).
+func TestConstantLabels(t *testing.T) {
+	var ds Dataset
+	for i := 0; i < 50; i++ {
+		ds.X = append(ds.X, []float64{float64(i), 0})
+		ds.Y = append(ds.Y, 7)
+	}
+	f, err := Train(ds, Config{NumTrees: 5, Seed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Predict([]float64{25, 0}); got != 7 {
+		t.Errorf("constant-label prediction %v, want 7", got)
+	}
+}
+
+// TestMaxDepthRespected checks the depth bound truncates trees.
+func TestMaxDepthRespected(t *testing.T) {
+	ds := synth(500, 40, func(x []float64) float64 { return x[0]*x[1] + x[2] })
+	shallow, err := Train(ds, Config{NumTrees: 10, MaxDepth: 2, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := Train(ds, Config{NumTrees: 10, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A depth-2 tree has at most 7 nodes; unbounded trees on 500 noisy
+	// rows grow far larger. Compare total node counts via a proxy:
+	// shallow must fit strictly worse in-sample.
+	sp := shallow.PredictBatch(ds.X)
+	dp := deep.PredictBatch(ds.X)
+	var sErr, dErr float64
+	for i := range ds.Y {
+		sErr += (sp[i] - ds.Y[i]) * (sp[i] - ds.Y[i])
+		dErr += (dp[i] - ds.Y[i]) * (dp[i] - ds.Y[i])
+	}
+	if dErr >= sErr {
+		t.Errorf("unbounded trees (sse %.0f) should fit better in-sample than depth-2 (sse %.0f)", dErr, sErr)
+	}
+}
+
+// TestMinLeafRespected checks large MinLeaf smooths predictions: with
+// MinLeaf = n/2 a tree can split at most once.
+func TestMinLeafRespected(t *testing.T) {
+	ds := synth(100, 42, func(x []float64) float64 { return 10 * x[0] })
+	coarse, err := Train(ds, Config{NumTrees: 5, MinLeaf: 50, MinSplit: 100, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With at most one split, there are at most 2 distinct leaf values
+	// per tree, so across 5 trees at most 2^5... in practice predictions
+	// take few distinct values. Check far fewer distinct outputs than
+	// inputs.
+	seen := map[float64]bool{}
+	for _, x := range ds.X {
+		seen[coarse.Predict(x)] = true
+	}
+	if len(seen) > 40 {
+		t.Errorf("%d distinct predictions from heavily constrained trees", len(seen))
+	}
+}

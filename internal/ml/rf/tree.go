@@ -1,0 +1,177 @@
+package rf
+
+import (
+	"math"
+	"sort"
+
+	"github.com/wanify/wanify/internal/simrand"
+)
+
+// node is one node of a CART regression tree. Leaves have feature == -1.
+type node struct {
+	feature   int     // split feature index, or -1 for a leaf
+	threshold float64 // go left when x[feature] <= threshold
+	value     float64 // leaf prediction (mean of training labels)
+	left      int32   // child indices into tree.nodes
+	right     int32
+}
+
+// tree is a CART regression tree grown by variance-reduction splitting.
+// Nodes are stored in a flat slice for cache-friendly prediction.
+type tree struct {
+	nodes []node
+	// featGain accumulates the total impurity (SSE) decrease attributed
+	// to each feature, for feature-importance reporting.
+	featGain []float64
+}
+
+// treeParams are the growth hyperparameters shared by the forest.
+type treeParams struct {
+	maxDepth    int // 0 = unbounded
+	minLeaf     int // minimum samples per leaf
+	minSplit    int // minimum samples to consider splitting
+	maxFeatures int // features sampled per split
+}
+
+// growTree builds a regression tree on the given sample indices.
+func growTree(x [][]float64, y []float64, idx []int, p treeParams, nFeat int, rng *simrand.Source) *tree {
+	t := &tree{featGain: make([]float64, nFeat)}
+	t.build(x, y, idx, p, 0, rng)
+	return t
+}
+
+// build grows the subtree for idx and returns its node index.
+func (t *tree) build(x [][]float64, y []float64, idx []int, p treeParams, depth int, rng *simrand.Source) int32 {
+	self := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{feature: -1, value: meanAt(y, idx)})
+
+	if len(idx) < p.minSplit || (p.maxDepth > 0 && depth >= p.maxDepth) || constantAt(y, idx) {
+		return self
+	}
+
+	feat, thr, gain, ok := bestSplit(x, y, idx, p, rng)
+	if !ok {
+		return self
+	}
+
+	var left, right []int
+	for _, i := range idx {
+		if x[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < p.minLeaf || len(right) < p.minLeaf {
+		return self
+	}
+
+	t.featGain[feat] += gain
+	l := t.build(x, y, left, p, depth+1, rng)
+	r := t.build(x, y, right, p, depth+1, rng)
+	t.nodes[self].feature = feat
+	t.nodes[self].threshold = thr
+	t.nodes[self].left = l
+	t.nodes[self].right = r
+	return self
+}
+
+// bestSplit searches a random feature subset for the split with maximal
+// SSE reduction, requiring minLeaf samples on both sides.
+func bestSplit(x [][]float64, y []float64, idx []int, p treeParams, rng *simrand.Source) (feat int, thr, gain float64, ok bool) {
+	nFeat := len(x[0])
+	candidates := rng.Perm(nFeat)
+	if p.maxFeatures < nFeat {
+		candidates = candidates[:p.maxFeatures]
+	}
+
+	// Parent SSE.
+	parentMean := meanAt(y, idx)
+	parentSSE := 0.0
+	for _, i := range idx {
+		d := y[i] - parentMean
+		parentSSE += d * d
+	}
+
+	order := make([]int, len(idx))
+	bestGain := 0.0
+	for _, f := range candidates {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return x[order[a]][f] < x[order[b]][f] })
+
+		// Prefix scan: evaluate every boundary between distinct values.
+		var sumL, sumSqL float64
+		sumR, sumSqR := 0.0, 0.0
+		for _, i := range order {
+			sumR += y[i]
+			sumSqR += y[i] * y[i]
+		}
+		n := float64(len(order))
+		for k := 0; k < len(order)-1; k++ {
+			yi := y[order[k]]
+			sumL += yi
+			sumSqL += yi * yi
+			sumR -= yi
+			sumSqR -= yi * yi
+			nl := float64(k + 1)
+			nr := n - nl
+			if int(nl) < p.minLeaf || int(nr) < p.minLeaf {
+				continue
+			}
+			v, vNext := x[order[k]][f], x[order[k+1]][f]
+			if v == vNext {
+				continue // cannot split between equal values
+			}
+			sseL := sumSqL - sumL*sumL/nl
+			sseR := sumSqR - sumR*sumR/nr
+			g := parentSSE - sseL - sseR
+			if g > bestGain {
+				bestGain = g
+				feat = f
+				thr = (v + vNext) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thr, bestGain, ok
+}
+
+// predict walks the tree for one feature vector.
+func (t *tree) predict(x []float64) float64 {
+	ni := int32(0)
+	for {
+		nd := &t.nodes[ni]
+		if nd.feature < 0 {
+			return nd.value
+		}
+		if x[nd.feature] <= nd.threshold {
+			ni = nd.left
+		} else {
+			ni = nd.right
+		}
+	}
+}
+
+func meanAt(y []float64, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, i := range idx {
+		s += y[i]
+	}
+	return s / float64(len(idx))
+}
+
+func constantAt(y []float64, idx []int) bool {
+	if len(idx) == 0 {
+		return true
+	}
+	first := y[idx[0]]
+	for _, i := range idx[1:] {
+		if math.Abs(y[i]-first) > 1e-12 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,245 @@
+package netsim
+
+import "math"
+
+// The rate allocator distributes WAN capacity among active flows by
+// weighted progressive filling (water-filling). It captures how TCP
+// shares a bottleneck in practice rather than ideal max-min fairness:
+//
+//   - A flow's weight is conns/RTT^RTTBiasExp: more parallel
+//     connections claim proportionally more, and short-RTT connections
+//     out-compete long-RTT ones (the bias WANify's heterogeneous
+//     connections exist to counteract).
+//   - A flow can never exceed conns × perConnCap(src,dst) — the window
+//     and path-quality limit of each connection — scaled by the link's
+//     fluctuation factor, the receiver's memory pressure, and the
+//     sender's CPU load.
+//   - Per-VM egress/ingress capacities (degraded past the congestion
+//     knee) and per-DC-pair `tc` limits are shared resources.
+//
+// Water-filling raises every unfrozen flow's rate in proportion to its
+// weight until some resource saturates; flows crossing a saturated
+// resource freeze; repeat until all flows freeze.
+
+// resKind distinguishes allocator resource types (for retransmission
+// attribution).
+type resKind uint8
+
+const (
+	resEgress resKind = iota
+	resIngress
+	resPairLimit
+	resFlowCap
+)
+
+type resource struct {
+	kind resKind
+	vm   VMID // for egress/ingress
+	cap  float64
+	used float64
+	// flows using this resource (indices into the allocator flow list)
+	members []int
+}
+
+// ensureAllocated recomputes flow rates if anything changed.
+func (s *Sim) ensureAllocated() {
+	if !s.allocDirty {
+		return
+	}
+	s.allocDirty = false
+	s.allocate()
+}
+
+func (s *Sim) allocate() {
+	nf := len(s.flows)
+	if nf == 0 {
+		for _, v := range s.vms {
+			v.lastRetrans = 0
+		}
+		return
+	}
+
+	// Congestion factor per VM: effective capacity degrades once the
+	// total connection count passes the knee.
+	congFactor := make([]float64, len(s.vms))
+	totalConns := make([]int, len(s.vms))
+	for _, f := range s.flows {
+		totalConns[f.src] += f.conns
+		totalConns[f.dst] += f.conns
+	}
+	for i := range s.vms {
+		over := float64(totalConns[i] - s.cfg.CongestionKnee)
+		if over < 0 {
+			over = 0
+		}
+		congFactor[i] = 1 / (1 + s.cfg.CongestionSlope*over)
+	}
+
+	// Build resources.
+	var resources []resource
+	egressIdx := make([]int, len(s.vms))
+	ingressIdx := make([]int, len(s.vms))
+	for i, v := range s.vms {
+		egressIdx[i] = len(resources)
+		resources = append(resources, resource{kind: resEgress, vm: v.id, cap: v.spec.EgressMbps * congFactor[i]})
+		ingressIdx[i] = len(resources)
+		resources = append(resources, resource{kind: resIngress, vm: v.id, cap: v.spec.IngressMbps * congFactor[i]})
+	}
+	pairIdx := make(map[[2]int]int)
+	for pair, limit := range s.pairLimits {
+		pairIdx[pair] = -1
+		_ = limit
+	}
+
+	weights := make([]float64, nf)
+	flowRes := make([][]int, nf) // resource indices per flow
+	for fi, f := range s.flows {
+		srcDC, dstDC := s.vms[f.src].dc, s.vms[f.dst].dc
+		fluct := 1.0
+		if p := s.fluct[srcDC][dstDC]; p != nil {
+			fluct = p.factor()
+		}
+		memF := memFactor(s.memUtil(f.dst))
+		cpuF := cpuFactor(s.vms[f.src].cpuLoad)
+		capF := float64(f.conns) * s.perConnBase[srcDC][dstDC] * fluct * memF * cpuF * s.rampFactor(f)
+		// Per-flow cap resource.
+		capRes := len(resources)
+		resources = append(resources, resource{kind: resFlowCap, cap: capF})
+
+		rtt := s.rttSec[srcDC][dstDC]
+		if rtt <= 0 {
+			rtt = 1e-3
+		}
+		weights[fi] = float64(f.conns) / math.Pow(rtt, s.cfg.RTTBiasExp)
+
+		rs := []int{egressIdx[f.src], ingressIdx[f.dst], capRes}
+		if _, limited := s.pairLimits[[2]int{srcDC, dstDC}]; limited {
+			idx, ok := pairIdx[[2]int{srcDC, dstDC}]
+			if !ok || idx < 0 {
+				idx = len(resources)
+				resources = append(resources, resource{kind: resPairLimit, cap: s.pairLimits[[2]int{srcDC, dstDC}]})
+				pairIdx[[2]int{srcDC, dstDC}] = idx
+			}
+			rs = append(rs, idx)
+		}
+		flowRes[fi] = rs
+	}
+	for fi, rs := range flowRes {
+		for _, r := range rs {
+			resources[r].members = append(resources[r].members, fi)
+		}
+	}
+
+	// Progressive filling.
+	rates := make([]float64, nf)
+	frozen := make([]bool, nf)
+	avail := make([]float64, len(resources))
+	for i := range resources {
+		avail[i] = resources[i].cap
+	}
+	remaining := nf
+	const eps = 1e-9
+	for remaining > 0 {
+		// Weight sums per resource over unfrozen members.
+		theta := math.Inf(1)
+		for ri := range resources {
+			sumW := 0.0
+			for _, fi := range resources[ri].members {
+				if !frozen[fi] {
+					sumW += weights[fi]
+				}
+			}
+			if sumW > 0 {
+				if t := avail[ri] / sumW; t < theta {
+					theta = t
+				}
+			}
+		}
+		if math.IsInf(theta, 1) {
+			break
+		}
+		if theta < 0 {
+			theta = 0
+		}
+		// Raise the water level.
+		for fi := range rates {
+			if frozen[fi] {
+				continue
+			}
+			inc := theta * weights[fi]
+			rates[fi] += inc
+			for _, ri := range flowRes[fi] {
+				avail[ri] -= inc
+			}
+		}
+		// Freeze flows on exhausted resources.
+		frozeAny := false
+		for ri := range resources {
+			if avail[ri] > eps*math.Max(1, resources[ri].cap) {
+				continue
+			}
+			for _, fi := range resources[ri].members {
+				if !frozen[fi] {
+					frozen[fi] = true
+					remaining--
+					frozeAny = true
+				}
+			}
+		}
+		if !frozeAny {
+			// Numerical stall: freeze everything to guarantee progress.
+			for fi := range frozen {
+				if !frozen[fi] {
+					frozen[fi] = true
+					remaining--
+				}
+			}
+		}
+	}
+	for fi, f := range s.flows {
+		f.rate = rates[fi]
+	}
+
+	// Retransmission rates: attribute overload pressure at each VM
+	// resource to that VM, proportional to how much demand (per-flow
+	// caps) exceeds effective capacity.
+	for _, v := range s.vms {
+		v.lastRetrans = 0
+	}
+	for ri := range resources {
+		r := &resources[ri]
+		if r.kind != resEgress && r.kind != resIngress {
+			continue
+		}
+		demand := 0.0
+		conns := 0
+		for _, fi := range r.members {
+			demand += resources[flowRes[fi][2]].cap // the flow's own cap resource
+			conns += s.flows[fi].conns
+		}
+		if r.cap <= 0 {
+			continue
+		}
+		pressure := demand/r.cap - 1
+		if pressure > 0 {
+			s.vms[r.vm].lastRetrans += 2.0 * pressure * float64(conns)
+		}
+	}
+}
+
+// memFactor degrades per-connection throughput when the receiver runs
+// out of buffer headroom (the paper's observation that "each connection
+// requires a memory buffer, affecting runtime BW" [17]).
+func memFactor(memUtil float64) float64 {
+	if memUtil <= 0.85 {
+		return 1
+	}
+	f := 1 - (memUtil-0.85)*2.5
+	return math.Max(0.4, f)
+}
+
+// cpuFactor degrades sending rate under CPU pressure (sender-limited
+// TCP; feature Ci of Table 3 exists because of this coupling).
+func cpuFactor(cpuLoad float64) float64 {
+	return 1 - 0.25*cpuLoad*cpuLoad
+}

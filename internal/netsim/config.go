@@ -1,0 +1,173 @@
+// Package netsim is the WAN substrate of the WANify reproduction: a
+// deterministic fluid-flow simulator of wide-area traffic between
+// geo-distributed data centers.
+//
+// It stands in for the paper's AWS VPC testbed and models exactly the
+// three mechanisms WANify exploits:
+//
+//  1. Per-connection WAN throughput decays with distance. A single TCP
+//     connection between nearby regions achieves far more than between
+//     distant ones (the paper's 1700 Mbps US East↔US West vs 121 Mbps
+//     US East↔AP SE anchors, §1).
+//  2. Concurrent transfers contend with an RTT bias: when flows share a
+//     VM's WAN capacity, short-RTT connections take a super-linear
+//     share, so "nearby DCs occupy most of the available network"
+//     (§2.2, Fig. 2(b)).
+//  3. Parallel connections scale a flow's achievable bandwidth roughly
+//     linearly (§3.2.1) until VM NIC caps, memory pressure, or the
+//     congestion knee bind (">8 connections stopped helping", §2.2).
+//
+// The simulator is event-driven and fully deterministic for a given
+// seed. All bandwidth values are in Mbps; sizes in bytes; time in
+// (simulated) seconds.
+package netsim
+
+import (
+	"github.com/wanify/wanify/internal/geo"
+)
+
+// VMSpec describes the network-relevant shape of a virtual machine.
+type VMSpec struct {
+	// Type is a descriptive instance type name, e.g. "t2.medium".
+	Type string
+	// EgressMbps is the sustained WAN egress capacity.
+	EgressMbps float64
+	// IngressMbps is the sustained WAN ingress capacity.
+	IngressMbps float64
+	// MemGB is the instance memory; parallel connections consume
+	// buffer space out of it (the paper's Md feature, Table 3).
+	MemGB float64
+	// ComputeRate is the relative task-processing rate (1.0 = one
+	// t2.medium vCPU pair). Used by the analytics engine.
+	ComputeRate float64
+	// VCPUs is the vCPU count, used for burst-surcharge pricing (the
+	// paper adds $0.05 per vCPU-hour for unlimited CPU bursts, §5.1).
+	VCPUs int
+	// HourlyUSD is the on-demand instance price, used by the cost model.
+	HourlyUSD float64
+}
+
+// Predefined instance shapes used across the paper's experiments.
+// Capacities are calibrated so the paper's anchor bandwidths reproduce
+// (see DESIGN.md §2): WAN caps are roughly half of peak NIC rate, as
+// the paper notes for m5.large ("10 Gbps NIC, WAN throttled to half").
+var (
+	// T2Medium hosts Spark workers in the paper's evaluation.
+	T2Medium = VMSpec{Type: "t2.medium", EgressMbps: 2400, IngressMbps: 2800, MemGB: 4, ComputeRate: 1.0, VCPUs: 2, HourlyUSD: 0.0464}
+	// T2Large hosts the Spark master.
+	T2Large = VMSpec{Type: "t2.large", EgressMbps: 3000, IngressMbps: 3400, MemGB: 8, ComputeRate: 1.2, VCPUs: 2, HourlyUSD: 0.0928}
+	// T3Nano (unlimited burst) runs the bandwidth-monitoring probes.
+	T3Nano = VMSpec{Type: "t3.nano", EgressMbps: 1000, IngressMbps: 1100, MemGB: 0.5, ComputeRate: 0.25, VCPUs: 2, HourlyUSD: 0.0052}
+	// E2Medium is the GCP instance used in the multi-cloud check (§5.8.3).
+	E2Medium = VMSpec{Type: "e2-medium", EgressMbps: 2200, IngressMbps: 2600, MemGB: 4, ComputeRate: 0.95, VCPUs: 2, HourlyUSD: 0.0335}
+)
+
+// Config configures a Sim. Zero-valued physics knobs take the defaults
+// listed on each field (applied by NewSim).
+type Config struct {
+	// Regions lists the data centers in cluster order.
+	Regions []geo.Region
+	// VMs lists the virtual machines per DC; VMs[i] are the machines in
+	// Regions[i]. Every DC must have at least one VM.
+	VMs [][]VMSpec
+	// Seed feeds all stochastic processes. The same seed reproduces the
+	// same network weather.
+	Seed uint64
+
+	// PerConnRefMbps is the single-connection throughput at the
+	// reference distance (default 1700, the paper's US East↔US West).
+	PerConnRefMbps float64
+	// PerConnRefKm is the reference distance (default: the haversine
+	// US East↔US West distance, ≈3877 km).
+	PerConnRefKm float64
+	// PerConnExp is the distance-decay exponent of per-connection
+	// throughput (default 1.9; reproduces the paper's 121 Mbps
+	// US East↔AP SE anchor within 2%).
+	PerConnExp float64
+	// MinPathKm floors the effective path distance so nearby DCs do not
+	// get unbounded per-connection caps (default 500).
+	MinPathKm float64
+	// RTTBiasExp is the exponent of the RTT bias in contention shares:
+	// a connection's weight is 1/RTT^RTTBiasExp (default 1.5, between
+	// ACK-clocking (1) and loss-synchronized (2) regimes).
+	RTTBiasExp float64
+
+	// FluctSigma is the volatility of the per-link Ornstein–Uhlenbeck
+	// bandwidth factor (default 0.13, which yields a stable-runtime-BW
+	// standard deviation near the ~184 Mbps the paper reports for its
+	// collected datasets, §5.1).
+	FluctSigma float64
+	// FluctTheta is the mean-reversion rate of the factor per second
+	// (default 0.25).
+	FluctTheta float64
+	// SpikeProbPerSec is the per-second probability that a link enters
+	// a transient degradation episode (default 0.002).
+	SpikeProbPerSec float64
+	// SpikeMeanDurS is the mean duration of a degradation episode in
+	// seconds (default 30).
+	SpikeMeanDurS float64
+
+	// CongestionKnee is the per-VM total connection count beyond which
+	// effective NIC capacity degrades (default 24).
+	CongestionKnee int
+	// CongestionSlope is the capacity degradation per connection beyond
+	// the knee (default 0.045). This is what makes blind uniform
+	// parallelism (WANify-P) lose to AIMD-managed pools: 8 connections
+	// to every peer drives a VM far past the knee (§5.3.1).
+	CongestionSlope float64
+	// BufferMBPerConn is the memory each connection's socket buffers
+	// consume (default 3 MB), feeding the Md feature.
+	BufferMBPerConn float64
+
+	// RampRTTs models TCP slow start: a new flow's per-connection cap
+	// ramps to full over roughly RampRTTs round trips (default 4).
+	// Opening parallel connections shortens the ramp (aggregate initial
+	// window grows with the connection count), which is part of why
+	// parallel connections help small WAN transfers.
+	RampRTTs float64
+	// RampMinFactor is the cap fraction at flow start (default 0.35).
+	RampMinFactor float64
+
+	// Frozen disables link fluctuation and degradation episodes,
+	// giving a perfectly stable network. Useful in unit tests.
+	Frozen bool
+}
+
+// withDefaults returns a copy of c with zero physics knobs replaced by
+// their documented defaults.
+func (c Config) withDefaults() Config {
+	def := func(v *float64, d float64) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&c.PerConnRefMbps, 1700)
+	if c.PerConnRefKm == 0 {
+		c.PerConnRefKm = geo.DistanceKm(geo.USEast, geo.USWest)
+	}
+	def(&c.PerConnExp, 1.9)
+	def(&c.MinPathKm, 500)
+	def(&c.RTTBiasExp, 1.5)
+	def(&c.FluctSigma, 0.13)
+	def(&c.FluctTheta, 0.25)
+	def(&c.SpikeProbPerSec, 0.002)
+	def(&c.SpikeMeanDurS, 30)
+	if c.CongestionKnee == 0 {
+		c.CongestionKnee = 24
+	}
+	def(&c.CongestionSlope, 0.045)
+	def(&c.BufferMBPerConn, 3)
+	def(&c.RampRTTs, 4)
+	def(&c.RampMinFactor, 0.35)
+	return c
+}
+
+// UniformCluster returns a Config with one VM of the given spec in each
+// region — the paper's default deployment (1 worker per DC).
+func UniformCluster(regions []geo.Region, spec VMSpec, seed uint64) Config {
+	vms := make([][]VMSpec, len(regions))
+	for i := range vms {
+		vms[i] = []VMSpec{spec}
+	}
+	return Config{Regions: regions, VMs: vms, Seed: seed}
+}

@@ -1,0 +1,124 @@
+package netsim
+
+import "math"
+
+// VMID identifies a virtual machine within a Sim.
+type VMID int
+
+// FlowID identifies a flow within a Sim.
+type FlowID int
+
+// Flow is an active WAN transfer between two VMs. A flow aggregates all
+// parallel connections a sender maintains toward one receiver; the
+// Conns count is the paper's per-pair connection number (§2.3).
+//
+// A flow with unbounded size (see StartProbe) runs until stopped and is
+// used by measurement tools; a sized flow completes when its bytes have
+// been delivered.
+type Flow struct {
+	id    FlowID
+	src   VMID
+	dst   VMID
+	conns int
+
+	remainingBits float64 // +Inf for probes
+	sentBits      float64 // cumulative
+	rate          float64 // current allocation, Mbps
+	done          bool
+	stopped       bool
+
+	startedAt float64 // sim time the flow was created
+	rampS     float64 // slow-start ramp duration (0 = instant)
+
+	onDone func()
+
+	sim *Sim
+}
+
+// ID returns the flow's identifier.
+func (f *Flow) ID() FlowID { return f.id }
+
+// Src returns the sending VM.
+func (f *Flow) Src() VMID { return f.src }
+
+// Dst returns the receiving VM.
+func (f *Flow) Dst() VMID { return f.dst }
+
+// Conns returns the current number of parallel connections.
+func (f *Flow) Conns() int { return f.conns }
+
+// SetConns changes the number of parallel connections. The Connections
+// Manager of a WANify local agent calls this when the AIMD optimizer
+// adds or removes connections. n is clamped to at least 1.
+func (f *Flow) SetConns(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n == f.conns {
+		return
+	}
+	f.sim.syncProgress()
+	f.conns = n
+	f.sim.invalidate()
+}
+
+// Rate returns the currently allocated rate in Mbps.
+func (f *Flow) Rate() float64 {
+	f.sim.ensureAllocated()
+	return f.rate
+}
+
+// TransferredBytes returns the cumulative bytes delivered so far.
+func (f *Flow) TransferredBytes() float64 {
+	f.sim.syncProgress()
+	return f.sentBits / 8
+}
+
+// RemainingBytes returns the bytes still to deliver (+Inf for probes).
+func (f *Flow) RemainingBytes() float64 {
+	f.sim.syncProgress()
+	return f.remainingBits / 8
+}
+
+// Done reports whether the flow has completed or been stopped.
+func (f *Flow) Done() bool { return f.done }
+
+// Probe reports whether this is an unbounded measurement flow.
+func (f *Flow) Probe() bool { return math.IsInf(f.remainingBits, 1) }
+
+// Stop terminates the flow immediately (probe tear-down or cancelled
+// transfer). Remaining bytes are not delivered.
+func (f *Flow) Stop() {
+	if f.done {
+		return
+	}
+	f.sim.syncProgress()
+	f.stopped = true
+	f.sim.finishFlow(f)
+}
+
+// vm is the internal VM state.
+type vm struct {
+	id   VMID
+	dc   int
+	spec VMSpec
+
+	cpuLoad      float64 // [0,1], set by the compute engine
+	retransAccum float64 // cumulative retransmission events
+	lastRetrans  float64 // retrans rate per second, from last allocation
+}
+
+// VMStats is a snapshot of a VM's host-level metrics, the sources of
+// the paper's Table 3 features (Md, Ci, Nr).
+type VMStats struct {
+	// CPULoad is the current CPU utilization in [0, 1] (feature Ci).
+	CPULoad float64
+	// MemUtil is the current memory utilization in [0, 1], including
+	// per-connection socket buffers (feature Md).
+	MemUtil float64
+	// RetransPerSec is the current TCP retransmission rate (feature Nr).
+	RetransPerSec float64
+	// ActiveConns is the total number of connections terminating at
+	// this VM (both directions).
+	ActiveConns int
+}

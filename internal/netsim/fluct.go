@@ -1,0 +1,69 @@
+package netsim
+
+import (
+	"math"
+
+	"github.com/wanify/wanify/internal/simrand"
+)
+
+// ouProcess is a mean-reverting (Ornstein–Uhlenbeck) process on the log
+// of a per-link bandwidth factor, plus an occasional multiplicative
+// degradation episode. It models the paper's "fluctuating BWs" [38]:
+// links drift around their nominal capacity on the scale of minutes,
+// with rare sharper dips (routing events, cross-traffic bursts).
+type ouProcess struct {
+	rng   *simrand.Source
+	theta float64 // mean reversion per second
+	sigma float64 // volatility per sqrt(second)
+
+	x float64 // current log-factor
+
+	spikeProb    float64 // per-second episode probability
+	spikeMeanDur float64 // seconds
+	spikeUntil   float64 // sim time the current episode ends
+	spikeDepth   float64 // multiplicative factor during the episode
+}
+
+func newOUProcess(rng *simrand.Source, theta, sigma, spikeProb, spikeMeanDur float64) *ouProcess {
+	p := &ouProcess{
+		rng:          rng,
+		theta:        theta,
+		sigma:        sigma,
+		spikeProb:    spikeProb,
+		spikeMeanDur: spikeMeanDur,
+		spikeDepth:   1,
+	}
+	// Start from the stationary distribution so early samples are not
+	// biased toward factor == 1.
+	sd := sigma / math.Sqrt(2*theta)
+	p.x = rng.Norm(0, sd)
+	return p
+}
+
+// advance steps the process by dt seconds ending at sim time now.
+func (p *ouProcess) advance(now, dt float64) {
+	if dt <= 0 {
+		return
+	}
+	p.x += p.theta*(0-p.x)*dt + p.sigma*math.Sqrt(dt)*p.rng.Norm(0, 1)
+	// Clamp the log-factor so a pathological random walk cannot produce
+	// absurd capacities (factor stays within [e^-1.2, e^+1.2] ≈ [0.3, 3.3]).
+	if p.x > 1.2 {
+		p.x = 1.2
+	}
+	if p.x < -1.2 {
+		p.x = -1.2
+	}
+	if now >= p.spikeUntil {
+		p.spikeDepth = 1
+		if p.rng.Bool(p.spikeProb * dt) {
+			p.spikeDepth = p.rng.Uniform(0.3, 0.7)
+			p.spikeUntil = now + p.rng.Exp(p.spikeMeanDur)
+		}
+	}
+}
+
+// factor returns the current multiplicative bandwidth factor.
+func (p *ouProcess) factor() float64 {
+	return math.Exp(p.x) * p.spikeDepth
+}

@@ -1,0 +1,525 @@
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/wanify/wanify/internal/geo"
+	"github.com/wanify/wanify/internal/simrand"
+)
+
+// Sim is a deterministic event-driven fluid simulator of WAN traffic
+// among geo-distributed data centers. See the package comment for the
+// model; see Config for the knobs.
+//
+// Sim is not safe for concurrent use: the analytics engine, agents and
+// probes all run inside the single simulated timeline.
+type Sim struct {
+	cfg     Config
+	regions []geo.Region
+
+	vms     []*vm
+	vmsOfDC [][]VMID
+
+	// Pairwise physics, indexed [srcDC][dstDC].
+	perConnBase [][]float64 // Mbps per connection at nominal conditions
+	rttSec      [][]float64
+	distKm      [][]float64
+	fluct       [][]*ouProcess
+
+	pairLimits map[[2]int]float64 // simulated `tc` rate limits, Mbps
+
+	flows      []*Flow // active flows, in start order
+	nextFlowID FlowID
+
+	now        float64
+	timers     timerHeap
+	timerSeq   int64
+	fluctEvery float64 // seconds between fluctuation steps
+
+	allocDirty bool
+
+	rng *simrand.Source
+}
+
+// NewSim builds a simulator from the given configuration.
+func NewSim(cfg Config) *Sim {
+	cfg = cfg.withDefaults()
+	if len(cfg.Regions) == 0 {
+		panic("netsim: config has no regions")
+	}
+	if len(cfg.VMs) != len(cfg.Regions) {
+		panic(fmt.Sprintf("netsim: VMs for %d DCs but %d regions", len(cfg.VMs), len(cfg.Regions)))
+	}
+	s := &Sim{
+		cfg:        cfg,
+		regions:    append([]geo.Region(nil), cfg.Regions...),
+		pairLimits: make(map[[2]int]float64),
+		fluctEvery: 1.0,
+		allocDirty: true,
+		rng:        simrand.Derive(cfg.Seed, "netsim"),
+	}
+	n := len(cfg.Regions)
+	s.vmsOfDC = make([][]VMID, n)
+	for dc, specs := range cfg.VMs {
+		if len(specs) == 0 {
+			panic(fmt.Sprintf("netsim: DC %d (%s) has no VMs", dc, cfg.Regions[dc].Name))
+		}
+		for _, spec := range specs {
+			id := VMID(len(s.vms))
+			s.vms = append(s.vms, &vm{id: id, dc: dc, spec: spec})
+			s.vmsOfDC[dc] = append(s.vmsOfDC[dc], id)
+		}
+	}
+	a := cfg.PerConnRefMbps * math.Pow(cfg.PerConnRefKm, cfg.PerConnExp)
+	s.perConnBase = make([][]float64, n)
+	s.rttSec = make([][]float64, n)
+	s.distKm = make([][]float64, n)
+	s.fluct = make([][]*ouProcess, n)
+	for i := 0; i < n; i++ {
+		s.perConnBase[i] = make([]float64, n)
+		s.rttSec[i] = make([]float64, n)
+		s.distKm[i] = make([]float64, n)
+		s.fluct[i] = make([]*ouProcess, n)
+		for j := 0; j < n; j++ {
+			d := geo.DistanceKm(cfg.Regions[i], cfg.Regions[j])
+			s.distKm[i][j] = d
+			eff := math.Max(d, cfg.MinPathKm)
+			s.perConnBase[i][j] = a / math.Pow(eff, cfg.PerConnExp)
+			s.rttSec[i][j] = geo.RTT(cfg.Regions[i], cfg.Regions[j]).Seconds()
+			if i != j && !cfg.Frozen {
+				// Frozen networks have no fluctuation processes at all:
+				// factor is exactly 1 everywhere, forever.
+				s.fluct[i][j] = newOUProcess(
+					s.rng.Derive(fmt.Sprintf("fluct/%d/%d", i, j)),
+					cfg.FluctTheta, cfg.FluctSigma, cfg.SpikeProbPerSec, cfg.SpikeMeanDurS)
+			}
+		}
+	}
+	if !cfg.Frozen {
+		s.scheduleFluct()
+	}
+	return s
+}
+
+// scheduleFluct installs the recurring fluctuation step.
+func (s *Sim) scheduleFluct() {
+	var step func(now float64)
+	step = func(now float64) {
+		for i := range s.fluct {
+			for j := range s.fluct[i] {
+				if s.fluct[i][j] != nil {
+					s.fluct[i][j].advance(now, s.fluctEvery)
+				}
+			}
+		}
+		s.invalidate()
+		s.at(now+s.fluctEvery, step)
+	}
+	s.at(s.now+s.fluctEvery, step)
+}
+
+// --- topology accessors ---
+
+// NumDCs returns the number of data centers.
+func (s *Sim) NumDCs() int { return len(s.regions) }
+
+// NumVMs returns the total number of virtual machines.
+func (s *Sim) NumVMs() int { return len(s.vms) }
+
+// Regions returns the simulated regions in cluster order.
+func (s *Sim) Regions() []geo.Region { return s.regions }
+
+// VMsOfDC returns the VM ids hosted in the given DC.
+func (s *Sim) VMsOfDC(dc int) []VMID { return s.vmsOfDC[dc] }
+
+// FirstVMOfDC returns the first (primary) VM of a DC.
+func (s *Sim) FirstVMOfDC(dc int) VMID { return s.vmsOfDC[dc][0] }
+
+// DCOf returns the DC index hosting the given VM.
+func (s *Sim) DCOf(id VMID) int { return s.vms[id].dc }
+
+// Spec returns the VMSpec of the given VM.
+func (s *Sim) Spec(id VMID) VMSpec { return s.vms[id].spec }
+
+// DistanceKm returns the great-circle distance between two DCs.
+func (s *Sim) DistanceKm(i, j int) float64 { return s.distKm[i][j] }
+
+// RTTSeconds returns the modelled round-trip time between two DCs.
+func (s *Sim) RTTSeconds(i, j int) float64 { return s.rttSec[i][j] }
+
+// PerConnCapMbps returns the nominal (fluctuation-free) single
+// connection throughput cap between two DCs.
+func (s *Sim) PerConnCapMbps(i, j int) float64 { return s.perConnBase[i][j] }
+
+// Now returns the current simulated time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// --- host metrics ---
+
+// SetCPULoad sets a VM's CPU utilization in [0, 1]. The analytics
+// engine calls this while tasks execute; high CPU load slightly
+// degrades achievable sending rate (sender-limited TCP).
+func (s *Sim) SetCPULoad(id VMID, load float64) {
+	load = math.Max(0, math.Min(1, load))
+	if s.vms[id].cpuLoad == load {
+		return
+	}
+	s.vms[id].cpuLoad = load
+	s.invalidate()
+}
+
+// connsAt returns the total connections terminating at the VM.
+func (s *Sim) connsAt(id VMID) int {
+	total := 0
+	for _, f := range s.flows {
+		if f.src == id || f.dst == id {
+			total += f.conns
+		}
+	}
+	return total
+}
+
+// memUtil returns the VM's memory utilization including connection
+// buffers (feature Md).
+func (s *Sim) memUtil(id VMID) float64 {
+	v := s.vms[id]
+	base := 0.20 + 0.25*v.cpuLoad // resident engine + task working set
+	buf := float64(s.connsAt(id)) * s.cfg.BufferMBPerConn / (v.spec.MemGB * 1024)
+	return math.Min(1, base+buf)
+}
+
+// VMStats returns the current host metrics of a VM.
+func (s *Sim) VMStats(id VMID) VMStats {
+	s.ensureAllocated()
+	v := s.vms[id]
+	return VMStats{
+		CPULoad:       v.cpuLoad,
+		MemUtil:       s.memUtil(id),
+		RetransPerSec: v.lastRetrans,
+		ActiveConns:   s.connsAt(id),
+	}
+}
+
+// --- traffic control ---
+
+// SetPairLimit installs a rate limit (simulated `tc`) on all traffic
+// from srcDC to dstDC, in Mbps. WANify's local agents use this to
+// throttle BW-rich links (§3.2.2).
+func (s *Sim) SetPairLimit(srcDC, dstDC int, mbps float64) {
+	s.pairLimits[[2]int{srcDC, dstDC}] = mbps
+	s.invalidate()
+}
+
+// ClearPairLimit removes a pair rate limit.
+func (s *Sim) ClearPairLimit(srcDC, dstDC int) {
+	delete(s.pairLimits, [2]int{srcDC, dstDC})
+	s.invalidate()
+}
+
+// ClearAllPairLimits removes every pair rate limit.
+func (s *Sim) ClearAllPairLimits() {
+	if len(s.pairLimits) == 0 {
+		return
+	}
+	s.pairLimits = make(map[[2]int]float64)
+	s.invalidate()
+}
+
+// --- flows ---
+
+// StartFlow starts a sized transfer of the given bytes from src to dst
+// using conns parallel connections. onDone, if non-nil, fires when the
+// transfer completes (not when it is stopped early).
+func (s *Sim) StartFlow(src, dst VMID, conns int, bytes float64, onDone func()) *Flow {
+	if src == dst {
+		panic("netsim: flow src == dst")
+	}
+	if conns < 1 {
+		conns = 1
+	}
+	if bytes <= 0 {
+		panic("netsim: StartFlow needs positive size; use StartProbe for unbounded flows")
+	}
+	return s.addFlow(src, dst, conns, bytes*8, onDone)
+}
+
+// StartProbe starts an unbounded measurement flow (iPerf-style) that
+// runs until stopped.
+func (s *Sim) StartProbe(src, dst VMID, conns int) *Flow {
+	if src == dst {
+		panic("netsim: probe src == dst")
+	}
+	if conns < 1 {
+		conns = 1
+	}
+	return s.addFlow(src, dst, conns, math.Inf(1), nil)
+}
+
+func (s *Sim) addFlow(src, dst VMID, conns int, bits float64, onDone func()) *Flow {
+	f := &Flow{
+		id:            s.nextFlowID,
+		src:           src,
+		dst:           dst,
+		conns:         conns,
+		remainingBits: bits,
+		sim:           s,
+		onDone:        onDone,
+		startedAt:     s.now,
+	}
+	s.nextFlowID++
+
+	// TCP slow start: the flow's cap ramps up over a few RTTs; more
+	// parallel connections shorten the ramp (larger aggregate initial
+	// window). The ramp is quantized into three cap levels, so we
+	// schedule re-allocations at the level boundaries.
+	srcDC, dstDC := s.vms[src].dc, s.vms[dst].dc
+	rtt := s.rttSec[srcDC][dstDC]
+	f.rampS = s.cfg.RampRTTs * rtt / (1 + math.Log2(float64(conns)))
+	if f.rampS > 0 {
+		for _, frac := range []float64{1.0 / 3, 2.0 / 3, 1} {
+			s.at(s.now+f.rampS*frac, func(float64) {
+				if !f.done {
+					s.invalidate()
+				}
+			})
+		}
+	}
+
+	s.flows = append(s.flows, f)
+	s.invalidate()
+	return f
+}
+
+// rampFactor returns the slow-start cap fraction for a flow at the
+// current sim time: three quantized steps from RampMinFactor to 1.
+func (s *Sim) rampFactor(f *Flow) float64 {
+	if f.rampS <= 0 {
+		return 1
+	}
+	age := s.now - f.startedAt
+	progress := age / f.rampS
+	min := s.cfg.RampMinFactor
+	// The level boundaries are scheduled as timers at exactly these
+	// progress fractions; tolerate float round-off so the flow cannot
+	// get stuck one epsilon below a level with no further event coming.
+	const eps = 1e-9
+	switch {
+	case progress >= 1-eps:
+		return 1
+	case progress >= 2.0/3-eps:
+		return min + (1-min)*0.75
+	case progress >= 1.0/3-eps:
+		return min + (1-min)*0.45
+	default:
+		return min
+	}
+}
+
+// finishFlow removes a flow from the active set.
+func (s *Sim) finishFlow(f *Flow) {
+	if f.done {
+		return
+	}
+	f.done = true
+	f.rate = 0
+	for i, g := range s.flows {
+		if g == f {
+			s.flows = append(s.flows[:i], s.flows[i+1:]...)
+			break
+		}
+	}
+	s.invalidate()
+	if !f.stopped && f.onDone != nil {
+		f.onDone()
+	}
+}
+
+// ActiveFlows returns the number of currently active flows.
+func (s *Sim) ActiveFlows() int { return len(s.flows) }
+
+// PairRate returns the current aggregate rate (Mbps) of all active
+// flows from srcDC to dstDC.
+func (s *Sim) PairRate(srcDC, dstDC int) float64 {
+	s.ensureAllocated()
+	total := 0.0
+	for _, f := range s.flows {
+		if s.vms[f.src].dc == srcDC && s.vms[f.dst].dc == dstDC {
+			total += f.rate
+		}
+	}
+	return total
+}
+
+// --- timers and the event loop ---
+
+type timerEvent struct {
+	at  float64
+	seq int64
+	fn  func(now float64)
+}
+
+type timerHeap []timerEvent
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(timerEvent)) }
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func (s *Sim) at(t float64, fn func(now float64)) {
+	s.timerSeq++
+	heap.Push(&s.timers, timerEvent{at: t, seq: s.timerSeq, fn: fn})
+}
+
+// After schedules fn to run once, delay seconds from now.
+func (s *Sim) After(delay float64, fn func(now float64)) {
+	s.at(s.now+delay, fn)
+}
+
+// Every schedules fn to run every interval seconds, starting one
+// interval from now. The returned cancel function stops future firings.
+func (s *Sim) Every(interval float64, fn func(now float64)) (cancel func()) {
+	stopped := false
+	var tick func(now float64)
+	tick = func(now float64) {
+		if stopped {
+			return
+		}
+		fn(now)
+		if !stopped {
+			s.at(now+interval, tick)
+		}
+	}
+	s.at(s.now+interval, tick)
+	return func() { stopped = true }
+}
+
+// RunFor advances the simulation by d seconds.
+func (s *Sim) RunFor(d float64) { s.RunUntil(s.now + d) }
+
+// RunUntil advances the simulation until time t.
+func (s *Sim) RunUntil(t float64) {
+	const eps = 1e-9
+	for s.now < t-eps {
+		s.stepOnce(t)
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// stepOnce advances simulated time to the next event (flow completion
+// or timer), bounded by limit, firing due timers. It guarantees
+// progress: when no event precedes limit, time jumps to limit.
+func (s *Sim) stepOnce(limit float64) {
+	const eps = 1e-9
+	s.ensureAllocated()
+
+	next := limit
+	// Earliest sized-flow completion at current rates.
+	for _, f := range s.flows {
+		if f.Probe() || f.rate <= 0 {
+			continue
+		}
+		tc := s.now + f.remainingBits/(f.rate*1e6)
+		if tc < next {
+			next = tc
+		}
+	}
+	// Earliest timer.
+	if len(s.timers) > 0 && s.timers[0].at < next {
+		next = s.timers[0].at
+	}
+	if next < s.now {
+		next = s.now
+	}
+	s.advanceTo(next)
+
+	// Fire all timers due at the new time.
+	for len(s.timers) > 0 && s.timers[0].at <= s.now+eps {
+		ev := heap.Pop(&s.timers).(timerEvent)
+		ev.fn(s.now)
+	}
+}
+
+// advanceTo moves time forward to tNext, crediting flow progress at the
+// current (valid) rates and completing flows that drain.
+func (s *Sim) advanceTo(tNext float64) {
+	dt := tNext - s.now
+	if dt <= 0 {
+		s.now = math.Max(s.now, tNext)
+		return
+	}
+	var completed []*Flow
+	for _, f := range s.flows {
+		bits := f.rate * 1e6 * dt
+		f.sentBits += bits
+		if !f.Probe() {
+			f.remainingBits -= bits
+			if f.remainingBits <= 1 { // sub-bit residue: done
+				f.remainingBits = 0
+				completed = append(completed, f)
+			}
+		}
+	}
+	for _, v := range s.vms {
+		v.retransAccum += v.lastRetrans * dt
+	}
+	s.now = tNext
+	for _, f := range completed {
+		s.finishFlow(f)
+	}
+}
+
+// AwaitFlows runs the simulation until all given flows are done, or
+// until maxWait seconds have elapsed (returning an error in that case).
+// It stops at the exact completion instant of the last flow, so no
+// simulated time is wasted.
+func (s *Sim) AwaitFlows(maxWait float64, flows ...*Flow) error {
+	deadline := s.now + maxWait
+	for {
+		all := true
+		for _, f := range flows {
+			if !f.done {
+				all = false
+				break
+			}
+		}
+		if all {
+			return nil
+		}
+		if s.now >= deadline {
+			return fmt.Errorf("netsim: flows not drained after %.1fs of simulated time", maxWait)
+		}
+		s.stepOnce(deadline)
+	}
+}
+
+// syncProgress is a hook kept for API clarity: all state mutations in
+// the simulator happen at the current instant (timers fire exactly at
+// s.now, and advanceTo credits progress before time moves), so there is
+// never pending progress to flush. It is retained so call sites read as
+// "make sure accounting is current before mutating".
+func (s *Sim) syncProgress() {}
+
+// invalidate marks the rate allocation stale.
+func (s *Sim) invalidate() { s.allocDirty = true }
+
+// RTTOf returns the modelled RTT between two DCs as a time.Duration.
+func (s *Sim) RTTOf(i, j int) time.Duration {
+	return time.Duration(s.rttSec[i][j] * float64(time.Second))
+}

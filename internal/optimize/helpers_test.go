@@ -1,0 +1,9 @@
+package optimize
+
+import "github.com/wanify/wanify/internal/simrand"
+
+// newTestRand adapts arbitrary (possibly negative) quick.Check seeds to
+// a deterministic stream.
+func newTestRand(seed int64) *simrand.Source {
+	return simrand.New(uint64(seed), 0x9e3779b97f4a7c15)
+}

@@ -1,0 +1,363 @@
+// Package optimize implements WANify's static global optimization
+// (§3.2.1): inferring data-center relationships from predicted runtime
+// bandwidths (Algorithm 1) and deriving the optimal range of
+// heterogeneous parallel connections and achievable bandwidths per DC
+// pair (Eq. 2–3), including the heterogeneity adjustments of §3.3 —
+// skewness weights (ws), the refactoring vector (rvec) for multi-cloud
+// deployments, and association/chunking for DCs with multiple VMs.
+//
+// The outputs are the [minCons, maxCons] connection windows and
+// [minBW, maxBW] achievable-bandwidth targets that WANify's local
+// agents fine-tune at runtime (§3.2.2).
+package optimize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/wanify/wanify/internal/bwmatrix"
+)
+
+// DefaultM is the default cap on parallel connections from a reference
+// DC toward one peer. The paper's measurements found no benefit past 8
+// connections per link (§2.2).
+const DefaultM = 8
+
+// DefaultD is the default minimum bandwidth difference (Mbps) for two
+// BW levels to be considered distinct when inferring DC relationships
+// (the worked example in §3.2.1 uses 30).
+const DefaultD = 30.0
+
+// InferDCRelations implements Algorithm 1 (INFER_DC_RELATIONS).
+//
+// Given a runtime bandwidth matrix and the minimum significant
+// difference D, it returns the closeness-index matrix DCrel: 1 for the
+// closest relationship (highest bandwidth level) up to L for the most
+// distant, where L is the number of distinct bandwidth levels after
+// filtering. The input's diagonal participates exactly as written in
+// the paper (callers place an intra-DC bandwidth there; see
+// GlobalOptimize).
+//
+// Note: the paper's pseudocode loops i,j over 1..N/2, but its own
+// worked example assigns closeness to every pair; we iterate all pairs
+// (see DESIGN.md §2, "known paper quirks").
+func InferDCRelations(bw bwmatrix.Matrix, d float64) [][]int {
+	n := bw.N()
+
+	// bwu = sort(set(bw)) — unique bandwidth levels, ascending.
+	seen := make(map[float64]bool)
+	var bwu []float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if !seen[bw[i][j]] {
+				seen[bw[i][j]] = true
+				bwu = append(bwu, bw[i][j])
+			}
+		}
+	}
+	sort.Float64s(bwu)
+
+	// Reverse traversal: drop levels within D of their lower neighbor.
+	for i := len(bwu) - 1; i >= 1; i-- {
+		if bwu[i]-bwu[i-1] < d {
+			bwu = append(bwu[:i], bwu[i+1:]...)
+		}
+	}
+
+	l := len(bwu)
+	rel := make([][]int, n)
+	for i := range rel {
+		rel[i] = make([]int, n)
+		for j := range rel[i] {
+			rel[i][j] = 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := bw[i][j]
+			k := sort.SearchFloat64s(bwu, v)
+			switch {
+			case k < l && bwu[k] == v:
+				// Exact match at (0-based) index k.
+				rel[i][j] = l - k
+			case k == 0:
+				rel[i][j] = l // below the lowest level
+			case k == l:
+				rel[i][j] = 1 // above the highest level
+			default:
+				// Between bwu[k-1] and bwu[k]: pick the nearer level.
+				chosen := k - 1
+				if math.Abs(bwu[k]-v) < math.Abs(v-bwu[k-1]) {
+					chosen = k
+				}
+				rel[i][j] = l - chosen
+			}
+		}
+	}
+	return rel
+}
+
+// Plan is the output of global optimization: the connection window and
+// achievable-bandwidth targets per DC pair (§2.3's two matrices, as
+// ranges), which local agents consume.
+type Plan struct {
+	// DCRel is the closeness-index matrix from Algorithm 1.
+	DCRel [][]int
+	// MinConns and MaxConns bound the heterogeneous connection counts.
+	MinConns, MaxConns bwmatrix.ConnMatrix
+	// MinBW and MaxBW are the corresponding achievable-bandwidth
+	// targets (predicted BW × connections × rvec, Eq. 3).
+	MinBW, MaxBW bwmatrix.Matrix
+}
+
+// Options configures global optimization.
+type Options struct {
+	// M is the maximum parallel connections from a reference DC toward
+	// a peer (default DefaultM).
+	M int
+	// D is the minimum significant bandwidth difference for relation
+	// inference (default DefaultD).
+	D float64
+	// SkewWeights (ws, §3.3.1) holds one weight per DC, proportional to
+	// its share of input data. nil means uniform. Weights are
+	// normalized to mean 1 and applied symmetrically to each pair.
+	SkewWeights []float64
+	// RVec (§3.3.3) is an optional per-pair refactoring matrix for
+	// heterogeneous providers/instance types; nil means all ones.
+	RVec bwmatrix.Matrix
+}
+
+func (o Options) withDefaults() Options {
+	if o.M == 0 {
+		o.M = DefaultM
+	}
+	if o.D == 0 {
+		o.D = DefaultD
+	}
+	return o
+}
+
+// GlobalOptimize derives the optimal connection and bandwidth ranges
+// from a predicted runtime bandwidth matrix (Eq. 2–3).
+//
+// The input matrix carries off-diagonal pairwise bandwidths; its
+// diagonal is replaced by a level strictly above every off-diagonal
+// value (an intra-DC transfer never crosses the WAN), mirroring the
+// paper's example where diagonal entries hold the highest level.
+func GlobalOptimize(pred bwmatrix.Matrix, opts Options) Plan {
+	opts = opts.withDefaults()
+	n := pred.N()
+	if n == 0 {
+		return Plan{}
+	}
+	if opts.SkewWeights != nil && len(opts.SkewWeights) != n {
+		panic(fmt.Sprintf("optimize: %d skew weights for %d DCs", len(opts.SkewWeights), n))
+	}
+	if opts.RVec != nil && opts.RVec.N() != n {
+		panic(fmt.Sprintf("optimize: rvec is %dx%d, want %dx%d", opts.RVec.N(), opts.RVec.N(), n, n))
+	}
+
+	bw := pred.Clone()
+	diag := bw.MaxOffDiagonal()*1.5 + 10*opts.D
+	for i := 0; i < n; i++ {
+		bw[i][i] = diag
+	}
+	rel := InferDCRelations(bw, opts.D)
+
+	// Eq. 2.
+	sumAll := 0
+	maxR := make([]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sumAll += rel[i][j]
+			if rel[i][j] > maxR[i] {
+				maxR[i] = rel[i][j]
+			}
+		}
+	}
+	sumAll -= n // skip closeness index 1 on the diagonal
+
+	ws := normalizedWeights(opts.SkewWeights, n)
+
+	plan := Plan{
+		DCRel:    rel,
+		MinConns: bwmatrix.NewConn(n),
+		MaxConns: bwmatrix.NewConn(n),
+		MinBW:    bwmatrix.New(n),
+		MaxBW:    bwmatrix.New(n),
+	}
+	m := float64(opts.M)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			// Skew weights apply source-side: a data-intensive DC is a
+			// shuffle *source* ("data locality-aware task assignment
+			// creates large-scale intermediate data in skewed DCs,
+			// demanding higher network capacities in shuffle stages",
+			// §3.3.1), so its outgoing links get extra connections.
+			// The boost is one-sided: data-poor DCs keep their plain
+			// window rather than being starved below it — their residual
+			// traffic still needs at least the un-skewed connections,
+			// and the AIMD agents shed any excess at runtime.
+			wsPair := math.Max(1, ws[i])
+			var minC, maxC int
+			if i == j {
+				minC, maxC = 1, 1
+			} else {
+				cand := int(math.Floor(float64(rel[i][j]) / float64(sumAll) * (m - 1)))
+				minC = clampConns(float64(max(cand, 1))*wsPair, opts.M)
+				maxC = clampConns(math.Ceil(m*float64(rel[i][j])/float64(maxR[i]))*wsPair, opts.M)
+				if maxC < minC {
+					maxC = minC
+				}
+			}
+			plan.MinConns[i][j] = minC
+			plan.MaxConns[i][j] = maxC
+			rv := 1.0
+			if opts.RVec != nil {
+				rv = opts.RVec[i][j]
+			}
+			if i != j {
+				plan.MinBW[i][j] = pred[i][j] * float64(minC) * rv
+				plan.MaxBW[i][j] = pred[i][j] * float64(maxC) * rv
+			}
+		}
+	}
+	return plan
+}
+
+// clampConns rounds a (possibly skew-scaled) connection count to an
+// integer in [1, M]: M is the hard per-pair cap ("the maximum parallel
+// connections from a VM in a given DC is limited, and increasing
+// connections beyond this optimal threshold causes performance
+// degradation", §3.2.1), so skew re-allocation redistributes headroom
+// below M rather than stacking connections past the congestion knee.
+func clampConns(v float64, m int) int {
+	c := int(math.Round(v))
+	if c < 1 {
+		c = 1
+	}
+	if c > m {
+		c = m
+	}
+	return c
+}
+
+// normalizedWeights returns ws normalized to mean 1 (uniform when nil
+// or degenerate).
+func normalizedWeights(ws []float64, n int) []float64 {
+	out := make([]float64, n)
+	if ws == nil {
+		for i := range out {
+			out[i] = 1
+		}
+		return out
+	}
+	total := 0.0
+	for _, w := range ws {
+		if w < 0 {
+			w = 0
+		}
+		total += w
+	}
+	if total <= 0 {
+		for i := range out {
+			out[i] = 1
+		}
+		return out
+	}
+	mean := total / float64(n)
+	for i, w := range ws {
+		if w < 0 {
+			w = 0
+		}
+		out[i] = w / mean
+	}
+	return out
+}
+
+// RefactorFromProviders builds the refactoring matrix rvec of §3.3.3
+// for a multi-cloud deployment: the paper observes that bandwidths
+// "between such providers and machine types vary proportionally", so
+// cross-provider pairs are scaled by the geometric mean of the two
+// providers' factors. providerFactor maps provider names (geo.Region
+// Provider values) to their relative WAN efficiency; absent providers
+// default to 1.
+func RefactorFromProviders(providers []string, providerFactor map[string]float64) bwmatrix.Matrix {
+	n := len(providers)
+	f := func(p string) float64 {
+		if v, ok := providerFactor[p]; ok && v > 0 {
+			return v
+		}
+		return 1
+	}
+	out := bwmatrix.New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out[i][j] = math.Sqrt(f(providers[i]) * f(providers[j]))
+		}
+	}
+	return out
+}
+
+// ThrottleThresholds returns, per source DC, the throttling threshold T
+// of §3.2.2: the mean of achievable (max) bandwidths from that DC.
+// Local agents cap links richer than T at T so nearby DCs cannot
+// consume the bulk of the network.
+func ThrottleThresholds(maxBW bwmatrix.Matrix) []float64 {
+	n := maxBW.N()
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum, cnt := 0.0, 0
+		for j := 0; j < n; j++ {
+			if i != j {
+				sum += maxBW[i][j]
+				cnt++
+			}
+		}
+		if cnt > 0 {
+			out[i] = sum / float64(cnt)
+		}
+	}
+	return out
+}
+
+// SplitAcrossVMs distributes a DC-level connection count over k VMs
+// (the chunking step of association, §3.3.3): results are
+// proportionally chunked so each worker runs its share of the pool.
+// The returned slice has k entries summing to conns, each at least 1
+// when conns >= k.
+func SplitAcrossVMs(conns, k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]int, k)
+	base := conns / k
+	rem := conns % k
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// AggregateByDC sums a VM-level bandwidth matrix into a DC-level matrix
+// given the DC index of each VM — the "association" of §3.3.3 ("BWs are
+// summed to reflect the combined BW of a DC").
+func AggregateByDC(vmBW bwmatrix.Matrix, dcOfVM []int, numDCs int) bwmatrix.Matrix {
+	if vmBW.N() != len(dcOfVM) {
+		panic(fmt.Sprintf("optimize: %dx%d VM matrix with %d DC mappings", vmBW.N(), vmBW.N(), len(dcOfVM)))
+	}
+	out := bwmatrix.New(numDCs)
+	for i := range vmBW {
+		for j := range vmBW[i] {
+			di, dj := dcOfVM[i], dcOfVM[j]
+			if di != dj {
+				out[di][dj] += vmBW[i][j]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,295 @@
+package spark
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/wanify/wanify/internal/cost"
+	"github.com/wanify/wanify/internal/netsim"
+)
+
+// Scheduler decides stage placement. Implementations (internal/gda)
+// hold whatever bandwidth matrix they believe — statically measured,
+// simultaneous, or WANify-predicted — which is the independent variable
+// of Tables 1/4 and Figs. 7/8/10/11.
+type Scheduler interface {
+	// Name identifies the scheduler in reports.
+	Name() string
+	// Place returns the task-fraction placement for a stage, given the
+	// stage description and the current data layout (bytes per DC).
+	Place(stageIdx int, stage Stage, layout []float64) Placement
+}
+
+// StageReport describes one executed stage.
+type StageReport struct {
+	Name      string
+	Kind      StageKind
+	Placement Placement
+	TransferS float64 // WAN transfer (migration or shuffle) duration
+	ComputeS  float64 // compute phase duration
+	WANBytes  float64 // bytes moved across DCs
+	PairMbps  [][]float64
+	PairBytes [][]float64
+}
+
+// RunResult is the outcome of one job execution.
+type RunResult struct {
+	Job        string
+	Scheduler  string
+	JCTSeconds float64
+	Stages     []StageReport
+	WANBytes   float64
+	// MinShuffleMbps is the paper's "minimum BW of the cluster": the
+	// lowest per-pair average rate observed across all meaningful
+	// (≥1 MB) WAN transfers of the job.
+	MinShuffleMbps float64
+	Cost           cost.Breakdown
+}
+
+// Engine executes jobs on a simulated geo-distributed cluster.
+type Engine struct {
+	sim   *netsim.Sim
+	rates cost.Rates
+
+	// ComputeLoadDuringTransfer is the CPU load set on worker VMs while
+	// shuffles run (serialization/IO work, default 0.3).
+	ComputeLoadDuringTransfer float64
+	// MaxStageTransferS bounds a single transfer phase in simulated
+	// seconds before the engine reports an error (default 6 hours).
+	MaxStageTransferS float64
+	// OverlapFetchCompute pipelines each stage's computation with its
+	// data transfer (SDTP-style [13], "simultaneous data transfer and
+	// processing"): the stage ends after max(transfer, compute) instead
+	// of their sum, at the price of full CPU load during the transfer
+	// (which slows sending, the coupling SDTP has to manage). Default
+	// off — plain Spark semantics.
+	OverlapFetchCompute bool
+}
+
+// NewEngine builds an engine over a simulator with the given pricing.
+func NewEngine(sim *netsim.Sim, rates cost.Rates) *Engine {
+	return &Engine{
+		sim:                       sim,
+		rates:                     rates,
+		ComputeLoadDuringTransfer: 0.3,
+		MaxStageTransferS:         6 * 3600,
+	}
+}
+
+// Sim exposes the underlying simulator.
+func (e *Engine) Sim() *netsim.Sim { return e.sim }
+
+// ComputeRates returns the aggregate compute rate per DC.
+func (e *Engine) ComputeRates() []float64 {
+	out := make([]float64, e.sim.NumDCs())
+	for dc := range out {
+		for _, vm := range e.sim.VMsOfDC(dc) {
+			out[dc] += e.sim.Spec(vm).ComputeRate
+		}
+	}
+	return out
+}
+
+// RunJob executes the job under the given scheduler and connection
+// policy, returning timing, bandwidth and cost observations.
+func (e *Engine) RunJob(job Job, sched Scheduler, policy ConnPolicy) (RunResult, error) {
+	n := e.sim.NumDCs()
+	if err := job.Validate(n); err != nil {
+		return RunResult{}, err
+	}
+	start := e.sim.Now()
+	layout := append([]float64(nil), job.InputBytes...)
+	computeRates := e.ComputeRates()
+
+	res := RunResult{Job: job.Name, Scheduler: sched.Name(), MinShuffleMbps: math.Inf(1)}
+	for si, stage := range job.Stages {
+		p := sched.Place(si, stage, layout).Normalize()
+		if len(p) != n {
+			return RunResult{}, fmt.Errorf("spark: scheduler %q returned %d fractions for %d DCs", sched.Name(), len(p), n)
+		}
+
+		var transfer [][]float64
+		if stage.Kind == MapKind {
+			transfer = MigrationMatrix(layout, p)
+		} else {
+			transfer = ShuffleMatrix(layout, p)
+		}
+
+		rep := StageReport{Name: stage.Name, Kind: stage.Kind, Placement: p}
+		transferS, pairMbps, wanBytes, err := e.executeTransfers(transfer, policy)
+		if err != nil {
+			return RunResult{}, fmt.Errorf("spark: job %q stage %q: %w", job.Name, stage.Name, err)
+		}
+		rep.TransferS = transferS
+		rep.PairMbps = pairMbps
+		rep.PairBytes = transfer
+		rep.WANBytes = wanBytes
+		res.WANBytes += wanBytes
+		for i := range pairMbps {
+			for j := range pairMbps[i] {
+				if transfer[i][j] >= 1<<20 && pairMbps[i][j] > 0 && pairMbps[i][j] < res.MinShuffleMbps {
+					res.MinShuffleMbps = pairMbps[i][j]
+				}
+			}
+		}
+
+		// The stage's input is now distributed per the placement.
+		total := 0.0
+		for _, b := range layout {
+			total += b
+		}
+		for j := 0; j < n; j++ {
+			layout[j] = total * p[j]
+		}
+
+		// Compute phase: the stage finishes when its slowest DC does.
+		computeS := 0.0
+		for j := 0; j < n; j++ {
+			if layout[j] <= 0 {
+				continue
+			}
+			t := layout[j] / 1e9 * stage.SecPerGB / computeRates[j]
+			if t > computeS {
+				computeS = t
+			}
+		}
+		if e.OverlapFetchCompute {
+			// The transfer window already processed min(transfer,
+			// compute) seconds of work; only the residue remains.
+			computeS -= rep.TransferS
+			if computeS < 0 {
+				computeS = 0
+			}
+		}
+		if computeS > 0 {
+			for j := 0; j < n; j++ {
+				busy := 0.0
+				if layout[j] > 0 {
+					busy = 0.9
+				}
+				for _, vm := range e.sim.VMsOfDC(j) {
+					e.sim.SetCPULoad(vm, busy)
+				}
+			}
+			e.sim.RunFor(computeS)
+			for v := 0; v < e.sim.NumVMs(); v++ {
+				e.sim.SetCPULoad(netsim.VMID(v), 0)
+			}
+		}
+		rep.ComputeS = computeS
+		res.Stages = append(res.Stages, rep)
+
+		for j := 0; j < n; j++ {
+			layout[j] *= stage.Selectivity
+		}
+	}
+
+	res.JCTSeconds = e.sim.Now() - start
+	if math.IsInf(res.MinShuffleMbps, 1) {
+		res.MinShuffleMbps = 0
+	}
+	res.Cost = e.price(job, res)
+	return res, nil
+}
+
+// executeTransfers starts one flow per (source VM, destination DC) pair
+// share, waits for all to drain, and returns the elapsed time plus the
+// per-DC-pair average achieved rates.
+func (e *Engine) executeTransfers(transfer [][]float64, policy ConnPolicy) (elapsed float64, pairMbps [][]float64, wanBytes float64, err error) {
+	n := e.sim.NumDCs()
+	pairMbps = make([][]float64, n)
+	for i := range pairMbps {
+		pairMbps[i] = make([]float64, n)
+	}
+
+	type pendingPair struct {
+		i, j  int
+		bytes float64
+		done  float64 // completion time of the pair's last flow
+		left  int
+	}
+	var flows []*netsim.Flow
+	var pairs []*pendingPair
+	start := e.sim.Now()
+
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b := transfer[i][j]
+			if i == j || b < 1 {
+				continue
+			}
+			wanBytes += b
+			pp := &pendingPair{i: i, j: j, bytes: b}
+			pairs = append(pairs, pp)
+			srcVMs := e.sim.VMsOfDC(i)
+			dstVMs := e.sim.VMsOfDC(j)
+			// Spread the pair's bytes across source VMs; each source VM
+			// sends to one destination VM (round-robin).
+			share := b / float64(len(srcVMs))
+			for k, src := range srcVMs {
+				dst := dstVMs[k%len(dstVMs)]
+				conns := policy.Conns(src, j)
+				pp.left++
+				pair := pp
+				f := e.sim.StartFlow(src, dst, conns, share, func() {
+					pair.left--
+					if pair.left == 0 {
+						pair.done = e.sim.Now()
+					}
+				})
+				policy.Register(f)
+				flows = append(flows, f)
+			}
+		}
+	}
+	if len(flows) == 0 {
+		return 0, pairMbps, 0, nil
+	}
+
+	// Workers burn some CPU feeding the network — all of it when the
+	// engine pipelines compute into the transfer window.
+	load := e.ComputeLoadDuringTransfer
+	if e.OverlapFetchCompute {
+		load = 0.9
+	}
+	for v := 0; v < e.sim.NumVMs(); v++ {
+		e.sim.SetCPULoad(netsim.VMID(v), load)
+	}
+	err = e.sim.AwaitFlows(e.MaxStageTransferS, flows...)
+	for v := 0; v < e.sim.NumVMs(); v++ {
+		e.sim.SetCPULoad(netsim.VMID(v), 0)
+	}
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	elapsed = e.sim.Now() - start
+	for _, pp := range pairs {
+		d := pp.done - start
+		if d > 0 {
+			pairMbps[pp.i][pp.j] = pp.bytes * 8 / 1e6 / d
+		}
+	}
+	return elapsed, pairMbps, wanBytes, nil
+}
+
+// price itemizes the job cost: every cluster VM is held for the full
+// JCT (compute), cross-DC bytes pay their source region's egress rate
+// (network), and the input is stored for the job duration (storage).
+func (e *Engine) price(job Job, res RunResult) cost.Breakdown {
+	var b cost.Breakdown
+	for v := 0; v < e.sim.NumVMs(); v++ {
+		b.ComputeUSD += e.rates.ComputeUSD(e.sim.Spec(netsim.VMID(v)), res.JCTSeconds)
+	}
+	regions := e.sim.Regions()
+	for _, st := range res.Stages {
+		for i := range st.PairBytes {
+			for j := range st.PairBytes[i] {
+				if i != j {
+					b.NetworkUSD += e.rates.EgressUSD(regions[i], st.PairBytes[i][j])
+				}
+			}
+		}
+	}
+	b.StorageUSD = e.rates.StorageUSD(job.TotalInputBytes()/1e9, res.JCTSeconds)
+	return b
+}

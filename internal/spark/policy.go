@@ -1,0 +1,107 @@
+package spark
+
+import (
+	"github.com/wanify/wanify/internal/agent"
+	"github.com/wanify/wanify/internal/bwmatrix"
+	"github.com/wanify/wanify/internal/netsim"
+)
+
+// ConnPolicy decides how many parallel connections a transfer opens,
+// and observes the flows the engine starts so a manager (WANify's
+// local agents) can resize them mid-transfer.
+type ConnPolicy interface {
+	// Conns returns the connection count for a new transfer from srcVM
+	// toward dstDC.
+	Conns(srcVM netsim.VMID, dstDC int) int
+	// Register offers a started flow to the policy; policies without
+	// runtime management ignore it.
+	Register(f *netsim.Flow)
+}
+
+// SingleConn is vanilla Spark: one connection per transfer (§2.1,
+// "existing GDA systems transfer data among DCs using a single
+// connection").
+type SingleConn struct{}
+
+// Conns returns 1.
+func (SingleConn) Conns(netsim.VMID, int) int { return 1 }
+
+// Register ignores the flow.
+func (SingleConn) Register(*netsim.Flow) {}
+
+// UniformConn opens the same K connections on every pair — the
+// WANify-P baseline of §5.3.1 (the paper uses K=8).
+type UniformConn struct{ K int }
+
+// Conns returns K (at least 1).
+func (u UniformConn) Conns(netsim.VMID, int) int {
+	if u.K < 1 {
+		return 1
+	}
+	return u.K
+}
+
+// Register ignores the flow.
+func (UniformConn) Register(*netsim.Flow) {}
+
+// FixedConn opens a static per-pair connection count from a matrix —
+// the "Global only" ablation variant of §5.5, which applies the global
+// optimizer's heterogeneous solution without runtime fine-tuning.
+type FixedConn struct {
+	// Sim resolves sending VMs to their DCs.
+	Sim *netsim.Sim
+	// Matrix is the static DC-pair connection matrix (typically a
+	// global-optimization MaxConns).
+	Matrix bwmatrix.ConnMatrix
+}
+
+// Conns returns the matrix entry for the sending VM's DC.
+func (f FixedConn) Conns(srcVM netsim.VMID, dstDC int) int {
+	src := f.Sim.DCOf(srcVM)
+	if src == dstDC {
+		return 1
+	}
+	c := f.Matrix[src][dstDC]
+	if c < 1 {
+		return 1
+	}
+	return c
+}
+
+// Register ignores the flow.
+func (FixedConn) Register(*netsim.Flow) {}
+
+// AgentConn delegates to WANify local agents: connection counts come
+// from the sending VM's Connections Manager, and flows are registered
+// so the AIMD loop can resize them as epochs pass.
+type AgentConn struct {
+	// ByVM maps each sending VM to its local agent. VMs without an
+	// agent fall back to a single connection.
+	ByVM map[netsim.VMID]*agent.Agent
+}
+
+// NewAgentConn builds the policy from a set of agents.
+func NewAgentConn(agents []*agent.Agent) AgentConn {
+	m := make(map[netsim.VMID]*agent.Agent, len(agents))
+	for _, a := range agents {
+		if a != nil {
+			m[a.VM()] = a
+		}
+	}
+	return AgentConn{ByVM: m}
+}
+
+// Conns asks the sending VM's agent.
+func (a AgentConn) Conns(srcVM netsim.VMID, dstDC int) int {
+	if ag, ok := a.ByVM[srcVM]; ok {
+		return ag.ConnsTo(dstDC)
+	}
+	return 1
+}
+
+// Register hands the flow to the sending VM's agent.
+func (a AgentConn) Register(f *netsim.Flow) {
+	if ag, ok := a.ByVM[f.Src()]; ok {
+		ag.Register(f)
+	}
+}

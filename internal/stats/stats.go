@@ -1,0 +1,221 @@
+// Package stats provides the small statistical toolkit used across the
+// WANify reproduction: means, standard deviations, Pearson correlation
+// (the paper's §2.2 snapshot/stable correlation check), RMSE/R² for the
+// prediction model, and simple histogram bucketing for the table
+// experiments.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice. The
+// incremental form avoids intermediate-sum overflow for extreme inputs.
+func Mean(xs []float64) float64 {
+	m := 0.0
+	for i, x := range xs {
+		m += (x - m) / float64(i+1)
+	}
+	return m
+}
+
+// Variance returns the population variance of xs, or 0 when len(xs) < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the minimum of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Pearson returns the Pearson correlation coefficient between xs and ys.
+// It returns 0 when the slices differ in length, are shorter than 2, or
+// either side has zero variance. The computation is scale-invariant
+// (deviations are normalized by their largest magnitude first), so it
+// does not overflow even for inputs near math.MaxFloat64.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	// Pre-scale both series by their largest magnitude: correlation is
+	// scale-invariant, and working in [-1, 1] makes every intermediate
+	// value overflow-free.
+	var maxX, maxY float64
+	for i := range xs {
+		if v := math.Abs(xs[i]); v > maxX {
+			maxX = v
+		}
+		if v := math.Abs(ys[i]); v > maxY {
+			maxY = v
+		}
+	}
+	if maxX == 0 || maxY == 0 {
+		return 0
+	}
+	sx := make([]float64, len(xs))
+	sy := make([]float64, len(ys))
+	for i := range xs {
+		sx[i] = xs[i] / maxX
+		sy[i] = ys[i] / maxY
+	}
+	mx, my := Mean(sx), Mean(sy)
+	var sxy, sxx, syy float64
+	for i := range sx {
+		dx, dy := sx[i]-mx, sy[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// RMSE returns the root-mean-square error between predictions and labels.
+func RMSE(pred, label []float64) float64 {
+	if len(pred) != len(label) || len(pred) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range pred {
+		d := pred[i] - label[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(pred)))
+}
+
+// MAE returns the mean absolute error between predictions and labels.
+func MAE(pred, label []float64) float64 {
+	if len(pred) != len(label) || len(pred) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range pred {
+		s += math.Abs(pred[i] - label[i])
+	}
+	return s / float64(len(pred))
+}
+
+// R2 returns the coefficient of determination of predictions against
+// labels. A perfect model scores 1; predicting the label mean scores 0.
+func R2(pred, label []float64) float64 {
+	if len(pred) != len(label) || len(pred) < 2 {
+		return 0
+	}
+	m := Mean(label)
+	var ssRes, ssTot float64
+	for i := range pred {
+		d := label[i] - pred[i]
+		ssRes += d * d
+		t := label[i] - m
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// Percentile returns the p-th percentile (p in [0, 100]) of xs using
+// linear interpolation between closest ranks.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	rank := p / 100 * float64(len(cp)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := rank - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}
+
+// Bucket describes a half-open numeric interval (Lo, Hi]. A Hi of
+// +Inf describes an unbounded "greater than Lo" bucket.
+type Bucket struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// BucketCounts counts how many values fall into each (lo, hi] interval
+// defined by the given boundaries. boundaries must be ascending; the
+// final bucket is (boundaries[len-1], +Inf). Values at or below
+// boundaries[0] are not counted, matching the paper's Table 1 which only
+// reports differences above the 100 Mbps significance threshold.
+func BucketCounts(values []float64, boundaries []float64) []Bucket {
+	n := len(boundaries)
+	if n == 0 {
+		return nil
+	}
+	buckets := make([]Bucket, n)
+	for i := 0; i < n-1; i++ {
+		buckets[i] = Bucket{Lo: boundaries[i], Hi: boundaries[i+1]}
+	}
+	buckets[n-1] = Bucket{Lo: boundaries[n-1], Hi: math.Inf(1)}
+	for _, v := range values {
+		for i := range buckets {
+			if v > buckets[i].Lo && v <= buckets[i].Hi {
+				buckets[i].Count++
+				break
+			}
+		}
+	}
+	return buckets
+}

@@ -1,0 +1,67 @@
+package wanify
+
+import (
+	"fmt"
+
+	"github.com/wanify/wanify/internal/measure"
+	"github.com/wanify/wanify/internal/ml/dataset"
+	"github.com/wanify/wanify/internal/ml/rf"
+	"github.com/wanify/wanify/internal/predict"
+	"github.com/wanify/wanify/internal/simrand"
+)
+
+// TrainReport summarizes an offline training run (§4.1.1).
+type TrainReport struct {
+	// Rows is the number of labeled pairs collected.
+	Rows int
+	// TrainAccuracy is the fraction of held-in rows predicted within
+	// the 100 Mbps significance threshold (the paper reports 98.51%).
+	TrainAccuracy float64
+	// TestAccuracy is the same metric on a held-out split.
+	TestAccuracy float64
+	// RMSE and R2 are on the held-out split.
+	RMSE, R2 float64
+	// FeatureImportance follows dataset.FeatureNames order.
+	FeatureImportance []float64
+	// Collection describes the simulated probe traffic/time spent.
+	Collection measure.Report
+}
+
+// TrainOffline runs the complete offline module: the Bandwidth Analyzer
+// collects labeled monitoring sessions across cluster sizes, and the
+// WAN Prediction Model (Random Forest) is trained on them. The returned
+// model is independent of any single cluster: it predicts for any size
+// within the sampled range (§3.3.2).
+func TrainOffline(gen dataset.GenConfig, tc predict.TrainConfig) (*predict.Model, TrainReport, error) {
+	ds, collection := dataset.Generate(gen)
+	if ds.Len() == 0 {
+		return nil, TrainReport{}, fmt.Errorf("wanify: bandwidth analyzer collected no rows")
+	}
+	splitRng := simrand.Derive(gen.Seed, "train-test-split")
+	train, test := ds.Split(0.2, splitRng)
+	model, err := predict.Train(train, tc)
+	if err != nil {
+		return nil, TrainReport{}, err
+	}
+	rep := TrainReport{
+		Rows:              ds.Len(),
+		FeatureImportance: model.Forest().FeatureImportance(),
+		Collection:        collection,
+	}
+	rep.TrainAccuracy, _, _ = model.Accuracy(train)
+	rep.TestAccuracy, rep.RMSE, rep.R2 = model.Accuracy(test)
+	return model, rep, nil
+}
+
+// QuickModel trains a small model suitable for tests and examples:
+// fewer sessions and trees than the paper's full configuration, same
+// pipeline. The seed controls everything.
+func QuickModel(seed uint64) (*predict.Model, TrainReport, error) {
+	gen := dataset.GenConfig{
+		Sizes:        []int{3, 5, 8},
+		DrawsPerSize: 6,
+		Seed:         seed,
+	}
+	tc := predict.TrainConfig{Forest: rf.Config{NumTrees: 40, Seed: seed}}
+	return TrainOffline(gen, tc)
+}

@@ -1,0 +1,226 @@
+// Package wanify is a from-scratch reproduction of WANify (Mohapatra &
+// Oh, IISWC 2025): a framework that gauges achievable *runtime* WAN
+// bandwidth for geo-distributed data analytics via a Random-Forest
+// prediction model over cheap 1-second snapshots, and balances WAN
+// usage by assigning an optimal *heterogeneous* number of parallel
+// connections per DC pair — trading bandwidth on strong links for the
+// weak links that gate job completion time.
+//
+// The package wires together the paper's architecture (Fig. 3):
+//
+//   - Offline module: the Bandwidth Analyzer collects labeled snapshots
+//     (TrainOffline → internal dataset generation) and trains the WAN
+//     Prediction Model (Random Forest, 100 trees).
+//   - Online module: Runtime Bandwidth Determination predicts the
+//     current runtime BW matrix from a snapshot
+//     (Framework.DetermineRuntimeBW); the Global Optimizer derives
+//     min/max connection windows and achievable-BW targets
+//     (Framework.Optimize, Algorithm 1 + Eq. 2–3).
+//   - Local Agents: one per VM, AIMD-tuning connection counts within
+//     the window, monitoring achieved rates, and throttling BW-rich
+//     links (Framework.DeployAgents).
+//
+// Everything runs against a deterministic WAN simulator standing in for
+// the paper's 8-region AWS testbed; see DESIGN.md for the substitution
+// argument and EXPERIMENTS.md for paper-vs-measured results.
+package wanify
+
+import (
+	"fmt"
+
+	"github.com/wanify/wanify/internal/agent"
+	"github.com/wanify/wanify/internal/bwmatrix"
+	"github.com/wanify/wanify/internal/cost"
+	"github.com/wanify/wanify/internal/measure"
+	"github.com/wanify/wanify/internal/ml/dataset"
+	"github.com/wanify/wanify/internal/netsim"
+	"github.com/wanify/wanify/internal/optimize"
+	"github.com/wanify/wanify/internal/predict"
+	"github.com/wanify/wanify/internal/simrand"
+	"github.com/wanify/wanify/internal/spark"
+)
+
+// Config configures a Framework instance for one cluster.
+type Config struct {
+	// Sim is the cluster's network substrate.
+	Sim *netsim.Sim
+	// Rates prices measurement and query activity.
+	Rates cost.Rates
+	// Seed drives snapshot noise and any tie-breaking.
+	Seed uint64
+	// MaxConnsPerPair is the optimizer's M (default 8).
+	MaxConnsPerPair int
+	// RelationD is Algorithm 1's minimum significant BW difference
+	// (default 30 Mbps, the paper's worked example).
+	RelationD float64
+	// Agent configures the local agents (epoch, thresholds, throttle).
+	Agent agent.Config
+}
+
+// Framework is a WANify deployment bound to one cluster.
+type Framework struct {
+	cfg   Config
+	model *predict.Model
+	rng   *simrand.Source
+
+	predicted bwmatrix.Matrix
+	plan      optimize.Plan
+	agents    []*agent.Agent
+}
+
+// New builds a Framework around a trained prediction model.
+func New(cfg Config, model *predict.Model) (*Framework, error) {
+	if cfg.Sim == nil {
+		return nil, fmt.Errorf("wanify: config needs a simulator")
+	}
+	if model == nil {
+		return nil, fmt.Errorf("wanify: nil prediction model")
+	}
+	if cfg.MaxConnsPerPair == 0 {
+		cfg.MaxConnsPerPair = optimize.DefaultM
+	}
+	if cfg.RelationD == 0 {
+		cfg.RelationD = optimize.DefaultD
+	}
+	return &Framework{
+		cfg:   cfg,
+		model: model,
+		rng:   simrand.Derive(cfg.Seed, "wanify"),
+	}, nil
+}
+
+// Model returns the framework's prediction model.
+func (f *Framework) Model() *predict.Model { return f.model }
+
+// DetermineRuntimeBW takes a 1-second snapshot of the cluster and
+// predicts the stable runtime bandwidth matrix — the §4.1.2 Runtime
+// Bandwidth Determination sub-module. The returned matrix is shaped
+// exactly like the static matrices existing GDA systems consume, so it
+// can be fed to them unmodified (the Table 4 usage). The measurement
+// report prices the snapshot.
+func (f *Framework) DetermineRuntimeBW() (bwmatrix.Matrix, measure.Report) {
+	features, rep := dataset.SnapshotFeatures(f.cfg.Sim, f.rng.Derive("snapshot"))
+	f.predicted = f.model.PredictMatrix(features)
+	return f.predicted.Clone(), rep
+}
+
+// Predicted returns the most recent runtime-BW prediction (nil before
+// DetermineRuntimeBW).
+func (f *Framework) Predicted() bwmatrix.Matrix {
+	if f.predicted == nil {
+		return nil
+	}
+	return f.predicted.Clone()
+}
+
+// OptimizeOptions carries the heterogeneity inputs of §3.3.
+type OptimizeOptions struct {
+	// SkewWeights is ws: per-DC input-data weights (nil = uniform).
+	SkewWeights []float64
+	// RVec is the per-pair refactoring matrix for heterogeneous
+	// providers (nil = all ones).
+	RVec bwmatrix.Matrix
+}
+
+// Optimize runs global optimization (Algorithm 1 + Eq. 2–3) on a
+// predicted runtime BW matrix, returning the connection/BW windows.
+func (f *Framework) Optimize(pred bwmatrix.Matrix, opts OptimizeOptions) optimize.Plan {
+	f.plan = optimize.GlobalOptimize(pred, optimize.Options{
+		M:           f.cfg.MaxConnsPerPair,
+		D:           f.cfg.RelationD,
+		SkewWeights: opts.SkewWeights,
+		RVec:        opts.RVec,
+	})
+	return f.plan
+}
+
+// Plan returns the most recent global-optimization plan.
+func (f *Framework) Plan() optimize.Plan { return f.plan }
+
+// DeployAgents starts one local agent per VM, loaded with the plan
+// chunked per VM (association, §3.3.3). Any previously deployed agents
+// are stopped first.
+func (f *Framework) DeployAgents(pred bwmatrix.Matrix, plan optimize.Plan) []*agent.Agent {
+	f.StopAgents()
+	sim := f.cfg.Sim
+	n := sim.NumDCs()
+	var agents []*agent.Agent
+	for dc := 0; dc < n; dc++ {
+		vms := sim.VMsOfDC(dc)
+		k := len(vms)
+		for idx, vm := range vms {
+			row := agent.PlanRow{
+				MinConns: make([]int, n),
+				MaxConns: make([]int, n),
+				MinBW:    make([]float64, n),
+				MaxBW:    make([]float64, n),
+				PredBW:   make([]float64, n),
+			}
+			for j := 0; j < n; j++ {
+				if j == dc {
+					row.MinConns[j], row.MaxConns[j] = 1, 1
+					continue
+				}
+				minChunk := chunkAtLeastOne(plan.MinConns[dc][j], k, idx)
+				maxChunk := chunkAtLeastOne(plan.MaxConns[dc][j], k, idx)
+				if maxChunk < minChunk {
+					maxChunk = minChunk
+				}
+				row.MinConns[j] = minChunk
+				row.MaxConns[j] = maxChunk
+				// Per-VM share of the DC-level predicted bandwidth.
+				perVM := pred[dc][j] / float64(k)
+				row.PredBW[j] = perVM
+				row.MinBW[j] = perVM * float64(minChunk)
+				row.MaxBW[j] = perVM * float64(maxChunk)
+			}
+			a := agent.New(sim, vm, f.cfg.Agent)
+			a.ApplyPlan(row)
+			a.Start()
+			agents = append(agents, a)
+		}
+	}
+	f.agents = agents
+	return agents
+}
+
+// chunkAtLeastOne splits a DC-level connection count over k VMs and
+// returns VM idx's share, floored at 1 (every agent keeps at least one
+// connection available).
+func chunkAtLeastOne(conns, k, idx int) int {
+	parts := optimize.SplitAcrossVMs(conns, k)
+	c := parts[idx]
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Agents returns the currently deployed agents (nil when none).
+func (f *Framework) Agents() []*agent.Agent { return f.agents }
+
+// StopAgents stops all deployed agents and clears their throttles.
+func (f *Framework) StopAgents() {
+	for _, a := range f.agents {
+		a.Stop()
+	}
+	f.agents = nil
+}
+
+// ConnPolicy returns the connection policy a spark engine should use so
+// transfers are sized and managed by the deployed agents.
+func (f *Framework) ConnPolicy() spark.ConnPolicy {
+	return spark.NewAgentConn(f.agents)
+}
+
+// Enable is the one-call integration path (§4.1, "any GDA system that
+// transfers data among DCs can reap WANify's benefits using the WANify
+// Interface"): snapshot → predict → optimize → deploy agents. It
+// returns the predicted matrix (for the GDA system's placement
+// decisions) and the connection policy (for its shuffle transfers).
+func (f *Framework) Enable(opts OptimizeOptions) (bwmatrix.Matrix, spark.ConnPolicy, measure.Report) {
+	pred, rep := f.DetermineRuntimeBW()
+	plan := f.Optimize(pred, opts)
+	f.DeployAgents(pred, plan)
+	return pred, f.ConnPolicy(), rep
+}
