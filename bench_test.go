@@ -12,6 +12,7 @@ package wanify_test
 // so `go test -bench=. -v` doubles as a report generator.
 
 import (
+	"sync"
 	"testing"
 
 	"github.com/wanify/wanify/internal/experiments"
@@ -20,12 +21,24 @@ import (
 
 const benchScale = 0.1
 
-var benchModel *predict.Model
+var (
+	benchModel     *predict.Model
+	benchModelOnce sync.Once
+)
 
 // benchParams shares one trained prediction model across benchmarks
 // (the offline module is cluster-independent, as in a real deployment).
+// Training happens once, on first use, so benchmark iterations measure
+// the experiment drivers rather than model training.
 func benchParams(b *testing.B) experiments.Params {
 	b.Helper()
+	benchModelOnce.Do(func() {
+		m, err := experiments.SharedModel(experiments.Params{Seed: 1, Scale: benchScale})
+		if err != nil {
+			b.Fatalf("training shared bench model: %v", err)
+		}
+		benchModel = m
+	})
 	return experiments.Params{Seed: 1, Scale: benchScale, Model: benchModel}
 }
 

@@ -4,28 +4,61 @@
 //
 //	wanify-bench -list
 //	wanify-bench -run table1
-//	wanify-bench -run all -scale 0.2 -seed 7
+//	wanify-bench -run all -scale 0.2 -seed 7 -parallel 8
 //
-// Output is the same rows/series the paper reports, with the paper's
-// numbers quoted inline for comparison.
+// Independent experiment drivers run concurrently across a worker pool
+// (each owns its private simulator; the trained prediction model is
+// shared read-only), so wall-clock is bounded by the slowest driver.
+// Output order is deterministic and identical to a sequential run.
+//
+// Unless -bench-out is empty, a machine-readable timing report is
+// written (default BENCH_netsim.json) with per-experiment wall-clock
+// seconds, so the simulator's performance trajectory can be tracked
+// across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"github.com/wanify/wanify/internal/experiments"
 )
 
+// benchReport is the schema of BENCH_netsim.json. Per-experiment
+// seconds are wall-clock under `workers`-way co-scheduling: when
+// comparing timings across commits, use runs with the same worker
+// count — the committed baseline is generated with -parallel 1 so
+// entries are uncontended.
+type benchReport struct {
+	GoVersion    string       `json:"go_version"`
+	GOMAXPROCS   int          `json:"gomaxprocs"`
+	Workers      int          `json:"workers"`
+	Scale        float64      `json:"scale"`
+	Seeds        []uint64     `json:"seeds"`
+	TotalSeconds float64      `json:"total_seconds"`
+	Experiments  []benchEntry `json:"experiments"`
+}
+
+type benchEntry struct {
+	ID      string  `json:"id"`
+	Seed    uint64  `json:"seed"`
+	Seconds float64 `json:"seconds"`
+	Error   string  `json:"error,omitempty"`
+}
+
 func main() {
 	var (
-		run   = flag.String("run", "", "experiment id to run, or 'all'")
-		list  = flag.Bool("list", false, "list experiment ids")
-		seed  = flag.Uint64("seed", 1, "simulation seed")
-		seeds = flag.Int("seeds", 1, "repeat over this many consecutive seeds (the paper averages 5 runs)")
-		scale = flag.Float64("scale", 1.0, "input-size scale (1.0 = paper scale)")
+		run      = flag.String("run", "", "experiment id to run, or 'all'")
+		list     = flag.Bool("list", false, "list experiment ids")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		seeds    = flag.Int("seeds", 1, "repeat over this many consecutive seeds (the paper averages 5 runs)")
+		scale    = flag.Float64("scale", 1.0, "input-size scale (1.0 = paper scale)")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment drivers to run concurrently (1 = sequential, <=0 = GOMAXPROCS)")
+		benchOut = flag.String("bench-out", "BENCH_netsim.json", "write a JSON timing report here ('' to disable)")
 	)
 	flag.Parse()
 
@@ -35,7 +68,7 @@ func main() {
 			fmt.Printf("  %s\n", id)
 		}
 		if *run == "" {
-			fmt.Println("\nusage: wanify-bench -run <id>|all [-seed N] [-scale F]")
+			fmt.Println("\nusage: wanify-bench -run <id>|all [-seed N] [-scale F] [-parallel N]")
 		}
 		return
 	}
@@ -43,31 +76,58 @@ func main() {
 	ids := []string{*run}
 	if *run == "all" {
 		ids = experiments.IDs()
+	} else if _, ok := experiments.Registry[*run]; !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *run)
+		os.Exit(2)
 	}
 	if *seeds < 1 {
 		*seeds = 1
 	}
+
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	report := benchReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+		Scale:      *scale,
+	}
 	failed := 0
-	for _, id := range ids {
-		runner, ok := experiments.Registry[id]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
-			os.Exit(2)
-		}
-		for k := 0; k < *seeds; k++ {
-			params := experiments.Params{Seed: *seed + uint64(k), Scale: *scale}
-			start := time.Now()
-			res, err := runner(params)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "%s (seed %d): %v\n", id, params.Seed, err)
+	for k := 0; k < *seeds; k++ {
+		params := experiments.Params{Seed: *seed + uint64(k), Scale: *scale}
+		report.Seeds = append(report.Seeds, params.Seed)
+		runs := experiments.RunConcurrent(ids, params, workers)
+		for _, r := range runs {
+			entry := benchEntry{ID: r.ID, Seed: r.Seed, Seconds: r.Seconds}
+			if r.Err != nil {
+				entry.Error = r.Err.Error()
+				fmt.Fprintf(os.Stderr, "%s (seed %d): %v\n", r.ID, r.Seed, r.Err)
 				failed++
-				continue
+			} else {
+				label := r.ID
+				if *seeds > 1 {
+					label = fmt.Sprintf("%s seed=%d", r.ID, r.Seed)
+				}
+				fmt.Printf("=== %s (%.1fs wall) ===\n%s\n", label, r.Seconds, r.Result)
 			}
-			label := id
-			if *seeds > 1 {
-				label = fmt.Sprintf("%s seed=%d", id, params.Seed)
-			}
-			fmt.Printf("=== %s (%.1fs wall) ===\n%s\n", label, time.Since(start).Seconds(), res)
+			report.Experiments = append(report.Experiments, entry)
+		}
+	}
+	report.TotalSeconds = time.Since(start).Seconds()
+
+	if *benchOut != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*benchOut, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *benchOut, err)
+			failed++
+		} else {
+			fmt.Fprintf(os.Stderr, "timing report: %s (%.1fs total)\n", *benchOut, report.TotalSeconds)
 		}
 	}
 	if failed > 0 {

@@ -1,0 +1,3 @@
+module github.com/wanify/wanify
+
+go 1.24

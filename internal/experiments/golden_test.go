@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden experiment outputs")
+
+// goldenScale keeps the golden suite fast while exercising every driver
+// end to end (the same reduced scale the benchmarks use).
+const goldenScale = 0.1
+
+// renderAll runs every registered experiment at the given seed and
+// concatenates the rendered results in registry order.
+func renderAll(t *testing.T, seed uint64) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, id := range IDs() {
+		res, err := Registry[id](Params{Seed: seed, Scale: goldenScale})
+		if err != nil {
+			t.Fatalf("%s (seed %d): %v", id, seed, err)
+		}
+		fmt.Fprintf(&sb, "=== %s ===\n%s\n", id, res)
+	}
+	return sb.String()
+}
+
+// TestGoldenOutputs locks the rendered output of the full experiment
+// suite for seeds 1-3. The files under testdata/ were captured from the
+// original from-scratch allocator; the incremental allocator must
+// reproduce them byte for byte (regenerate deliberately with
+// `go test -run TestGoldenOutputs -update`).
+func TestGoldenOutputs(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			got := renderAll(t, seed)
+			path := filepath.Join("testdata", fmt.Sprintf("golden_seed%d.txt", seed))
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("seed %d output diverged from golden file %s;\nfirst divergence near byte %d",
+					seed, path, firstDiff(got, string(want)))
+			}
+		})
+	}
+}
+
+func firstDiff(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

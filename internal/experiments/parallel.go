@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/wanify/wanify/internal/predict"
+)
+
+// Run is the outcome of one experiment execution, with the wall-clock
+// timing cmd/wanify-bench reports in BENCH_netsim.json.
+type Run struct {
+	ID      string
+	Seed    uint64
+	Result  Result
+	Err     error
+	Seconds float64
+}
+
+// SharedModel returns the trained prediction model for p's seed,
+// training (and caching) one if needed. Exposed so harnesses can train
+// once up front and fan the same model out to concurrent drivers — the
+// offline module is cluster-independent, as in a real deployment.
+func SharedModel(p Params) (*predict.Model, error) {
+	return sharedModel(p.withDefaults())
+}
+
+// RunConcurrent executes the given experiment ids across a pool of
+// workers and returns one Run per id, in input order. Every driver is
+// deterministic for a given seed and owns its private Sim, so results
+// are identical to a sequential run regardless of worker count; the
+// only shared state is the read-only prediction model, which is
+// trained before the fan-out so workers never contend on training.
+//
+// workers <= 0 selects GOMAXPROCS.
+func RunConcurrent(ids []string, p Params, workers int) []Run {
+	p = p.withDefaults()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	if p.Model == nil {
+		// Train the shared model once; a failure surfaces per run so
+		// callers see which experiments needed it.
+		if m, err := sharedModel(p); err == nil {
+			p.Model = m
+		}
+	}
+
+	runs := make([]Run, len(ids))
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(ids) {
+					return
+				}
+				runs[i] = runOne(ids[i], p)
+			}
+		}()
+	}
+	wg.Wait()
+	return runs
+}
+
+// runOne executes a single experiment, timing it.
+func runOne(id string, p Params) Run {
+	r := Run{ID: id, Seed: p.Seed}
+	runner, ok := Registry[id]
+	if !ok {
+		r.Err = fmt.Errorf("experiments: unknown experiment %q", id)
+		return r
+	}
+	start := time.Now()
+	r.Result, r.Err = runner(p)
+	r.Seconds = time.Since(start).Seconds()
+	return r
+}

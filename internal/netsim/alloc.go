@@ -1,6 +1,9 @@
 package netsim
 
-import "math"
+import (
+	"math"
+	"slices"
+)
 
 // The rate allocator distributes WAN capacity among active flows by
 // weighted progressive filling (water-filling). It captures how TCP
@@ -20,6 +23,38 @@ import "math"
 // Water-filling raises every unfrozen flow's rate in proportion to its
 // weight until some resource saturates; flows crossing a saturated
 // resource freeze; repeat until all flows freeze.
+//
+// # Incremental architecture
+//
+// The allocator is the simulator's hot path: the evaluation drivers
+// invalidate it on every flow start/finish, connection resize, ramp
+// step and fluctuation tick, often with hundreds of concurrent shuffle
+// flows in play. Three layers keep a recomputation amortized-cheap
+// while producing bit-identical rates to the original from-scratch
+// implementation (kept as allocateReference for tests and benchmarks):
+//
+//  1. Incremental indexes. Per-VM terminating-connection counts
+//     (Sim.vmConns) and per-DC-pair flow lists (Sim.pairFlows) are
+//     maintained as flows start/finish/resize, so congestion factors
+//     and memory utilization — previously an O(flows) rescan per flow,
+//     making each allocation O(flows²) — are O(1) lookups.
+//  2. Slab reuse. The resource table, membership lists, weights, rates
+//     and freeze bitmaps live in allocScratch and are recycled across
+//     invocations; a steady-state allocation performs no heap
+//     allocation at all.
+//  3. Incremental weight sums in the filling loop. Each resource's
+//     unfrozen-weight sum is cached and recomputed only after one of
+//     its member flows froze in the previous round (the recompute
+//     rescans that resource's members in original order, which keeps
+//     the floating-point summation identical to a from-scratch pass).
+//     Unfrozen flows are also kept in a compacted order-preserving
+//     list, so late rounds stop paying for flows frozen early.
+//
+// Determinism: every floating-point operation happens in the same
+// order as the from-scratch allocator, with flows visited in start
+// (id) order, so rates are reproducible bit for bit — allocation
+// results do not depend on how the unordered Sim.flows slab happens to
+// be permuted by swap-deletes.
 
 // resKind distinguishes allocator resource types (for retransmission
 // attribution).
@@ -32,13 +67,115 @@ const (
 	resFlowCap
 )
 
-type resource struct {
-	kind resKind
-	vm   VMID // for egress/ingress
-	cap  float64
-	used float64
-	// flows using this resource (indices into the allocator flow list)
-	members []int
+// allocEps is the relative tolerance deciding when a resource counts
+// as saturated in the progressive-filling loop.
+const allocEps = 1e-9
+
+// allocScratch is the allocator's reusable working state (layer 2 of
+// the architecture above). Resources are stored struct-of-arrays;
+// nRes tracks the live prefix so slabs shrink without freeing.
+type allocScratch struct {
+	order []*Flow // active flows in start (id) order
+
+	cong []float64 // per-VM effective-capacity factor this round
+	memF []float64 // per-VM receiver memory factor this round
+
+	// Resource slabs, parallel arrays of length >= nRes.
+	nRes     int
+	kind     []resKind
+	resVM    []VMID
+	resCap   []float64
+	avail    []float64
+	availMin []float64 // saturation threshold eps*max(1, cap), precomputed
+	members  [][]int   // flow indices using each resource, in id order
+	sumW     []float64 // cached unfrozen weight sum per resource
+	dirty    []bool    // sumW must be rescanned (a member froze)
+	liveRes  []int     // resources that still have unfrozen members
+
+	// pairRes maps pairKey -> pair-limit resource index for the current
+	// build (-1 when not yet materialized); touched lists the keys to
+	// reset afterwards so the map stays O(pairs actually limited).
+	pairRes []int
+	touched []int
+
+	weights []float64
+	flowRes [][]int // resource indices per flow; [2] is the flow's cap
+	rates   []float64
+	frozen  []bool
+	active  []int // unfrozen flow indices, compacted, in id order
+}
+
+func (a *allocScratch) init(numDCs int) {
+	a.pairRes = make([]int, numDCs*numDCs)
+	for i := range a.pairRes {
+		a.pairRes[i] = -1
+	}
+}
+
+// addRes appends a resource to the slab, recycling member storage.
+func (a *allocScratch) addRes(k resKind, vm VMID, capMbps float64) int {
+	i := a.nRes
+	if i == len(a.kind) {
+		a.kind = append(a.kind, 0)
+		a.resVM = append(a.resVM, 0)
+		a.resCap = append(a.resCap, 0)
+		a.avail = append(a.avail, 0)
+		a.availMin = append(a.availMin, 0)
+		a.members = append(a.members, nil)
+		a.sumW = append(a.sumW, 0)
+		a.dirty = append(a.dirty, false)
+	}
+	a.kind[i] = k
+	a.resVM[i] = vm
+	a.resCap[i] = capMbps
+	a.avail[i] = capMbps
+	a.availMin[i] = allocEps * math.Max(1, capMbps)
+	a.members[i] = a.members[i][:0]
+	a.sumW[i] = 0
+	a.dirty[i] = true
+	a.nRes++
+	return i
+}
+
+// growFlows sizes the per-flow slabs for nf flows.
+func (a *allocScratch) growFlows(nf int) {
+	if cap(a.weights) < nf {
+		a.weights = make([]float64, nf)
+		a.rates = make([]float64, nf)
+		a.frozen = make([]bool, nf)
+		fr := make([][]int, nf)
+		copy(fr, a.flowRes)
+		a.flowRes = fr
+	}
+	a.weights = a.weights[:nf]
+	a.rates = a.rates[:nf]
+	a.frozen = a.frozen[:nf]
+	a.flowRes = a.flowRes[:nf]
+}
+
+// flowsOrdered returns the active flows in start (id) order, reusing
+// the scratch slice. Sim.flows is permuted by swap-deletes; the
+// allocator's float arithmetic must not depend on that permutation.
+// The sorted view is kept until the flow set changes, so invalidations
+// that touch no flows (fluct ticks, CPU/tc changes) skip the sort.
+func (s *Sim) flowsOrdered() []*Flow {
+	a := &s.scratch
+	if !s.flowSetChanged && len(a.order) == len(s.flows) {
+		return a.order
+	}
+	a.order = append(a.order[:0], s.flows...)
+	slices.SortFunc(a.order, func(x, y *Flow) int {
+		switch {
+		case x.id < y.id:
+			return -1
+		case x.id > y.id:
+			return 1
+		default:
+			return 0
+		}
+	})
+	s.flowSetChanged = false
+	return a.order
 }
 
 // ensureAllocated recomputes flow rates if anything changed.
@@ -51,153 +188,170 @@ func (s *Sim) ensureAllocated() {
 }
 
 func (s *Sim) allocate() {
-	nf := len(s.flows)
+	order := s.flowsOrdered()
+	nf := len(order)
 	if nf == 0 {
 		for _, v := range s.vms {
 			v.lastRetrans = 0
 		}
 		return
 	}
+	a := &s.scratch
 
 	// Congestion factor per VM: effective capacity degrades once the
-	// total connection count passes the knee.
-	congFactor := make([]float64, len(s.vms))
-	totalConns := make([]int, len(s.vms))
-	for _, f := range s.flows {
-		totalConns[f.src] += f.conns
-		totalConns[f.dst] += f.conns
+	// total connection count passes the knee. vmConns is maintained
+	// incrementally, so this is O(VMs), not O(flows).
+	if cap(a.cong) < len(s.vms) {
+		a.cong = make([]float64, len(s.vms))
+		a.memF = make([]float64, len(s.vms))
 	}
+	a.cong = a.cong[:len(s.vms)]
+	a.memF = a.memF[:len(s.vms)]
 	for i := range s.vms {
-		over := float64(totalConns[i] - s.cfg.CongestionKnee)
+		over := float64(s.vmConns[i] - s.cfg.CongestionKnee)
 		if over < 0 {
 			over = 0
 		}
-		congFactor[i] = 1 / (1 + s.cfg.CongestionSlope*over)
+		a.cong[i] = 1 / (1 + s.cfg.CongestionSlope*over)
+		a.memF[i] = memFactor(s.memUtil(VMID(i)))
 	}
 
-	// Build resources.
-	var resources []resource
-	egressIdx := make([]int, len(s.vms))
-	ingressIdx := make([]int, len(s.vms))
+	// Build the resource table into the recycled slabs: per-VM egress
+	// (index 2i) and ingress (2i+1), then per-flow caps and lazily
+	// materialized pair limits, in flow order.
+	a.nRes = 0
 	for i, v := range s.vms {
-		egressIdx[i] = len(resources)
-		resources = append(resources, resource{kind: resEgress, vm: v.id, cap: v.spec.EgressMbps * congFactor[i]})
-		ingressIdx[i] = len(resources)
-		resources = append(resources, resource{kind: resIngress, vm: v.id, cap: v.spec.IngressMbps * congFactor[i]})
+		a.addRes(resEgress, v.id, v.spec.EgressMbps*a.cong[i])
+		a.addRes(resIngress, v.id, v.spec.IngressMbps*a.cong[i])
 	}
-	pairIdx := make(map[[2]int]int)
-	for pair, limit := range s.pairLimits {
-		pairIdx[pair] = -1
-		_ = limit
-	}
-
-	weights := make([]float64, nf)
-	flowRes := make([][]int, nf) // resource indices per flow
-	for fi, f := range s.flows {
-		srcDC, dstDC := s.vms[f.src].dc, s.vms[f.dst].dc
+	a.growFlows(nf)
+	for fi, f := range order {
+		srcDC, dstDC := f.srcDC, f.dstDC
 		fluct := 1.0
 		if p := s.fluct[srcDC][dstDC]; p != nil {
 			fluct = p.factor()
 		}
-		memF := memFactor(s.memUtil(f.dst))
+		memF := a.memF[f.dst]
 		cpuF := cpuFactor(s.vms[f.src].cpuLoad)
 		capF := float64(f.conns) * s.perConnBase[srcDC][dstDC] * fluct * memF * cpuF * s.rampFactor(f)
-		// Per-flow cap resource.
-		capRes := len(resources)
-		resources = append(resources, resource{kind: resFlowCap, cap: capF})
+		capRes := a.addRes(resFlowCap, 0, capF)
 
-		rtt := s.rttSec[srcDC][dstDC]
-		if rtt <= 0 {
-			rtt = 1e-3
-		}
-		weights[fi] = float64(f.conns) / math.Pow(rtt, s.cfg.RTTBiasExp)
+		a.weights[fi] = float64(f.conns) / s.rttBiasPow[srcDC][dstDC]
 
-		rs := []int{egressIdx[f.src], ingressIdx[f.dst], capRes}
-		if _, limited := s.pairLimits[[2]int{srcDC, dstDC}]; limited {
-			idx, ok := pairIdx[[2]int{srcDC, dstDC}]
-			if !ok || idx < 0 {
-				idx = len(resources)
-				resources = append(resources, resource{kind: resPairLimit, cap: s.pairLimits[[2]int{srcDC, dstDC}]})
-				pairIdx[[2]int{srcDC, dstDC}] = idx
+		rs := append(a.flowRes[fi][:0], 2*int(f.src), 2*int(f.dst)+1, capRes)
+		if limit := s.pairLimitAt(srcDC, dstDC); !math.IsNaN(limit) {
+			k := s.pairKey(srcDC, dstDC)
+			ri := a.pairRes[k]
+			if ri < 0 {
+				ri = a.addRes(resPairLimit, 0, limit)
+				a.pairRes[k] = ri
+				a.touched = append(a.touched, k)
 			}
-			rs = append(rs, idx)
+			rs = append(rs, ri)
 		}
-		flowRes[fi] = rs
+		a.flowRes[fi] = rs
 	}
-	for fi, rs := range flowRes {
-		for _, r := range rs {
-			resources[r].members = append(resources[r].members, fi)
+	for _, k := range a.touched {
+		a.pairRes[k] = -1
+	}
+	a.touched = a.touched[:0]
+	for fi := range order {
+		for _, ri := range a.flowRes[fi] {
+			a.members[ri] = append(a.members[ri], fi)
 		}
 	}
 
 	// Progressive filling.
-	rates := make([]float64, nf)
-	frozen := make([]bool, nf)
-	avail := make([]float64, len(resources))
-	for i := range resources {
-		avail[i] = resources[i].cap
+	a.active = a.active[:0]
+	for fi := 0; fi < nf; fi++ {
+		a.rates[fi] = 0
+		a.frozen[fi] = false
+		a.active = append(a.active, fi)
 	}
 	remaining := nf
-	const eps = 1e-9
+	a.liveRes = a.liveRes[:0]
+	for ri := 0; ri < a.nRes; ri++ {
+		a.liveRes = append(a.liveRes, ri)
+	}
 	for remaining > 0 {
-		// Weight sums per resource over unfrozen members.
+		// Weight sums per resource over unfrozen members: cached, and
+		// rescanned (in member order, for bit-stable summation) only
+		// for resources that lost a member last round. Resources whose
+		// members all froze leave the live list: a weight is strictly
+		// positive, so sumW == 0 exactly when no unfrozen member is
+		// left, and such a resource can never constrain theta or
+		// freeze anything again.
 		theta := math.Inf(1)
-		for ri := range resources {
-			sumW := 0.0
-			for _, fi := range resources[ri].members {
-				if !frozen[fi] {
-					sumW += weights[fi]
+		live := a.liveRes[:0]
+		for _, ri := range a.liveRes {
+			if a.dirty[ri] {
+				sum := 0.0
+				for _, fi := range a.members[ri] {
+					if !a.frozen[fi] {
+						sum += a.weights[fi]
+					}
 				}
+				a.sumW[ri] = sum
+				a.dirty[ri] = false
 			}
-			if sumW > 0 {
-				if t := avail[ri] / sumW; t < theta {
+			if a.sumW[ri] > 0 {
+				live = append(live, ri)
+				if t := a.avail[ri] / a.sumW[ri]; t < theta {
 					theta = t
 				}
 			}
 		}
+		a.liveRes = live
 		if math.IsInf(theta, 1) {
 			break
 		}
 		if theta < 0 {
 			theta = 0
 		}
-		// Raise the water level.
-		for fi := range rates {
-			if frozen[fi] {
-				continue
-			}
-			inc := theta * weights[fi]
-			rates[fi] += inc
-			for _, ri := range flowRes[fi] {
-				avail[ri] -= inc
+		// Raise the water level for the (compacted) unfrozen flows.
+		for _, fi := range a.active {
+			inc := theta * a.weights[fi]
+			a.rates[fi] += inc
+			for _, ri := range a.flowRes[fi] {
+				a.avail[ri] -= inc
 			}
 		}
 		// Freeze flows on exhausted resources.
 		frozeAny := false
-		for ri := range resources {
-			if avail[ri] > eps*math.Max(1, resources[ri].cap) {
+		for _, ri := range a.liveRes {
+			if a.avail[ri] > a.availMin[ri] {
 				continue
 			}
-			for _, fi := range resources[ri].members {
-				if !frozen[fi] {
-					frozen[fi] = true
+			for _, fi := range a.members[ri] {
+				if !a.frozen[fi] {
+					a.frozen[fi] = true
 					remaining--
 					frozeAny = true
+					for _, r2 := range a.flowRes[fi] {
+						a.dirty[r2] = true
+					}
 				}
 			}
 		}
 		if !frozeAny {
 			// Numerical stall: freeze everything to guarantee progress.
-			for fi := range frozen {
-				if !frozen[fi] {
-					frozen[fi] = true
+			for _, fi := range a.active {
+				if !a.frozen[fi] {
+					a.frozen[fi] = true
 					remaining--
 				}
 			}
 		}
+		unfrozen := a.active[:0]
+		for _, fi := range a.active {
+			if !a.frozen[fi] {
+				unfrozen = append(unfrozen, fi)
+			}
+		}
+		a.active = unfrozen
 	}
-	for fi, f := range s.flows {
-		f.rate = rates[fi]
+	for fi, f := range order {
+		f.rate = a.rates[fi]
 	}
 
 	// Retransmission rates: attribute overload pressure at each VM
@@ -206,23 +360,22 @@ func (s *Sim) allocate() {
 	for _, v := range s.vms {
 		v.lastRetrans = 0
 	}
-	for ri := range resources {
-		r := &resources[ri]
-		if r.kind != resEgress && r.kind != resIngress {
+	for ri := 0; ri < a.nRes; ri++ {
+		if a.kind[ri] != resEgress && a.kind[ri] != resIngress {
 			continue
 		}
 		demand := 0.0
 		conns := 0
-		for _, fi := range r.members {
-			demand += resources[flowRes[fi][2]].cap // the flow's own cap resource
-			conns += s.flows[fi].conns
+		for _, fi := range a.members[ri] {
+			demand += a.resCap[a.flowRes[fi][2]] // the flow's own cap resource
+			conns += order[fi].conns
 		}
-		if r.cap <= 0 {
+		if a.resCap[ri] <= 0 {
 			continue
 		}
-		pressure := demand/r.cap - 1
+		pressure := demand/a.resCap[ri] - 1
 		if pressure > 0 {
-			s.vms[r.vm].lastRetrans += 2.0 * pressure * float64(conns)
+			s.vms[a.resVM[ri]].lastRetrans += 2.0 * pressure * float64(conns)
 		}
 	}
 }

@@ -1,0 +1,104 @@
+package netsim
+
+import (
+	"testing"
+
+	"github.com/wanify/wanify/internal/geo"
+)
+
+// benchChurnSim builds an 8-DC cluster saturated with nFlows probes
+// spread round-robin across all ordered DC pairs — the shape of the
+// paper's Fig. 5-10 shuffle phases.
+func benchChurnSim(nFlows int) (*Sim, []*Flow) {
+	cfg := UniformCluster(geo.TestbedSubset(8), T2Medium, 99)
+	cfg.Frozen = true
+	s := NewSim(cfg)
+	var pairs [][2]int
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if i != j {
+				pairs = append(pairs, [2]int{i, j})
+			}
+		}
+	}
+	flows := make([]*Flow, nFlows)
+	for k := range flows {
+		p := pairs[k%len(pairs)]
+		flows[k] = s.StartProbe(s.FirstVMOfDC(p[0]), s.FirstVMOfDC(p[1]), k%7+1)
+	}
+	s.ensureAllocated()
+	return s, flows
+}
+
+// BenchmarkAllocatorChurn measures one allocator recomputation per
+// start/finish churn event with 336 concurrent flows — the netsim hot
+// path (Figs. 5-10 spawn hundreds of concurrent shuffle flows). The
+// "fromscratch" variant runs the original allocator
+// (allocateReference); "incremental" runs the production path. The
+// ratio is the PR's headline speedup (target >= 5x).
+func BenchmarkAllocatorChurn(b *testing.B) {
+	const nFlows = 336
+	bench := func(b *testing.B, incremental bool) {
+		s, flows := benchChurnSim(nFlows)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			// Churn: the oldest flow finishes, a replacement starts.
+			k := n % nFlows
+			old := flows[k]
+			src, dst := old.Src(), old.Dst()
+			old.Stop()
+			flows[k] = s.StartProbe(src, dst, n%7+1)
+			if incremental {
+				s.ensureAllocated()
+			} else {
+				s.allocateReference()
+			}
+		}
+	}
+	b.Run("incremental", func(b *testing.B) { bench(b, true) })
+	b.Run("fromscratch", func(b *testing.B) { bench(b, false) })
+}
+
+// BenchmarkAllocatorSteadyState measures a bare recomputation with no
+// churn (e.g. a fluctuation tick): the same flow set reallocated.
+func BenchmarkAllocatorSteadyState(b *testing.B) {
+	s, _ := benchChurnSim(224)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		s.invalidate()
+		s.ensureAllocated()
+	}
+}
+
+// BenchmarkTimerHeap measures a push/pop cycle on a 512-deep timer
+// heap — the event loop's core data structure, hand-rolled to avoid
+// the per-event boxing of the old container/heap implementation.
+func BenchmarkTimerHeap(b *testing.B) {
+	var h timerHeap
+	fn := func(float64) {}
+	for i := 0; i < 512; i++ {
+		h.push(timerEvent{at: float64(i % 97), seq: int64(i), fn: fn})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		h.push(timerEvent{at: float64(n % 89), seq: int64(n + 512), fn: fn})
+		h.pop()
+	}
+}
+
+// BenchmarkTimerLoop measures the full event loop driving 64 recurring
+// timers through one simulated second per iteration.
+func BenchmarkTimerLoop(b *testing.B) {
+	s := frozenSim(2, 1)
+	for i := 0; i < 64; i++ {
+		s.Every(0.05+0.01*float64(i%10), func(float64) {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		s.RunFor(1)
+	}
+}

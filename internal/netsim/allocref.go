@@ -1,0 +1,212 @@
+package netsim
+
+import (
+	"math"
+	"slices"
+)
+
+// allocateReference is the original from-scratch allocator, preserved
+// verbatim in behavior: it rebuilds the whole resource graph on every
+// call, rescans the flow list for per-VM connection totals (O(flows)
+// per flow, O(flows²) per allocation) and recomputes every resource's
+// unfrozen weight sum each filling round. It exists as the oracle for
+// the incremental allocator — equivalence tests require bit-identical
+// rates — and as the baseline for BenchmarkAllocatorChurn.
+//
+// It does not mutate simulator state: rates[i] is the rate of the i-th
+// active flow in start (id) order, retrans[v] the per-VM
+// retransmission rate the allocation implies.
+func (s *Sim) allocateReference() (rates []float64, retrans []float64) {
+	order := make([]*Flow, len(s.flows))
+	copy(order, s.flows)
+	slices.SortFunc(order, func(x, y *Flow) int {
+		switch {
+		case x.id < y.id:
+			return -1
+		case x.id > y.id:
+			return 1
+		default:
+			return 0
+		}
+	})
+	nf := len(order)
+	retrans = make([]float64, len(s.vms))
+	if nf == 0 {
+		return nil, retrans
+	}
+
+	// Congestion factor per VM, from a full rescan of the flow list.
+	congFactor := make([]float64, len(s.vms))
+	totalConns := make([]int, len(s.vms))
+	for _, f := range order {
+		totalConns[f.src] += f.conns
+		totalConns[f.dst] += f.conns
+	}
+	for i := range s.vms {
+		over := float64(totalConns[i] - s.cfg.CongestionKnee)
+		if over < 0 {
+			over = 0
+		}
+		congFactor[i] = 1 / (1 + s.cfg.CongestionSlope*over)
+	}
+
+	// connsScan/memScan rescan the flow list per call, exactly like the
+	// original connsAt/memUtil did.
+	connsScan := func(id VMID) int {
+		total := 0
+		for _, f := range order {
+			if f.src == id || f.dst == id {
+				total += f.conns
+			}
+		}
+		return total
+	}
+	memScan := func(id VMID) float64 {
+		v := s.vms[id]
+		base := 0.20 + 0.25*v.cpuLoad
+		buf := float64(connsScan(id)) * s.cfg.BufferMBPerConn / (v.spec.MemGB * 1024)
+		return math.Min(1, base+buf)
+	}
+
+	// Build resources.
+	type refResource struct {
+		kind    resKind
+		vm      VMID
+		cap     float64
+		members []int
+	}
+	var resources []refResource
+	egressIdx := make([]int, len(s.vms))
+	ingressIdx := make([]int, len(s.vms))
+	for i, v := range s.vms {
+		egressIdx[i] = len(resources)
+		resources = append(resources, refResource{kind: resEgress, vm: v.id, cap: v.spec.EgressMbps * congFactor[i]})
+		ingressIdx[i] = len(resources)
+		resources = append(resources, refResource{kind: resIngress, vm: v.id, cap: v.spec.IngressMbps * congFactor[i]})
+	}
+	pairIdx := make(map[[2]int]int)
+
+	weights := make([]float64, nf)
+	flowRes := make([][]int, nf) // resource indices per flow
+	for fi, f := range order {
+		srcDC, dstDC := f.srcDC, f.dstDC
+		fluct := 1.0
+		if p := s.fluct[srcDC][dstDC]; p != nil {
+			fluct = p.factor()
+		}
+		memF := memFactor(memScan(f.dst))
+		cpuF := cpuFactor(s.vms[f.src].cpuLoad)
+		capF := float64(f.conns) * s.perConnBase[srcDC][dstDC] * fluct * memF * cpuF * s.rampFactor(f)
+		// Per-flow cap resource.
+		capRes := len(resources)
+		resources = append(resources, refResource{kind: resFlowCap, cap: capF})
+
+		rtt := s.rttSec[srcDC][dstDC]
+		if rtt <= 0 {
+			rtt = 1e-3
+		}
+		weights[fi] = float64(f.conns) / math.Pow(rtt, s.cfg.RTTBiasExp)
+
+		rs := []int{egressIdx[f.src], ingressIdx[f.dst], capRes}
+		if limit := s.pairLimitAt(srcDC, dstDC); !math.IsNaN(limit) {
+			idx, ok := pairIdx[[2]int{srcDC, dstDC}]
+			if !ok {
+				idx = len(resources)
+				resources = append(resources, refResource{kind: resPairLimit, cap: limit})
+				pairIdx[[2]int{srcDC, dstDC}] = idx
+			}
+			rs = append(rs, idx)
+		}
+		flowRes[fi] = rs
+	}
+	for fi, rs := range flowRes {
+		for _, r := range rs {
+			resources[r].members = append(resources[r].members, fi)
+		}
+	}
+
+	// Progressive filling, recomputing every weight sum every round.
+	rates = make([]float64, nf)
+	frozen := make([]bool, nf)
+	avail := make([]float64, len(resources))
+	for i := range resources {
+		avail[i] = resources[i].cap
+	}
+	remaining := nf
+	const eps = 1e-9
+	for remaining > 0 {
+		theta := math.Inf(1)
+		for ri := range resources {
+			sumW := 0.0
+			for _, fi := range resources[ri].members {
+				if !frozen[fi] {
+					sumW += weights[fi]
+				}
+			}
+			if sumW > 0 {
+				if t := avail[ri] / sumW; t < theta {
+					theta = t
+				}
+			}
+		}
+		if math.IsInf(theta, 1) {
+			break
+		}
+		if theta < 0 {
+			theta = 0
+		}
+		for fi := range rates {
+			if frozen[fi] {
+				continue
+			}
+			inc := theta * weights[fi]
+			rates[fi] += inc
+			for _, ri := range flowRes[fi] {
+				avail[ri] -= inc
+			}
+		}
+		frozeAny := false
+		for ri := range resources {
+			if avail[ri] > eps*math.Max(1, resources[ri].cap) {
+				continue
+			}
+			for _, fi := range resources[ri].members {
+				if !frozen[fi] {
+					frozen[fi] = true
+					remaining--
+					frozeAny = true
+				}
+			}
+		}
+		if !frozeAny {
+			for fi := range frozen {
+				if !frozen[fi] {
+					frozen[fi] = true
+					remaining--
+				}
+			}
+		}
+	}
+
+	// Retransmission attribution.
+	for ri := range resources {
+		r := &resources[ri]
+		if r.kind != resEgress && r.kind != resIngress {
+			continue
+		}
+		demand := 0.0
+		conns := 0
+		for _, fi := range r.members {
+			demand += resources[flowRes[fi][2]].cap
+			conns += order[fi].conns
+		}
+		if r.cap <= 0 {
+			continue
+		}
+		pressure := demand/r.cap - 1
+		if pressure > 0 {
+			retrans[r.vm] += 2.0 * pressure * float64(conns)
+		}
+	}
+	return rates, retrans
+}

@@ -20,6 +20,15 @@
 // The simulator is event-driven and fully deterministic for a given
 // seed. All bandwidth values are in Mbps; sizes in bytes; time in
 // (simulated) seconds.
+//
+// Rate allocation — the hot path exercised on every flow start/finish,
+// connection resize and fluctuation tick — is incremental: per-VM
+// connection counts and per-DC-pair flow indexes are maintained as
+// flows churn, invalidations are scoped to events that can actually
+// change rates, and the progressive-filling allocator recycles its
+// working state across invocations (zero steady-state allocations)
+// while producing bit-identical rates to a from-scratch recomputation.
+// See the architecture comment in alloc.go and DESIGN.md §2.
 package netsim
 
 import (

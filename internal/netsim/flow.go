@@ -19,6 +19,9 @@ type Flow struct {
 	id    FlowID
 	src   VMID
 	dst   VMID
+	srcDC int // DC of src, cached for the allocator and pair indexes
+	dstDC int // DC of dst
+	idx   int // position in Sim.flows, maintained for O(1) swap-delete
 	conns int
 
 	remainingBits float64 // +Inf for probes
@@ -57,9 +60,13 @@ func (f *Flow) SetConns(n int) {
 	if n == f.conns {
 		return
 	}
-	f.sim.syncProgress()
+	if !f.done {
+		delta := n - f.conns
+		f.sim.vmConns[f.src] += delta
+		f.sim.vmConns[f.dst] += delta
+		f.sim.invalidate()
+	}
 	f.conns = n
-	f.sim.invalidate()
 }
 
 // Rate returns the currently allocated rate in Mbps.
@@ -69,14 +76,15 @@ func (f *Flow) Rate() float64 {
 }
 
 // TransferredBytes returns the cumulative bytes delivered so far.
+// Progress is always current: timers fire exactly at Sim.now and
+// advanceTo credits flows before time moves, so there is never pending
+// progress to flush.
 func (f *Flow) TransferredBytes() float64 {
-	f.sim.syncProgress()
 	return f.sentBits / 8
 }
 
 // RemainingBytes returns the bytes still to deliver (+Inf for probes).
 func (f *Flow) RemainingBytes() float64 {
-	f.sim.syncProgress()
 	return f.remainingBits / 8
 }
 
@@ -92,7 +100,6 @@ func (f *Flow) Stop() {
 	if f.done {
 		return
 	}
-	f.sim.syncProgress()
 	f.stopped = true
 	f.sim.finishFlow(f)
 }

@@ -1,9 +1,9 @@
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"slices"
 	"time"
 
 	"github.com/wanify/wanify/internal/geo"
@@ -15,7 +15,9 @@ import (
 // model; see Config for the knobs.
 //
 // Sim is not safe for concurrent use: the analytics engine, agents and
-// probes all run inside the single simulated timeline.
+// probes all run inside the single simulated timeline. Concurrency
+// lives one level up — independent experiment drivers each own a Sim
+// (see internal/experiments.RunConcurrent).
 type Sim struct {
 	cfg     Config
 	regions []geo.Region
@@ -26,20 +28,37 @@ type Sim struct {
 	// Pairwise physics, indexed [srcDC][dstDC].
 	perConnBase [][]float64 // Mbps per connection at nominal conditions
 	rttSec      [][]float64
+	rttBiasPow  [][]float64 // RTT^RTTBiasExp, precomputed (hot in allocate)
 	distKm      [][]float64
 	fluct       [][]*ouProcess
 
-	pairLimits map[[2]int]float64 // simulated `tc` rate limits, Mbps
+	// pairLimits holds the simulated `tc` rate limits in Mbps, indexed
+	// by pairKey(srcDC, dstDC); NaN means unlimited. numLimits counts
+	// the non-NaN entries so the common no-limits case stays O(1).
+	pairLimits []float64
+	numLimits  int
 
-	flows      []*Flow // active flows, in start order
+	// flows is the active set in arbitrary order: finishFlow swap-
+	// deletes through Flow.idx, so starts and finishes are O(1). The
+	// allocator re-derives start (id) order when it runs; everything
+	// order-sensitive goes through flowsOrdered or pairFlows.
+	flows      []*Flow
 	nextFlowID FlowID
+
+	// Incrementally maintained flow indexes (updated on start/finish/
+	// SetConns rather than recomputed per allocation):
+	vmConns     []int     // connections terminating at each VM (both directions)
+	pairFlows   [][]*Flow // active flows per DC pair, in start order
+	interDCFlow int       // active flows whose endpoints sit in different DCs
 
 	now        float64
 	timers     timerHeap
 	timerSeq   int64
 	fluctEvery float64 // seconds between fluctuation steps
 
-	allocDirty bool
+	allocDirty     bool
+	flowSetChanged bool // active-flow membership changed since last flowsOrdered
+	scratch        allocScratch
 
 	rng *simrand.Source
 }
@@ -56,7 +75,6 @@ func NewSim(cfg Config) *Sim {
 	s := &Sim{
 		cfg:        cfg,
 		regions:    append([]geo.Region(nil), cfg.Regions...),
-		pairLimits: make(map[[2]int]float64),
 		fluctEvery: 1.0,
 		allocDirty: true,
 		rng:        simrand.Derive(cfg.Seed, "netsim"),
@@ -73,14 +91,22 @@ func NewSim(cfg Config) *Sim {
 			s.vmsOfDC[dc] = append(s.vmsOfDC[dc], id)
 		}
 	}
+	s.vmConns = make([]int, len(s.vms))
+	s.pairFlows = make([][]*Flow, n*n)
+	s.pairLimits = make([]float64, n*n)
+	for i := range s.pairLimits {
+		s.pairLimits[i] = math.NaN()
+	}
 	a := cfg.PerConnRefMbps * math.Pow(cfg.PerConnRefKm, cfg.PerConnExp)
 	s.perConnBase = make([][]float64, n)
 	s.rttSec = make([][]float64, n)
+	s.rttBiasPow = make([][]float64, n)
 	s.distKm = make([][]float64, n)
 	s.fluct = make([][]*ouProcess, n)
 	for i := 0; i < n; i++ {
 		s.perConnBase[i] = make([]float64, n)
 		s.rttSec[i] = make([]float64, n)
+		s.rttBiasPow[i] = make([]float64, n)
 		s.distKm[i] = make([]float64, n)
 		s.fluct[i] = make([]*ouProcess, n)
 		for j := 0; j < n; j++ {
@@ -89,6 +115,11 @@ func NewSim(cfg Config) *Sim {
 			eff := math.Max(d, cfg.MinPathKm)
 			s.perConnBase[i][j] = a / math.Pow(eff, cfg.PerConnExp)
 			s.rttSec[i][j] = geo.RTT(cfg.Regions[i], cfg.Regions[j]).Seconds()
+			rtt := s.rttSec[i][j]
+			if rtt <= 0 {
+				rtt = 1e-3
+			}
+			s.rttBiasPow[i][j] = math.Pow(rtt, cfg.RTTBiasExp)
 			if i != j && !cfg.Frozen {
 				// Frozen networks have no fluctuation processes at all:
 				// factor is exactly 1 everywhere, forever.
@@ -98,11 +129,15 @@ func NewSim(cfg Config) *Sim {
 			}
 		}
 	}
+	s.scratch.init(n)
 	if !cfg.Frozen {
 		s.scheduleFluct()
 	}
 	return s
 }
+
+// pairKey flattens a DC pair into an index for pairLimits/pairFlows.
+func (s *Sim) pairKey(srcDC, dstDC int) int { return srcDC*len(s.regions) + dstDC }
 
 // scheduleFluct installs the recurring fluctuation step.
 func (s *Sim) scheduleFluct() {
@@ -115,7 +150,12 @@ func (s *Sim) scheduleFluct() {
 				}
 			}
 		}
-		s.invalidate()
+		// Fluctuation only moves inter-DC factors, so the step dirties
+		// exactly the flows crossing DC boundaries; if none are active
+		// the current allocation is still valid and no recompute runs.
+		if s.interDCFlow > 0 {
+			s.invalidate()
+		}
 		s.at(now+s.fluctEvery, step)
 	}
 	s.at(s.now+s.fluctEvery, step)
@@ -168,26 +208,24 @@ func (s *Sim) SetCPULoad(id VMID, load float64) {
 		return
 	}
 	s.vms[id].cpuLoad = load
-	s.invalidate()
+	// CPU load only enters the allocation through flows that send from
+	// or terminate at this VM; with none attached, current rates stand.
+	if s.vmConns[id] > 0 {
+		s.invalidate()
+	}
 }
 
-// connsAt returns the total connections terminating at the VM.
-func (s *Sim) connsAt(id VMID) int {
-	total := 0
-	for _, f := range s.flows {
-		if f.src == id || f.dst == id {
-			total += f.conns
-		}
-	}
-	return total
-}
+// connsAt returns the total connections terminating at the VM. O(1):
+// the count is maintained incrementally as flows start, finish and
+// resize their connection pools.
+func (s *Sim) connsAt(id VMID) int { return s.vmConns[id] }
 
 // memUtil returns the VM's memory utilization including connection
 // buffers (feature Md).
 func (s *Sim) memUtil(id VMID) float64 {
 	v := s.vms[id]
 	base := 0.20 + 0.25*v.cpuLoad // resident engine + task working set
-	buf := float64(s.connsAt(id)) * s.cfg.BufferMBPerConn / (v.spec.MemGB * 1024)
+	buf := float64(s.vmConns[id]) * s.cfg.BufferMBPerConn / (v.spec.MemGB * 1024)
 	return math.Min(1, base+buf)
 }
 
@@ -209,23 +247,48 @@ func (s *Sim) VMStats(id VMID) VMStats {
 // from srcDC to dstDC, in Mbps. WANify's local agents use this to
 // throttle BW-rich links (§3.2.2).
 func (s *Sim) SetPairLimit(srcDC, dstDC int, mbps float64) {
-	s.pairLimits[[2]int{srcDC, dstDC}] = mbps
-	s.invalidate()
+	k := s.pairKey(srcDC, dstDC)
+	if math.IsNaN(s.pairLimits[k]) {
+		s.numLimits++
+	}
+	s.pairLimits[k] = mbps
+	if len(s.pairFlows[k]) > 0 {
+		s.invalidate()
+	}
 }
 
 // ClearPairLimit removes a pair rate limit.
 func (s *Sim) ClearPairLimit(srcDC, dstDC int) {
-	delete(s.pairLimits, [2]int{srcDC, dstDC})
-	s.invalidate()
+	k := s.pairKey(srcDC, dstDC)
+	if math.IsNaN(s.pairLimits[k]) {
+		return
+	}
+	s.pairLimits[k] = math.NaN()
+	s.numLimits--
+	if len(s.pairFlows[k]) > 0 {
+		s.invalidate()
+	}
 }
 
 // ClearAllPairLimits removes every pair rate limit.
 func (s *Sim) ClearAllPairLimits() {
-	if len(s.pairLimits) == 0 {
+	if s.numLimits == 0 {
 		return
 	}
-	s.pairLimits = make(map[[2]int]float64)
-	s.invalidate()
+	for k := range s.pairLimits {
+		if !math.IsNaN(s.pairLimits[k]) {
+			s.pairLimits[k] = math.NaN()
+			if len(s.pairFlows[k]) > 0 {
+				s.invalidate()
+			}
+		}
+	}
+	s.numLimits = 0
+}
+
+// pairLimitAt returns the rate limit for a DC pair, or NaN if none.
+func (s *Sim) pairLimitAt(srcDC, dstDC int) float64 {
+	return s.pairLimits[s.pairKey(srcDC, dstDC)]
 }
 
 // --- flows ---
@@ -259,10 +322,13 @@ func (s *Sim) StartProbe(src, dst VMID, conns int) *Flow {
 }
 
 func (s *Sim) addFlow(src, dst VMID, conns int, bits float64, onDone func()) *Flow {
+	srcDC, dstDC := s.vms[src].dc, s.vms[dst].dc
 	f := &Flow{
 		id:            s.nextFlowID,
 		src:           src,
 		dst:           dst,
+		srcDC:         srcDC,
+		dstDC:         dstDC,
 		conns:         conns,
 		remainingBits: bits,
 		sim:           s,
@@ -275,7 +341,6 @@ func (s *Sim) addFlow(src, dst VMID, conns int, bits float64, onDone func()) *Fl
 	// parallel connections shorten the ramp (larger aggregate initial
 	// window). The ramp is quantized into three cap levels, so we
 	// schedule re-allocations at the level boundaries.
-	srcDC, dstDC := s.vms[src].dc, s.vms[dst].dc
 	rtt := s.rttSec[srcDC][dstDC]
 	f.rampS = s.cfg.RampRTTs * rtt / (1 + math.Log2(float64(conns)))
 	if f.rampS > 0 {
@@ -288,7 +353,16 @@ func (s *Sim) addFlow(src, dst VMID, conns int, bits float64, onDone func()) *Fl
 		}
 	}
 
+	f.idx = len(s.flows)
 	s.flows = append(s.flows, f)
+	s.flowSetChanged = true
+	s.vmConns[src] += conns
+	s.vmConns[dst] += conns
+	k := s.pairKey(srcDC, dstDC)
+	s.pairFlows[k] = append(s.pairFlows[k], f) // ids ascend: start order kept
+	if srcDC != dstDC {
+		s.interDCFlow++
+	}
 	s.invalidate()
 	return f
 }
@@ -318,18 +392,37 @@ func (s *Sim) rampFactor(f *Flow) float64 {
 	}
 }
 
-// finishFlow removes a flow from the active set.
+// finishFlow removes a flow from the active set in O(1) by swapping the
+// last flow into its slot (Flow.idx tracks positions).
 func (s *Sim) finishFlow(f *Flow) {
 	if f.done {
 		return
 	}
 	f.done = true
 	f.rate = 0
-	for i, g := range s.flows {
+	last := len(s.flows) - 1
+	moved := s.flows[last]
+	s.flows[f.idx] = moved
+	moved.idx = f.idx
+	s.flows[last] = nil
+	s.flows = s.flows[:last]
+	s.flowSetChanged = true
+
+	s.vmConns[f.src] -= f.conns
+	s.vmConns[f.dst] -= f.conns
+	k := s.pairKey(f.srcDC, f.dstDC)
+	pf := s.pairFlows[k]
+	for i, g := range pf {
 		if g == f {
-			s.flows = append(s.flows[:i], s.flows[i+1:]...)
+			// Order-preserving removal: pair lists stay in start order
+			// so PairRate sums deterministically. Lists are per-pair and
+			// short, so the copy is cheap.
+			s.pairFlows[k] = append(pf[:i], pf[i+1:]...)
 			break
 		}
+	}
+	if f.srcDC != f.dstDC {
+		s.interDCFlow--
 	}
 	s.invalidate()
 	if !f.stopped && f.onDone != nil {
@@ -341,14 +434,13 @@ func (s *Sim) finishFlow(f *Flow) {
 func (s *Sim) ActiveFlows() int { return len(s.flows) }
 
 // PairRate returns the current aggregate rate (Mbps) of all active
-// flows from srcDC to dstDC.
+// flows from srcDC to dstDC. The per-pair flow index makes this
+// O(flows on the pair) rather than O(all flows).
 func (s *Sim) PairRate(srcDC, dstDC int) float64 {
 	s.ensureAllocated()
 	total := 0.0
-	for _, f := range s.flows {
-		if s.vms[f.src].dc == srcDC && s.vms[f.dst].dc == dstDC {
-			total += f.rate
-		}
+	for _, f := range s.pairFlows[s.pairKey(srcDC, dstDC)] {
+		total += f.rate
 	}
 	return total
 }
@@ -361,28 +453,64 @@ type timerEvent struct {
 	fn  func(now float64)
 }
 
+// timerHeap is a binary min-heap of timer events ordered by (at, seq).
+// It replaces the earlier container/heap implementation, whose
+// heap.Interface methods forced every event through an interface{}
+// (now spelled any) box — one allocation per scheduled timer. The
+// typed sift operations below allocate only on slice growth.
 type timerHeap []timerEvent
 
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
+func (h timerHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(timerEvent)) }
-func (h *timerHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h *timerHeap) push(ev timerEvent) {
+	*h = append(*h, ev)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *timerHeap) pop() timerEvent {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = timerEvent{} // release the closure
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q[i], q[smallest] = q[smallest], q[i]
+		i = smallest
+	}
+	return top
 }
 
 func (s *Sim) at(t float64, fn func(now float64)) {
 	s.timerSeq++
-	heap.Push(&s.timers, timerEvent{at: t, seq: s.timerSeq, fn: fn})
+	s.timers.push(timerEvent{at: t, seq: s.timerSeq, fn: fn})
 }
 
 // After schedules fn to run once, delay seconds from now.
@@ -451,7 +579,7 @@ func (s *Sim) stepOnce(limit float64) {
 
 	// Fire all timers due at the new time.
 	for len(s.timers) > 0 && s.timers[0].at <= s.now+eps {
-		ev := heap.Pop(&s.timers).(timerEvent)
+		ev := s.timers.pop()
 		ev.fn(s.now)
 	}
 }
@@ -480,6 +608,12 @@ func (s *Sim) advanceTo(tNext float64) {
 		v.retransAccum += v.lastRetrans * dt
 	}
 	s.now = tNext
+	// s.flows is unordered (swap-delete), so restore start order before
+	// completing: onDone callbacks must fire in the same deterministic
+	// sequence they always have.
+	if len(completed) > 1 {
+		slices.SortFunc(completed, func(a, b *Flow) int { return int(a.id - b.id) })
+	}
 	for _, f := range completed {
 		s.finishFlow(f)
 	}
@@ -508,13 +642,6 @@ func (s *Sim) AwaitFlows(maxWait float64, flows ...*Flow) error {
 		s.stepOnce(deadline)
 	}
 }
-
-// syncProgress is a hook kept for API clarity: all state mutations in
-// the simulator happen at the current instant (timers fire exactly at
-// s.now, and advanceTo credits progress before time moves), so there is
-// never pending progress to flush. It is retained so call sites read as
-// "make sure accounting is current before mutating".
-func (s *Sim) syncProgress() {}
 
 // invalidate marks the rate allocation stale.
 func (s *Sim) invalidate() { s.allocDirty = true }
