@@ -1,20 +1,32 @@
 // Command wanify-bench regenerates the paper's tables and figures from
 // the simulated testbed. Each experiment id corresponds to one paper
-// artifact (see DESIGN.md §3):
+// artifact (see DESIGN.md §3), and each id expands into a family of
+// scenarios across the selected backends:
 //
 //	wanify-bench -list
 //	wanify-bench -run table1
 //	wanify-bench -run all -scale 0.2 -seed 7 -parallel 8
+//	wanify-bench -run fig5 -backend trace:mytrace.csv  # 8+ region trace
+//	wanify-bench -run all -model model.gob   # reuse a wanify-train model
 //
-// Independent experiment drivers run concurrently across a worker pool
-// (each owns its private simulator; the trained prediction model is
+// -backend is a comma-separated list of netsim | trace | trace:<name|file>
+// (default "netsim,trace": the simulator plus the bundled diurnal
+// replay, so the trace backend's timing trajectory is tracked from day
+// one). Experiments pinned to bespoke netsim topologies are skipped on
+// trace backends, as is every standard driver when a trace records
+// fewer than the testbed's 8 regions (smaller traces still drive
+// wanify-sim, which sizes the job to the backend).
+//
+// Independent scenario drivers run concurrently across a worker pool
+// (each owns its private cluster; the trained prediction model is
 // shared read-only), so wall-clock is bounded by the slowest driver.
 // Output order is deterministic and identical to a sequential run.
 //
 // Unless -bench-out is empty, a machine-readable timing report is
-// written (default BENCH_netsim.json) with per-experiment wall-clock
-// seconds, so the simulator's performance trajectory can be tracked
-// across commits.
+// written (default BENCH_netsim.json) with per-scenario wall-clock
+// seconds and the allocator-churn microbenchmark per backend, so the
+// substrate's performance trajectory is tracked across commits (the CI
+// bench guard compares against the committed baseline).
 package main
 
 import (
@@ -23,24 +35,34 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"github.com/wanify/wanify/internal/experiments"
+	"github.com/wanify/wanify/internal/netsim"
+	"github.com/wanify/wanify/internal/predict"
 )
 
-// benchReport is the schema of BENCH_netsim.json. Per-experiment
-// seconds are wall-clock under `workers`-way co-scheduling: when
-// comparing timings across commits, use runs with the same worker
-// count — the committed baseline is generated with -parallel 1 so
-// entries are uncontended.
+// benchReport is the schema of BENCH_netsim.json. Per-scenario seconds
+// are wall-clock under `workers`-way co-scheduling: when comparing
+// timings across commits, use runs with the same worker count — the
+// committed baseline is generated with -parallel 1 so entries are
+// uncontended. Benchmarks holds the allocator-churn microbenchmark:
+// allocator_churn_ns_per_op (netsim incremental),
+// allocator_churn_reference_ns_per_op (from-scratch reference; the CI
+// guard gates on the incremental/reference ratio, which cancels
+// hardware speed) and allocator_churn_<backend>_ns_per_op for each
+// trace backend.
 type benchReport struct {
-	GoVersion    string       `json:"go_version"`
-	GOMAXPROCS   int          `json:"gomaxprocs"`
-	Workers      int          `json:"workers"`
-	Scale        float64      `json:"scale"`
-	Seeds        []uint64     `json:"seeds"`
-	TotalSeconds float64      `json:"total_seconds"`
-	Experiments  []benchEntry `json:"experiments"`
+	GoVersion    string             `json:"go_version"`
+	GOMAXPROCS   int                `json:"gomaxprocs"`
+	Workers      int                `json:"workers"`
+	Scale        float64            `json:"scale"`
+	Backends     []string           `json:"backends"`
+	Seeds        []uint64           `json:"seeds"`
+	TotalSeconds float64            `json:"total_seconds"`
+	Benchmarks   map[string]float64 `json:"benchmarks,omitempty"`
+	Experiments  []benchEntry       `json:"experiments"`
 }
 
 type benchEntry struct {
@@ -57,7 +79,9 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		seeds    = flag.Int("seeds", 1, "repeat over this many consecutive seeds (the paper averages 5 runs)")
 		scale    = flag.Float64("scale", 1.0, "input-size scale (1.0 = paper scale)")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment drivers to run concurrently (1 = sequential, <=0 = GOMAXPROCS)")
+		backends = flag.String("backend", "netsim,trace", "comma-separated substrate backends: netsim | trace | trace:<name|file>")
+		modelIn  = flag.String("model", "", "load a wanify-train model instead of training (gob)")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "scenario drivers to run concurrently (1 = sequential, <=0 = GOMAXPROCS)")
 		benchOut = flag.String("bench-out", "BENCH_netsim.json", "write a JSON timing report here ('' to disable)")
 	)
 	flag.Parse()
@@ -68,7 +92,7 @@ func main() {
 			fmt.Printf("  %s\n", id)
 		}
 		if *run == "" {
-			fmt.Println("\nusage: wanify-bench -run <id>|all [-seed N] [-scale F] [-parallel N]")
+			fmt.Println("\nusage: wanify-bench -run <id>|all [-seed N] [-scale F] [-backend LIST] [-parallel N]")
 		}
 		return
 	}
@@ -84,6 +108,45 @@ func main() {
 		*seeds = 1
 	}
 
+	var backendList []experiments.Backend
+	for _, s := range strings.Split(*backends, ",") {
+		b, err := experiments.ParseBackend(strings.TrimSpace(s))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(2)
+		}
+		backendList = append(backendList, b)
+	}
+	scenarios := experiments.Scenarios(ids, backendList)
+	for _, b := range backendList {
+		supported := 0
+		for _, id := range ids {
+			if experiments.SupportsBackend(id, b) {
+				supported++
+			}
+		}
+		if skipped := len(ids) - supported; skipped > 0 {
+			fmt.Fprintf(os.Stderr, "backend %s: skipping %d/%d experiments (bespoke netsim topology, or trace has fewer than 8 regions)\n",
+				b, skipped, len(ids))
+		}
+	}
+	if len(scenarios) == 0 {
+		fmt.Fprintf(os.Stderr, "no scenario supports the selected backends (%s)\n", *backends)
+		os.Exit(2)
+	}
+
+	var model *predict.Model
+	if *modelIn != "" {
+		var err error
+		model, err = predict.LoadFile(*modelIn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "loaded prediction model from %s (%d trees); skipping training\n",
+			*modelIn, model.Forest().NumTrees())
+	}
+
 	workers := *parallel
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -95,11 +158,14 @@ func main() {
 		Workers:    workers,
 		Scale:      *scale,
 	}
+	for _, b := range backendList {
+		report.Backends = append(report.Backends, b.String())
+	}
 	failed := 0
 	for k := 0; k < *seeds; k++ {
-		params := experiments.Params{Seed: *seed + uint64(k), Scale: *scale}
+		params := experiments.Params{Seed: *seed + uint64(k), Scale: *scale, Model: model}
 		report.Seeds = append(report.Seeds, params.Seed)
-		runs := experiments.RunConcurrent(ids, params, workers)
+		runs := experiments.RunScenarios(scenarios, params, workers)
 		for _, r := range runs {
 			entry := benchEntry{ID: r.ID, Seed: r.Seed, Seconds: r.Seconds}
 			if r.Err != nil {
@@ -119,6 +185,27 @@ func main() {
 	report.TotalSeconds = time.Since(start).Seconds()
 
 	if *benchOut != "" {
+		// Time the allocator hot path on every backend so the report
+		// tracks each substrate's perf trajectory, not just netsim's.
+		// The netsim pair (incremental + from-scratch reference) backs
+		// the CI regression guard's hardware-independent ratio check.
+		report.Benchmarks = map[string]float64{
+			"allocator_churn_ns_per_op":           netsim.ChurnNsPerOp(true, 20000),
+			"allocator_churn_reference_ns_per_op": netsim.ChurnNsPerOp(false, 5000),
+		}
+		for _, b := range backendList {
+			if b.String() == "netsim" {
+				continue
+			}
+			ns, err := experiments.AllocatorChurnNsPerOp(b, 20000)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "churn benchmark on %s: %v\n", b, err)
+				failed++
+				continue
+			}
+			key := fmt.Sprintf("allocator_churn_%s_ns_per_op", strings.ReplaceAll(b.String(), ":", "_"))
+			report.Benchmarks[key] = ns
+		}
 		buf, err := json.MarshalIndent(report, "", "  ")
 		if err == nil {
 			err = os.WriteFile(*benchOut, append(buf, '\n'), 0o644)

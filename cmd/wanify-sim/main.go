@@ -1,10 +1,13 @@
-// Command wanify-sim runs a single geo-distributed analytics job on the
-// simulated 8-region testbed under a chosen scheduler and connection
-// strategy, printing per-stage timing and the itemized cost.
+// Command wanify-sim runs a single geo-distributed analytics job on a
+// WAN substrate (the simulated 8-region testbed by default, or a
+// trace replay) under a chosen scheduler and connection strategy,
+// printing per-stage timing and the itemized cost.
 //
 //	wanify-sim -job terasort -gb 100
 //	wanify-sim -job tpcds-78 -sched tetrium -conns wanify
 //	wanify-sim -job wordcount -mb 600 -skew -sched kimchi -conns uniform
+//	wanify-sim -job terasort -backend trace:cloud4
+//	wanify-sim -job terasort -conns wanify -model model.gob
 //
 // Schedulers: locality (vanilla Spark), iridium (Pu et al.'s classic
 // per-site placement), tetrium, kimchi. For the WAN-aware schedulers,
@@ -12,7 +15,9 @@
 // simultaneous, predicted). Connection strategies: single, uniform
 // (8 per pair), wanify (predicted BWs + heterogeneous agent-managed
 // pools + throttling). -overlap pipelines compute into the transfer
-// window (SDTP-style).
+// window (SDTP-style). -backend selects the substrate (netsim, trace,
+// trace:<name|file>); -model reuses a wanify-train model so the online
+// run skips retraining.
 package main
 
 import (
@@ -26,10 +31,10 @@ import (
 	"github.com/wanify/wanify/internal/agent"
 	"github.com/wanify/wanify/internal/bwmatrix"
 	"github.com/wanify/wanify/internal/cost"
+	"github.com/wanify/wanify/internal/experiments"
 	"github.com/wanify/wanify/internal/gda"
-	"github.com/wanify/wanify/internal/geo"
 	"github.com/wanify/wanify/internal/measure"
-	"github.com/wanify/wanify/internal/netsim"
+	"github.com/wanify/wanify/internal/predict"
 	"github.com/wanify/wanify/internal/spark"
 	"github.com/wanify/wanify/internal/trace"
 	"github.com/wanify/wanify/internal/workloads"
@@ -46,18 +51,30 @@ func main() {
 		conns   = flag.String("conns", "single", "single | uniform | wanify")
 		overlap = flag.Bool("overlap", false, "pipeline compute into the transfer window (SDTP-style)")
 		traceTo = flag.String("trace", "", "write a per-pair rate time series (CSV) to this file")
+		backend = flag.String("backend", "netsim", "substrate backend: netsim | trace | trace:<name|file>")
+		modelIn = flag.String("model", "", "load a wanify-train model instead of quick-training (gob)")
 		seed    = flag.Uint64("seed", 1, "simulation seed")
 	)
 	flag.Parse()
 
 	rates := cost.DefaultRates()
-	sim := netsim.NewSim(netsim.UniformCluster(geo.Testbed(), netsim.T2Medium, *seed))
+	be, err := experiments.ParseBackend(*backend)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := be.NewTestbed(be.NumDCs(), *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
 	n := sim.NumDCs()
 
 	// Input layout.
 	var input []float64
 	switch {
 	case *jobName == "wordcount" && *skew:
+		if n < 4 {
+			log.Fatalf("-skew needs at least 4 DCs; backend %s has %d", be, n)
+		}
 		input = workloads.SkewedInput(n, *mb*1e6, []int{0, 1, 2, 3}, 0.95)
 	case *jobName == "wordcount":
 		input = workloads.UniformInput(n, *mb*1e6)
@@ -90,14 +107,26 @@ func main() {
 	var fw *wanify.Framework
 	needsModel := *conns == "wanify" || (*sched != "locality" && *believe == "predicted")
 	if needsModel {
-		fmt.Println("training the offline prediction model (quick configuration)...")
-		model, rep, err := wanify.QuickModel(*seed)
-		if err != nil {
-			log.Fatal(err)
+		var model *predict.Model
+		if *modelIn != "" {
+			var err error
+			model, err = predict.LoadFile(*modelIn)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("loaded prediction model from %s (%d trees)\n", *modelIn, model.Forest().NumTrees())
+		} else {
+			fmt.Println("training the offline prediction model (quick configuration)...")
+			var rep wanify.TrainReport
+			var err error
+			model, rep, err = wanify.QuickModel(*seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("model ready: %d rows, %.1f%% train accuracy\n", rep.Rows, rep.TrainAccuracy*100)
 		}
-		fmt.Printf("model ready: %d rows, %.1f%% train accuracy\n", rep.Rows, rep.TrainAccuracy*100)
 		fw, err = wanify.New(wanify.Config{
-			Sim: sim, Rates: rates, Seed: *seed,
+			Cluster: sim, Rates: rates, Seed: *seed,
 			Agent: agent.Config{Throttle: true},
 		}, model)
 		if err != nil {
@@ -159,7 +188,7 @@ func main() {
 		log.Fatalf("unknown scheduler %q", *sched)
 	}
 
-	fmt.Printf("\nrunning %s on 8 DCs: scheduler=%s conns=%s\n", job.Name, scheduler.Name(), *conns)
+	fmt.Printf("\nrunning %s on %d DCs (%s): scheduler=%s conns=%s\n", job.Name, n, be, scheduler.Name(), *conns)
 	eng := spark.NewEngine(sim, rates)
 	eng.OverlapFetchCompute = *overlap
 	var rec *trace.Recorder

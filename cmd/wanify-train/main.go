@@ -5,8 +5,13 @@
 //
 //	wanify-train                         # paper-like configuration
 //	wanify-train -sessions 40 -trees 100 # heavier training run
-//	wanify-train -out model.gob          # persist the trained forest
+//	wanify-train -out model.gob          # persist the trained model
 //	wanify-train -load model.gob         # evaluate a saved model
+//
+// Models written with -out are reloaded by wanify-sim/wanify-bench
+// via their -model flags, so online runs skip retraining — the paper's
+// deployment shape, where the offline module trains once and the
+// online module only predicts.
 //
 // The tool prints dataset statistics, train/test accuracy at the paper's
 // 100 Mbps significance threshold (the metric behind its "98.51%
@@ -18,7 +23,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 
 	"github.com/wanify/wanify/internal/cost"
 	"github.com/wanify/wanify/internal/ml/dataset"
@@ -57,36 +61,29 @@ func main() {
 	})
 	fmt.Printf("collection cost at Table 2 pricing: ~$%.0f (paper spent ~$150 total)\n\n", collectUSD)
 
-	var forest *rf.Forest
-	if *loadPath != "" {
-		f, err := os.Open(*loadPath)
-		if err != nil {
-			log.Fatalf("open model: %v", err)
-		}
-		forest, err = rf.Load(f)
-		f.Close()
-		if err != nil {
-			log.Fatalf("load model: %v", err)
-		}
-		fmt.Printf("loaded model: %d trees, %d features\n", forest.NumTrees(), forest.NumFeatures())
-	}
-
 	splitRng := simrand.Derive(*seed, "train-test-split")
 	train, test := ds.Split(0.2, splitRng)
 
-	if forest != nil {
-		// Evaluate the loaded model on freshly collected data and exit.
-		evaluateForest(forest, train, test)
-		return
+	var model *predict.Model
+	if *loadPath != "" {
+		var err error
+		model, err = predict.LoadFile(*loadPath)
+		if err != nil {
+			log.Fatalf("load model: %v", err)
+		}
+		forest := model.Forest()
+		fmt.Printf("loaded model: %d trees, %d features\n", forest.NumTrees(), forest.NumFeatures())
+	} else {
+		var err error
+		model, err = predict.Train(train, predict.TrainConfig{
+			Forest: rf.Config{NumTrees: *trees, Seed: *seed},
+		})
+		if err != nil {
+			log.Fatalf("train: %v", err)
+		}
+		fmt.Printf("trained Random Forest: %d trees, OOB RMSE %.1f Mbps\n",
+			model.Forest().NumTrees(), model.Forest().OOBRMSE())
 	}
-	model, err := predict.Train(train, predict.TrainConfig{
-		Forest: rf.Config{NumTrees: *trees, Seed: *seed},
-	})
-	if err != nil {
-		log.Fatalf("train: %v", err)
-	}
-	forest = model.Forest()
-	fmt.Printf("trained Random Forest: %d trees, OOB RMSE %.1f Mbps\n", forest.NumTrees(), forest.OOBRMSE())
 
 	trainAcc, trainRMSE, _ := model.Accuracy(train)
 	testAcc, testRMSE, testR2 := model.Accuracy(test)
@@ -94,43 +91,14 @@ func main() {
 	fmt.Printf("test:  accuracy %.2f%%, RMSE %.1f Mbps, R² %.3f\n", testAcc*100, testRMSE, testR2)
 
 	fmt.Println("\nfeature importance (Table 3):")
-	for i, imp := range forest.FeatureImportance() {
+	for i, imp := range model.Forest().FeatureImportance() {
 		fmt.Printf("  %-8s %.3f\n", dataset.FeatureNames[i], imp)
 	}
 
 	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			log.Fatalf("create %s: %v", *outPath, err)
-		}
-		if err := forest.Save(f); err != nil {
+		if err := model.SaveFile(*outPath); err != nil {
 			log.Fatalf("save: %v", err)
 		}
-		if err := f.Close(); err != nil {
-			log.Fatalf("close: %v", err)
-		}
-		fmt.Printf("\nmodel written to %s\n", *outPath)
+		fmt.Printf("\nmodel written to %s (reuse with wanify-sim/wanify-bench -model)\n", *outPath)
 	}
-}
-
-// evaluateForest reports accuracy for a pre-trained forest.
-func evaluateForest(f *rf.Forest, train, test rf.Dataset) {
-	report := func(name string, ds rf.Dataset) {
-		pred := f.PredictBatch(ds.X)
-		within := 0
-		for i := range pred {
-			d := pred[i] - ds.Y[i]
-			if d < 0 {
-				d = -d
-			}
-			if d <= predict.SignificantMbps {
-				within++
-			}
-		}
-		fmt.Printf("%s: accuracy %.2f%%, RMSE %.1f, R² %.3f\n",
-			name, 100*float64(within)/float64(len(pred)),
-			stats.RMSE(pred, ds.Y), stats.R2(pred, ds.Y))
-	}
-	report("train", train)
-	report("test", test)
 }

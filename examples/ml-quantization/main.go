@@ -27,6 +27,7 @@ import (
 	"github.com/wanify/wanify/internal/measure"
 	"github.com/wanify/wanify/internal/netsim"
 	"github.com/wanify/wanify/internal/spark"
+	"github.com/wanify/wanify/internal/substrate"
 	"github.com/wanify/wanify/internal/workloads"
 )
 
@@ -59,7 +60,7 @@ func main() {
 		{"PredQ", "predicted", false},
 		{"WQ", "predicted", true},
 	} {
-		sim := netsim.NewSim(netsim.UniformCluster(geo.Testbed(), netsim.T2Medium, seed))
+		sim := netsim.NewSim(netsim.UniformCluster(geo.Testbed(), substrate.T2Medium, seed))
 		var believed bwmatrix.Matrix
 		switch v.belief {
 		case "static":
@@ -69,7 +70,7 @@ func main() {
 			sim.RunUntil(trainStart - 20)
 			believed, _ = measure.StaticSimultaneous(sim, measure.StableOptions())
 		case "predicted":
-			fw, err := wanify.New(wanify.Config{Sim: sim, Rates: rates, Seed: seed}, model)
+			fw, err := wanify.New(wanify.Config{Cluster: sim, Rates: rates, Seed: seed}, model)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -82,7 +83,7 @@ func main() {
 		policy := spark.ConnPolicy(spark.SingleConn{})
 		if v.wanify {
 			fw, err := wanify.New(wanify.Config{
-				Sim: sim, Rates: rates, Seed: seed,
+				Cluster: sim, Rates: rates, Seed: seed,
 				Agent: agent.Config{Throttle: true},
 			}, model)
 			if err != nil {

@@ -21,6 +21,7 @@ import (
 	"github.com/wanify/wanify/internal/geo"
 	"github.com/wanify/wanify/internal/netsim"
 	"github.com/wanify/wanify/internal/spark"
+	"github.com/wanify/wanify/internal/substrate"
 	"github.com/wanify/wanify/internal/workloads"
 )
 
@@ -41,7 +42,7 @@ func main() {
 	// 2. A fresh geo-distributed cluster: 8 AWS regions, one t2.medium
 	//    worker each, with live WAN weather.
 	run := func(useWANify bool) spark.RunResult {
-		sim := netsim.NewSim(netsim.UniformCluster(geo.Testbed(), netsim.T2Medium, seed))
+		sim := netsim.NewSim(netsim.UniformCluster(geo.Testbed(), substrate.T2Medium, seed))
 		eng := spark.NewEngine(sim, rates)
 		job := workloads.TeraSort(workloads.UniformInput(8, 20e9)) // 20 GB TeraSort
 
@@ -51,7 +52,7 @@ func main() {
 			//    runtime BWs, optimizes heterogeneous connections and
 			//    deploys the per-VM agents.
 			fw, err := wanify.New(wanify.Config{
-				Sim: sim, Rates: rates, Seed: seed,
+				Cluster: sim, Rates: rates, Seed: seed,
 				Agent: agent.Config{Throttle: true},
 			}, model)
 			if err != nil {

@@ -21,6 +21,7 @@ import (
 	"github.com/wanify/wanify/internal/geo"
 	"github.com/wanify/wanify/internal/netsim"
 	"github.com/wanify/wanify/internal/spark"
+	"github.com/wanify/wanify/internal/substrate"
 	"github.com/wanify/wanify/internal/workloads"
 )
 
@@ -43,9 +44,9 @@ func main() {
 	fmt.Printf("input skew weights ws = %.2f (hot: US East/West, AP South/SE)\n\n", ws)
 
 	run := func(name string, useAgents bool, skew []float64, policy spark.ConnPolicy) {
-		sim := netsim.NewSim(netsim.UniformCluster(geo.Testbed(), netsim.T2Medium, seed))
+		sim := netsim.NewSim(netsim.UniformCluster(geo.Testbed(), substrate.T2Medium, seed))
 		fw, err := wanify.New(wanify.Config{
-			Sim: sim, Rates: rates, Seed: seed,
+			Cluster: sim, Rates: rates, Seed: seed,
 			Agent: agent.Config{Throttle: true},
 		}, model)
 		if err != nil {

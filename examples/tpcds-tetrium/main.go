@@ -27,6 +27,7 @@ import (
 	"github.com/wanify/wanify/internal/measure"
 	"github.com/wanify/wanify/internal/netsim"
 	"github.com/wanify/wanify/internal/spark"
+	"github.com/wanify/wanify/internal/substrate"
 	"github.com/wanify/wanify/internal/workloads"
 )
 
@@ -58,7 +59,7 @@ func main() {
 
 	// Variant 1: vanilla Tetrium on static-independent beliefs.
 	{
-		sim := netsim.NewSim(netsim.UniformCluster(geo.Testbed(), netsim.T2Medium, seed))
+		sim := netsim.NewSim(netsim.UniformCluster(geo.Testbed(), substrate.T2Medium, seed))
 		believed, _ := measure.StaticIndependent(sim, measure.Options{DurationS: 8, Conns: 1})
 		sim.RunUntil(queryStart)
 		eng := spark.NewEngine(sim, rates)
@@ -72,8 +73,8 @@ func main() {
 
 	// Variant 2: Tetrium on predicted runtime beliefs, single conn.
 	{
-		sim := netsim.NewSim(netsim.UniformCluster(geo.Testbed(), netsim.T2Medium, seed))
-		fw, err := wanify.New(wanify.Config{Sim: sim, Rates: rates, Seed: seed}, model)
+		sim := netsim.NewSim(netsim.UniformCluster(geo.Testbed(), substrate.T2Medium, seed))
+		fw, err := wanify.New(wanify.Config{Cluster: sim, Rates: rates, Seed: seed}, model)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -90,9 +91,9 @@ func main() {
 
 	// Variant 3: full WANify.
 	{
-		sim := netsim.NewSim(netsim.UniformCluster(geo.Testbed(), netsim.T2Medium, seed))
+		sim := netsim.NewSim(netsim.UniformCluster(geo.Testbed(), substrate.T2Medium, seed))
 		fw, err := wanify.New(wanify.Config{
-			Sim: sim, Rates: rates, Seed: seed,
+			Cluster: sim, Rates: rates, Seed: seed,
 			Agent: agent.Config{Throttle: true},
 		}, model)
 		if err != nil {

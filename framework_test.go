@@ -13,6 +13,7 @@ import (
 	"github.com/wanify/wanify/internal/optimize"
 	"github.com/wanify/wanify/internal/predict"
 	"github.com/wanify/wanify/internal/spark"
+	"github.com/wanify/wanify/internal/substrate"
 	"github.com/wanify/wanify/internal/workloads"
 )
 
@@ -21,15 +22,15 @@ func newFramework(t *testing.T, vmsPerDC []int, throttle bool) (*wanify.Framewor
 	t.Helper()
 	model := getModel(t)
 	regions := geo.TestbedSubset(len(vmsPerDC))
-	vms := make([][]netsim.VMSpec, len(regions))
+	vms := make([][]substrate.VMSpec, len(regions))
 	for i, k := range vmsPerDC {
 		for j := 0; j < k; j++ {
-			vms[i] = append(vms[i], netsim.T2Medium)
+			vms[i] = append(vms[i], substrate.T2Medium)
 		}
 	}
 	sim := netsim.NewSim(netsim.Config{Regions: regions, VMs: vms, Seed: 5, Frozen: true})
 	fw, err := wanify.New(wanify.Config{
-		Sim: sim, Rates: cost.DefaultRates(), Seed: 5,
+		Cluster: sim, Rates: cost.DefaultRates(), Seed: 5,
 		Agent: agent.Config{Throttle: throttle},
 	}, model)
 	if err != nil {
@@ -45,7 +46,7 @@ func TestNewValidation(t *testing.T) {
 		t.Error("nil sim accepted")
 	}
 	_, sim := newFramework(t, []int{1, 1, 1}, false)
-	if _, err := wanify.New(wanify.Config{Sim: sim}, nil); err == nil {
+	if _, err := wanify.New(wanify.Config{Cluster: sim}, nil); err == nil {
 		t.Error("nil model accepted")
 	}
 }
@@ -247,7 +248,7 @@ func TestWANifyWinsAcrossSeeds(t *testing.T) {
 // runSeedQuery runs TPC-DS 78 once and returns the JCT.
 func runSeedQuery(t *testing.T, model *predict.Model, rates cost.Rates, input []float64, seed uint64, useWANify bool) float64 {
 	t.Helper()
-	sim := netsim.NewSim(netsim.UniformCluster(geo.Testbed(), netsim.T2Medium, seed))
+	sim := netsim.NewSim(netsim.UniformCluster(geo.Testbed(), substrate.T2Medium, seed))
 	job, err := workloads.TPCDS(78, input)
 	if err != nil {
 		t.Fatal(err)
@@ -265,7 +266,7 @@ func runSeedQuery(t *testing.T, model *predict.Model, rates cost.Rates, input []
 		return res.JCTSeconds
 	}
 	fw, err := wanify.New(wanify.Config{
-		Sim: sim, Rates: rates, Seed: seed,
+		Cluster: sim, Rates: rates, Seed: seed,
 		Agent: agent.Config{Throttle: true},
 	}, model)
 	if err != nil {

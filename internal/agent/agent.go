@@ -29,8 +29,8 @@ import (
 	"math"
 
 	"github.com/wanify/wanify/internal/bwmatrix"
-	"github.com/wanify/wanify/internal/netsim"
 	"github.com/wanify/wanify/internal/optimize"
+	"github.com/wanify/wanify/internal/substrate"
 )
 
 // Mode is the AIMD decision an agent took for a pair in an epoch.
@@ -112,16 +112,16 @@ type EpochRecord struct {
 
 // Agent is a local agent bound to one VM.
 type Agent struct {
-	sim *netsim.Sim
-	vm  netsim.VMID
+	sim substrate.Cluster
+	vm  substrate.VMID
 	dc  int
 	cfg Config
 
 	row        PlanRow
 	conns      []int     // current target connections per destination DC
 	targetBW   []float64 // current target bandwidth per destination DC
-	active     []*netsim.Flow
-	lastBytes  map[netsim.FlowID]float64
+	active     []substrate.Flow
+	lastBytes  map[substrate.FlowID]float64
 	epochBytes []float64 // per destination DC, bytes moved this epoch
 
 	history []EpochRecord
@@ -131,13 +131,13 @@ type Agent struct {
 
 // New creates an agent for the given VM. ApplyPlan must be called
 // before Start.
-func New(sim *netsim.Sim, vm netsim.VMID, cfg Config) *Agent {
+func New(sim substrate.Cluster, vm substrate.VMID, cfg Config) *Agent {
 	return &Agent{
 		sim:       sim,
 		vm:        vm,
 		dc:        sim.DCOf(vm),
 		cfg:       cfg.withDefaults(),
-		lastBytes: make(map[netsim.FlowID]float64),
+		lastBytes: make(map[substrate.FlowID]float64),
 	}
 }
 
@@ -145,7 +145,7 @@ func New(sim *netsim.Sim, vm netsim.VMID, cfg Config) *Agent {
 func (a *Agent) DC() int { return a.dc }
 
 // VM returns the agent's VM.
-func (a *Agent) VM() netsim.VMID { return a.vm }
+func (a *Agent) VM() substrate.VMID { return a.vm }
 
 // ApplyPlan installs (or replaces) the optimization window and resets
 // targets to the maximum configuration, the AIMD starting state chosen
@@ -237,7 +237,7 @@ func (a *Agent) ConnsTo(dstDC int) int {
 // Register adds an active transfer to the agent's pool so the
 // Connections Manager can resize it and the WAN Monitor can account its
 // bytes. Only flows originating at the agent's VM are accepted.
-func (a *Agent) Register(f *netsim.Flow) {
+func (a *Agent) Register(f substrate.Flow) {
 	if f.Src() != a.vm {
 		panic("agent: registering a flow from another VM")
 	}

@@ -8,10 +8,11 @@ import (
 	"github.com/wanify/wanify/internal/geo"
 	"github.com/wanify/wanify/internal/netsim"
 	"github.com/wanify/wanify/internal/optimize"
+	"github.com/wanify/wanify/internal/substrate"
 )
 
 func frozenSim(n int, seed uint64) *netsim.Sim {
-	cfg := netsim.UniformCluster(geo.TestbedSubset(n), netsim.T2Medium, seed)
+	cfg := netsim.UniformCluster(geo.TestbedSubset(n), substrate.T2Medium, seed)
 	cfg.Frozen = true
 	return netsim.NewSim(cfg)
 }

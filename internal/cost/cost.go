@@ -17,7 +17,7 @@ import (
 	"strings"
 
 	"github.com/wanify/wanify/internal/geo"
-	"github.com/wanify/wanify/internal/netsim"
+	"github.com/wanify/wanify/internal/substrate"
 )
 
 // Rates bundles the pricing constants (representative public AWS/GCP
@@ -67,7 +67,7 @@ func (r Rates) EgressPerGBFor(src geo.Region) float64 {
 
 // ComputeUSD prices `seconds` of one instance, including the burst
 // surcharge.
-func (r Rates) ComputeUSD(spec netsim.VMSpec, seconds float64) float64 {
+func (r Rates) ComputeUSD(spec substrate.VMSpec, seconds float64) float64 {
 	perHour := spec.HourlyUSD + r.BurstPerVCPUHour*float64(spec.VCPUs)
 	return perHour / 3600 * seconds
 }
@@ -118,7 +118,7 @@ type MonitoringParams struct {
 	// monitoring window (the paper prices Table 2 at 200 Mbps).
 	AvgMbps float64
 	// Spec is the monitoring instance (t3.nano in the paper).
-	Spec netsim.VMSpec
+	Spec substrate.VMSpec
 	// NetPerGB is the inter-region transfer price for probe traffic.
 	NetPerGB float64
 }
@@ -131,7 +131,7 @@ func DefaultMonitoringParams(n int) MonitoringParams {
 		N:                  n,
 		DurationS:          20,
 		AvgMbps:            200,
-		Spec:               netsim.T3Nano,
+		Spec:               substrate.T3Nano,
 		NetPerGB:           0.02,
 	}
 }
@@ -176,7 +176,7 @@ type TrainingParams struct {
 	// all-pairs probes run (probing saturates the burst NIC; 2000 Mbps
 	// reproduces the paper's dollar figures).
 	SessionMbps float64
-	Spec        netsim.VMSpec
+	Spec        substrate.VMSpec
 	NetPerGB    float64
 }
 
@@ -184,7 +184,7 @@ type TrainingParams struct {
 func DefaultTrainingParams(n int) TrainingParams {
 	return TrainingParams{
 		Rows: 1000, N: n, SessionS: 21, SessionMbps: 2000,
-		Spec: netsim.T3Nano, NetPerGB: 0.02,
+		Spec: substrate.T3Nano, NetPerGB: 0.02,
 	}
 }
 
@@ -209,7 +209,7 @@ type PredictionParams struct {
 	SnapshotS float64
 	// SessionMbps is the per-instance traffic during the snapshot.
 	SessionMbps float64
-	Spec        netsim.VMSpec
+	Spec        substrate.VMSpec
 	NetPerGB    float64
 }
 
@@ -217,7 +217,7 @@ type PredictionParams struct {
 func DefaultPredictionParams(n int) PredictionParams {
 	return PredictionParams{
 		RowsPerYear: 16500, N: n, SnapshotS: 1, SessionMbps: 2000,
-		Spec: netsim.T3Nano, NetPerGB: 0.02,
+		Spec: substrate.T3Nano, NetPerGB: 0.02,
 	}
 }
 

@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"github.com/wanify/wanify/internal/geo"
-	"github.com/wanify/wanify/internal/netsim"
+	"github.com/wanify/wanify/internal/substrate"
 )
 
 // TestTable2RuntimeMonitoring verifies that Eq. 1 with the paper's
@@ -79,7 +79,7 @@ func TestEgressHeterogeneity(t *testing.T) {
 // per vCPU-hour on top of the instance price.
 func TestComputeIncludesBurstSurcharge(t *testing.T) {
 	r := DefaultRates()
-	oneHour := r.ComputeUSD(netsim.T2Medium, 3600)
+	oneHour := r.ComputeUSD(substrate.T2Medium, 3600)
 	want := 0.0464 + 0.05*2
 	if math.Abs(oneHour-want) > 1e-9 {
 		t.Errorf("t2.medium hour = $%.4f, want $%.4f", oneHour, want)

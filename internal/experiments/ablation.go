@@ -19,6 +19,7 @@ import (
 	"github.com/wanify/wanify/internal/optimize"
 	"github.com/wanify/wanify/internal/predict"
 	"github.com/wanify/wanify/internal/simrand"
+	"github.com/wanify/wanify/internal/substrate"
 )
 
 func init() {
@@ -101,12 +102,12 @@ func AblationNetsim(p Params) (*AblationNetsimResult, error) {
 	res := &AblationNetsimResult{}
 	run := func(knob string, value float64, mutate func(*netsim.Config)) {
 		regions := []geo.Region{geo.USEast, geo.USWest, geo.APSE}
-		cfg := netsim.UniformCluster(regions, netsim.T3Nano, p.Seed)
+		cfg := netsim.UniformCluster(regions, substrate.T3Nano, p.Seed)
 		cfg.Frozen = true
 		mutate(&cfg)
 		sim := netsim.NewSim(cfg)
 		minBW := func(conns func(i, j int) int) float64 {
-			var flows []*netsim.Flow
+			var flows []substrate.Flow
 			for i := 0; i < 3; i++ {
 				for j := 0; j < 3; j++ {
 					if i != j {
@@ -187,14 +188,14 @@ func MultiCloud(p Params) (*MultiCloudResult, error) {
 	}
 	regions := geo.Testbed()
 	gcp := map[int]bool{1: true, 4: true, 6: true} // US West, AP SE-2, EU West on GCP
-	vms := make([][]netsim.VMSpec, len(regions))
+	vms := make([][]substrate.VMSpec, len(regions))
 	providers := make([]string, len(regions))
 	for i := range vms {
 		if gcp[i] {
-			vms[i] = []netsim.VMSpec{netsim.E2Medium}
+			vms[i] = []substrate.VMSpec{substrate.E2Medium}
 			regions[i].Provider = "gcp"
 		} else {
-			vms[i] = []netsim.VMSpec{netsim.T2Medium}
+			vms[i] = []substrate.VMSpec{substrate.T2Medium}
 		}
 		providers[i] = regions[i].Provider
 	}

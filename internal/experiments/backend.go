@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/wanify/wanify/internal/geo"
+	"github.com/wanify/wanify/internal/netsim"
+	"github.com/wanify/wanify/internal/substrate"
+	"github.com/wanify/wanify/internal/tracesim"
+)
+
+// Backend selects the WAN substrate experiment drivers run on. The
+// zero value is the netsim simulator, so existing Params literals keep
+// their meaning (and the netsim golden outputs their bytes). A trace
+// backend replays a recorded per-pair bandwidth timeseries instead of
+// the synthetic weather, turning every figure/table into a family of
+// scenarios: the same driver logic under different network histories.
+type Backend struct {
+	// Trace, when non-nil, replays this recording via tracesim; nil
+	// selects netsim.
+	Trace *tracesim.Trace
+}
+
+// ParseBackend resolves a -backend flag value:
+//
+//	netsim           the simulator (default)
+//	trace            the bundled diurnal8 trace
+//	trace:<name>     a bundled trace (diurnal8, cloud4)
+//	trace:<path>     a trace file (.json or .csv)
+func ParseBackend(s string) (Backend, error) {
+	switch {
+	case s == "" || s == "netsim":
+		return Backend{}, nil
+	case s == "trace":
+		return Backend{Trace: tracesim.Diurnal8()}, nil
+	case strings.HasPrefix(s, "trace:"):
+		ref := strings.TrimPrefix(s, "trace:")
+		if tr, err := tracesim.Bundled(ref); err == nil {
+			return Backend{Trace: tr}, nil
+		}
+		tr, err := tracesim.Load(ref)
+		if err != nil {
+			return Backend{}, err
+		}
+		return Backend{Trace: tr}, nil
+	default:
+		return Backend{}, fmt.Errorf("experiments: unknown backend %q (want netsim, trace, or trace:<name|file>)", s)
+	}
+}
+
+// String renders the backend for scenario labels and reports.
+func (b Backend) String() string {
+	if b.Trace == nil {
+		return "netsim"
+	}
+	return "trace:" + b.Trace.Name
+}
+
+// NewTestbed builds the standard n-DC worker cluster (one t2.medium
+// per DC) on this backend. On netsim that is the canonical testbed
+// subset; on a trace backend the trace's first n regions, so drivers
+// that sweep cluster sizes replay consistently.
+func (b Backend) NewTestbed(n int, seed uint64) (substrate.Cluster, error) {
+	if b.Trace == nil {
+		return netsim.NewSim(netsim.UniformCluster(geo.TestbedSubset(n), substrate.T2Medium, seed)), nil
+	}
+	sub, err := b.Trace.Subset(n)
+	if err != nil {
+		return nil, err
+	}
+	return tracesim.New(tracesim.Config{Trace: sub, Spec: substrate.T2Medium, Seed: seed})
+}
+
+// NumDCs returns the backend's natural cluster size: the full testbed
+// on netsim, the recorded region count on a trace.
+func (b Backend) NumDCs() int {
+	if b.Trace == nil {
+		return len(geo.Testbed())
+	}
+	return b.Trace.N()
+}
+
+// testbedCluster builds the n-DC worker cluster on p's backend.
+func testbedCluster(p Params, n int, seed uint64) (substrate.Cluster, error) {
+	return p.Backend.NewTestbed(n, seed)
+}
+
+// netsimOnly lists experiments pinned to the simulator backend: they
+// construct bespoke topologies or sweep simulator physics that a
+// recorded trace cannot express (custom VM mixes, provider swaps,
+// design-knob ablations, or no cluster at all).
+var netsimOnly = map[string]bool{
+	"fig2":            true, // bespoke 3-DC t3.nano probing cluster
+	"table2":          true, // pure cost-model arithmetic, no cluster
+	"fig11b":          true, // non-uniform VM counts per DC
+	"sec583":          true, // extra US East worker
+	"multicloud":      true, // AWS+GCP VM mix with provider rvec
+	"ablation-model":  true, // offline dataset generation only
+	"ablation-netsim": true, // sweeps netsim physics knobs
+}
+
+// SupportsBackend reports whether an experiment can run on b. The
+// standard drivers reproduce the paper's 8-DC testbed, so a trace must
+// record at least 8 regions to back them (smaller traces still drive
+// wanify-sim, which sizes the job to the backend).
+func SupportsBackend(id string, b Backend) bool {
+	if b.Trace == nil {
+		return true
+	}
+	return !netsimOnly[id] && b.Trace.N() >= 8
+}
+
+// Scenario pairs an experiment with the backend it runs on.
+type Scenario struct {
+	ID      string
+	Backend Backend
+}
+
+// Name labels the scenario: the bare experiment id on netsim (keeping
+// historical report ids stable), id@backend otherwise.
+func (s Scenario) Name() string {
+	if s.Backend.Trace == nil {
+		return s.ID
+	}
+	return s.ID + "@" + s.Backend.String()
+}
+
+// Scenarios expands experiment ids over backends, dropping pairs the
+// experiment does not support. The order is backends-major, matching
+// how reports group runs.
+func Scenarios(ids []string, backends []Backend) []Scenario {
+	var out []Scenario
+	for _, b := range backends {
+		for _, id := range ids {
+			if SupportsBackend(id, b) {
+				out = append(out, Scenario{ID: id, Backend: b})
+			}
+		}
+	}
+	return out
+}

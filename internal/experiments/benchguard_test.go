@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"testing"
+
+	"github.com/wanify/wanify/internal/netsim"
+)
+
+// TestAllocatorChurnRegression is the benchmark-regression smoke: it
+// replays the churn loop wanify-bench timed into the committed
+// BENCH_netsim.json and fails if the allocator hot path regressed more
+// than 30% against that baseline. The comparison is on the
+// incremental/from-scratch-reference ratio, which cancels raw machine
+// speed — a CI runner slower than the laptop that recorded the
+// baseline does not trip the gate, a genuinely slower incremental
+// path does. The guard only arms when WANIFY_BENCH_GUARD=1 (the CI
+// bench job sets it); regular `go test ./...` skips it.
+func TestAllocatorChurnRegression(t *testing.T) {
+	if os.Getenv("WANIFY_BENCH_GUARD") == "" {
+		t.Skip("set WANIFY_BENCH_GUARD=1 to arm the benchmark-regression guard")
+	}
+	raw, err := os.ReadFile("../../BENCH_netsim.json")
+	if err != nil {
+		t.Fatalf("reading committed baseline: %v", err)
+	}
+	var report struct {
+		Benchmarks map[string]float64 `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("parsing baseline: %v", err)
+	}
+	baseInc := report.Benchmarks["allocator_churn_ns_per_op"]
+	baseRef := report.Benchmarks["allocator_churn_reference_ns_per_op"]
+	if baseInc <= 0 || baseRef <= 0 {
+		t.Fatal("baseline lacks allocator_churn[_reference]_ns_per_op (regenerate with wanify-bench)")
+	}
+	baseRatio := baseInc / baseRef
+
+	// Median of several measurements rides out scheduler noise; the
+	// reference pass is ~7x the incremental one, so keep rounds modest.
+	const rounds = 5000
+	var ratios []float64
+	for i := 0; i < 5; i++ {
+		inc := netsim.ChurnNsPerOp(true, rounds)
+		ref := netsim.ChurnNsPerOp(false, rounds)
+		ratios = append(ratios, inc/ref)
+	}
+	sort.Float64s(ratios)
+	got := ratios[len(ratios)/2]
+	t.Logf("allocator churn ratio incremental/reference: %.3f (baseline %.3f)", got, baseRatio)
+	if got > baseRatio*1.30 {
+		t.Fatalf("allocator churn regressed: ratio %.3f vs baseline %.3f (>30%%)", got, baseRatio)
+	}
+}

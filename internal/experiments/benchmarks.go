@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/wanify/wanify/internal/substrate"
+)
+
+// AllocatorChurnNsPerOp measures the substrate's allocator hot path —
+// one rate recomputation per flow start/finish churn event with 336
+// concurrent flows on the testbed (8 DCs, or the backend's full size
+// when a trace records fewer) — through the public Cluster API,
+// mirroring netsim's in-package churn loop (netsim.ChurnNsPerOp).
+// cmd/wanify-bench records one entry per trace backend so every
+// substrate's perf trajectory is tracked alongside netsim's.
+func AllocatorChurnNsPerOp(b Backend, rounds int) (float64, error) {
+	const nFlows = 336
+	n := b.NumDCs()
+	if n > 8 {
+		n = 8
+	}
+	c, err := testbedCluster(Params{Backend: b}, n, 99)
+	if err != nil {
+		return 0, err
+	}
+	var pairs [][2]int
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				pairs = append(pairs, [2]int{i, j})
+			}
+		}
+	}
+	flows := make([]substrate.Flow, nFlows)
+	for k := range flows {
+		p := pairs[k%len(pairs)]
+		flows[k] = c.StartProbe(c.FirstVMOfDC(p[0]), c.FirstVMOfDC(p[1]), k%7+1)
+	}
+	flows[0].Rate() // settle the initial allocation outside the timer
+
+	start := time.Now()
+	for n := 0; n < rounds; n++ {
+		// Churn: the oldest flow finishes, a replacement starts, and
+		// reading a rate forces the recomputation.
+		k := n % nFlows
+		old := flows[k]
+		src, dst := old.Src(), old.Dst()
+		old.Stop()
+		flows[k] = c.StartProbe(src, dst, n%7+1)
+		flows[k].Rate()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(rounds), nil
+}

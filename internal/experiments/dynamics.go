@@ -49,9 +49,12 @@ func Fig9(p Params) (*Fig9Result, error) {
 		return nil, err
 	}
 
-	sim := testbedSim(8, p.Seed)
+	sim, err := testbedCluster(p, 8, p.Seed)
+	if err != nil {
+		return nil, err
+	}
 	fw, err := wanify.New(wanify.Config{
-		Sim: sim, Rates: rates, Seed: p.Seed,
+		Cluster: sim, Rates: rates, Seed: p.Seed,
 		Agent: agent.Config{Throttle: true},
 	}, model)
 	if err != nil {

@@ -16,14 +16,13 @@ import (
 	"github.com/wanify/wanify/internal/bwmatrix"
 	"github.com/wanify/wanify/internal/cost"
 	"github.com/wanify/wanify/internal/gda"
-	"github.com/wanify/wanify/internal/geo"
 	"github.com/wanify/wanify/internal/measure"
 	"github.com/wanify/wanify/internal/ml/dataset"
 	"github.com/wanify/wanify/internal/ml/rf"
-	"github.com/wanify/wanify/internal/netsim"
 	"github.com/wanify/wanify/internal/predict"
 	"github.com/wanify/wanify/internal/simrand"
 	"github.com/wanify/wanify/internal/spark"
+	"github.com/wanify/wanify/internal/substrate"
 )
 
 // Params configures an experiment run.
@@ -37,6 +36,9 @@ type Params struct {
 	// Model is a trained prediction model to reuse across experiments;
 	// nil trains one on demand (cached per seed).
 	Model *predict.Model
+	// Backend selects the WAN substrate (zero value = netsim). Trace
+	// backends replay recorded bandwidth timeseries; see ParseBackend.
+	Backend Backend
 }
 
 func (p Params) withDefaults() Params {
@@ -148,15 +150,10 @@ func (k beliefKind) String() string {
 	}
 }
 
-// testbedSim builds the standard 8-DC (or n-DC) worker cluster.
-func testbedSim(n int, seed uint64) *netsim.Sim {
-	return netsim.NewSim(netsim.UniformCluster(geo.TestbedSubset(n), netsim.T2Medium, seed))
-}
-
 // obtainBelief measures/predicts a bandwidth matrix on sim according to
 // kind, then fast-forwards to queryStart so the subsequent query runs
 // under identical conditions for every variant.
-func obtainBelief(sim *netsim.Sim, kind beliefKind, model *predict.Model, seed uint64) (bwmatrix.Matrix, error) {
+func obtainBelief(sim substrate.Cluster, kind beliefKind, model *predict.Model, seed uint64) (bwmatrix.Matrix, error) {
 	switch kind {
 	case beliefStaticIndependent:
 		// Measured early, one pair at a time — stale by query time.

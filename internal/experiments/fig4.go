@@ -53,7 +53,10 @@ func Fig4(p Params) (*Fig4Result, error) {
 		{name: "WQ", belief: beliefPredicted, wanify: true},
 	}
 	for _, v := range variants {
-		sim := testbedSim(8, p.Seed+404)
+		sim, err := testbedCluster(p, 8, p.Seed+404)
+		if err != nil {
+			return nil, err
+		}
 		var believed bwmatrix.Matrix
 		if !v.noQuant {
 			b, err := obtainBelief(sim, v.belief, model, p.Seed)
@@ -68,7 +71,7 @@ func Fig4(p Params) (*Fig4Result, error) {
 		policy := spark.ConnPolicy(spark.SingleConn{})
 		if v.wanify {
 			fw, err := wanify.New(wanify.Config{
-				Sim: sim, Rates: rates, Seed: p.Seed,
+				Cluster: sim, Rates: rates, Seed: p.Seed,
 				Agent: agent.Config{Throttle: true},
 			}, model)
 			if err != nil {

@@ -69,7 +69,10 @@ func Table4(p Params) (*Table4Result, error) {
 			}
 			var baseJCT, baseCost, baseMinBW float64
 			for _, belief := range []beliefKind{beliefStaticIndependent, beliefStaticSimultaneous, beliefPredicted} {
-				sim := testbedSim(8, p.Seed+uint64(q)*13)
+				sim, err := testbedCluster(p, 8, p.Seed+uint64(q)*13)
+				if err != nil {
+					return nil, err
+				}
 				believed, err := obtainBelief(sim, belief, model, p.Seed+uint64(q))
 				if err != nil {
 					return nil, err
@@ -109,7 +112,10 @@ func Table4(p Params) (*Table4Result, error) {
 	// runtime BWs by 20 s simultaneous probing vs a 1 s snapshot, at the
 	// observed probe traffic.
 	{
-		sim := testbedSim(8, p.Seed)
+		sim, err := testbedCluster(p, 8, p.Seed)
+		if err != nil {
+			return nil, err
+		}
 		_, repSim := measure.StaticSimultaneous(sim, measure.StableOptions())
 		_, repSnap := measure.StaticSimultaneous(sim, measure.Options{DurationS: 1, Conns: 1})
 		perQueryRuns := 4.0 * 5 // 4 queries x 5 runs each (paper protocol)

@@ -62,6 +62,44 @@ func TestGoldenOutputs(t *testing.T) {
 	}
 }
 
+// TestGoldenTraceOutputs locks the trace-backend scenarios: every
+// trace-capable driver runs end-to-end on the bundled diurnal8 replay
+// (seed 1) and must reproduce its own golden file byte for byte — the
+// backend-equivalence counterpart of TestGoldenOutputs.
+func TestGoldenTraceOutputs(t *testing.T) {
+	backend, err := ParseBackend("trace:diurnal8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, id := range IDs() {
+		if !SupportsBackend(id, backend) {
+			continue
+		}
+		res, err := Registry[id](Params{Seed: 1, Scale: goldenScale, Backend: backend})
+		if err != nil {
+			t.Fatalf("%s on %s: %v", id, backend, err)
+		}
+		fmt.Fprintf(&sb, "=== %s ===\n%s\n", Scenario{ID: id, Backend: backend}.Name(), res)
+	}
+	got := sb.String()
+	path := filepath.Join("testdata", "golden_trace_diurnal8_seed1.txt")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("trace-backend output diverged from golden file %s;\nfirst divergence near byte %d",
+			path, firstDiff(got, string(want)))
+	}
+}
+
 func firstDiff(a, b string) int {
 	n := len(a)
 	if len(b) < n {

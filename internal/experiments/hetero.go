@@ -13,6 +13,7 @@ import (
 	"github.com/wanify/wanify/internal/netsim"
 	"github.com/wanify/wanify/internal/simrand"
 	"github.com/wanify/wanify/internal/spark"
+	"github.com/wanify/wanify/internal/substrate"
 	"github.com/wanify/wanify/internal/workloads"
 )
 
@@ -53,10 +54,13 @@ func Fig10(p Params) (*Fig10Result, error) {
 
 	res := &Fig10Result{}
 	for _, system := range []string{"tetrium", "kimchi"} {
-		run := func(variant string, policyFor func(sim *netsim.Sim, fw *wanify.Framework) spark.ConnPolicy, skew []float64) error {
-			sim := testbedSim(8, p.Seed)
+		run := func(variant string, policyFor func(sim substrate.Cluster, fw *wanify.Framework) spark.ConnPolicy, skew []float64) error {
+			sim, err := testbedCluster(p, 8, p.Seed)
+			if err != nil {
+				return err
+			}
 			fw, err := wanify.New(wanify.Config{
-				Sim: sim, Rates: rates, Seed: p.Seed,
+				Cluster: sim, Rates: rates, Seed: p.Seed,
 				Agent: agent.Config{Throttle: true},
 			}, model)
 			if err != nil {
@@ -84,16 +88,16 @@ func Fig10(p Params) (*Fig10Result, error) {
 			})
 			return nil
 		}
-		if err := run("single", func(*netsim.Sim, *wanify.Framework) spark.ConnPolicy { return spark.SingleConn{} }, nil); err != nil {
+		if err := run("single", func(substrate.Cluster, *wanify.Framework) spark.ConnPolicy { return spark.SingleConn{} }, nil); err != nil {
 			return nil, err
 		}
-		if err := run("uniform-p", func(*netsim.Sim, *wanify.Framework) spark.ConnPolicy { return spark.UniformConn{K: 8} }, nil); err != nil {
+		if err := run("uniform-p", func(substrate.Cluster, *wanify.Framework) spark.ConnPolicy { return spark.UniformConn{K: 8} }, nil); err != nil {
 			return nil, err
 		}
-		if err := run("wanify-wns", func(*netsim.Sim, *wanify.Framework) spark.ConnPolicy { return nil }, nil); err != nil {
+		if err := run("wanify-wns", func(substrate.Cluster, *wanify.Framework) spark.ConnPolicy { return nil }, nil); err != nil {
 			return nil, err
 		}
-		if err := run("wanify-w", func(*netsim.Sim, *wanify.Framework) spark.ConnPolicy { return nil }, ws); err != nil {
+		if err := run("wanify-w", func(substrate.Cluster, *wanify.Framework) spark.ConnPolicy { return nil }, ws); err != nil {
 			return nil, err
 		}
 	}
@@ -136,7 +140,10 @@ func Fig11a(p Params) (*Fig11aResult, error) {
 	}
 	res := &Fig11aResult{}
 	for _, n := range []int{4, 5, 6, 7, 8} {
-		sim := testbedSim(n, p.Seed+uint64(n))
+		sim, err := testbedCluster(p, n, p.Seed+uint64(n))
+		if err != nil {
+			return nil, err
+		}
 		static, _ := measure.StaticIndependent(sim, measure.Options{DurationS: 8, Conns: 1})
 		sim.RunUntil(queryStart - 21)
 		feats, _ := dataset.SnapshotFeatures(sim, simrand.Derive(p.Seed, "fig11a"))
@@ -190,13 +197,13 @@ func Fig11b(p Params) (*Fig11bResult, error) {
 	augmented := []int{1, 3, 6} // US West, AP SE, EU West get the extra VMs
 	for extra := 1; extra <= 5; extra++ {
 		regions := geo.Testbed()
-		vms := make([][]netsim.VMSpec, len(regions))
+		vms := make([][]substrate.VMSpec, len(regions))
 		for i := range vms {
-			vms[i] = []netsim.VMSpec{netsim.T2Medium}
+			vms[i] = []substrate.VMSpec{substrate.T2Medium}
 		}
 		for _, dc := range augmented {
 			for k := 0; k < extra; k++ {
-				vms[dc] = append(vms[dc], netsim.T2Medium)
+				vms[dc] = append(vms[dc], substrate.T2Medium)
 			}
 		}
 		sim := netsim.NewSim(netsim.Config{Regions: regions, VMs: vms, Seed: p.Seed + uint64(extra)})
@@ -258,11 +265,11 @@ func Sec583(p Params) (*Sec583Result, error) {
 
 	newSim := func() *netsim.Sim {
 		regions := geo.Testbed()
-		vms := make([][]netsim.VMSpec, len(regions))
+		vms := make([][]substrate.VMSpec, len(regions))
 		for i := range vms {
-			vms[i] = []netsim.VMSpec{netsim.T2Medium}
+			vms[i] = []substrate.VMSpec{substrate.T2Medium}
 		}
-		vms[0] = append(vms[0], netsim.T2Medium) // extra worker in US East
+		vms[0] = append(vms[0], substrate.T2Medium) // extra worker in US East
 		return netsim.NewSim(netsim.Config{Regions: regions, VMs: vms, Seed: p.Seed + 583})
 	}
 
@@ -302,7 +309,7 @@ func Sec583(p Params) (*Sec583Result, error) {
 	{ // full WANify: predicted + agents + throttling
 		sim := newSim()
 		fw, err := wanify.New(wanify.Config{
-			Sim: sim, Rates: rates, Seed: p.Seed,
+			Cluster: sim, Rates: rates, Seed: p.Seed,
 			Agent: agent.Config{Throttle: true},
 		}, model)
 		if err != nil {

@@ -10,6 +10,7 @@ import (
 	"github.com/wanify/wanify/internal/measure"
 	"github.com/wanify/wanify/internal/netsim"
 	"github.com/wanify/wanify/internal/stats"
+	"github.com/wanify/wanify/internal/substrate"
 )
 
 // --- Fig. 1: the 8-DC single-connection bandwidth map ---
@@ -25,7 +26,10 @@ type Fig1Result struct {
 // each DC pair, one at a time.
 func Fig1(p Params) (*Fig1Result, error) {
 	p = p.withDefaults()
-	sim := testbedSim(8, p.Seed)
+	sim, err := testbedCluster(p, 8, p.Seed)
+	if err != nil {
+		return nil, err
+	}
 	m, _ := measure.StaticIndependent(sim, measure.Options{DurationS: 8, Conns: 1})
 	return &Fig1Result{Regions: sim.Regions(), BW: m}, nil
 }
@@ -77,7 +81,10 @@ type Table1Result struct {
 // at the paper's boundaries (100, 200], (200, 250], > 250 Mbps.
 func Table1(p Params) (*Table1Result, error) {
 	p = p.withDefaults()
-	sim := testbedSim(8, p.Seed)
+	sim, err := testbedCluster(p, 8, p.Seed)
+	if err != nil {
+		return nil, err
+	}
 	static, _ := measure.StaticIndependent(sim, measure.Options{DurationS: 8, Conns: 1})
 	sim.RunUntil(queryStart - 20)
 	runtime, _ := measure.StaticSimultaneous(sim, measure.StableOptions())
@@ -218,14 +225,14 @@ type Fig2Result struct {
 func Fig2(p Params) (*Fig2Result, error) {
 	p = p.withDefaults()
 	regions := []geo.Region{geo.USEast, geo.USWest, geo.APSE}
-	cfg := netsim.UniformCluster(regions, netsim.T3Nano, p.Seed)
+	cfg := netsim.UniformCluster(regions, substrate.T3Nano, p.Seed)
 	sim := netsim.NewSim(cfg)
 	res := &Fig2Result{Regions: regions}
 
 	probeAll := func(conns func(i, j int) int) bwmatrix.Matrix {
 		type pf struct {
 			i, j int
-			f    *netsim.Flow
+			f    substrate.Flow
 			b0   float64
 		}
 		var probes []pf

@@ -28,20 +28,31 @@ func SharedModel(p Params) (*predict.Model, error) {
 }
 
 // RunConcurrent executes the given experiment ids across a pool of
-// workers and returns one Run per id, in input order. Every driver is
-// deterministic for a given seed and owns its private Sim, so results
-// are identical to a sequential run regardless of worker count; the
-// only shared state is the read-only prediction model, which is
-// trained before the fan-out so workers never contend on training.
+// workers on p's backend and returns one Run per id, in input order.
+func RunConcurrent(ids []string, p Params, workers int) []Run {
+	scenarios := make([]Scenario, len(ids))
+	for i, id := range ids {
+		scenarios[i] = Scenario{ID: id, Backend: p.Backend}
+	}
+	return RunScenarios(scenarios, p, workers)
+}
+
+// RunScenarios executes the given scenarios (experiment × backend)
+// across a pool of workers and returns one Run per scenario, in input
+// order. Every driver is deterministic for a given seed and owns its
+// private cluster, so results are identical to a sequential run
+// regardless of worker count; the only shared state is the read-only
+// prediction model, which is trained before the fan-out so workers
+// never contend on training.
 //
 // workers <= 0 selects GOMAXPROCS.
-func RunConcurrent(ids []string, p Params, workers int) []Run {
+func RunScenarios(scenarios []Scenario, p Params, workers int) []Run {
 	p = p.withDefaults()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(ids) {
-		workers = len(ids)
+	if workers > len(scenarios) {
+		workers = len(scenarios)
 	}
 	if p.Model == nil {
 		// Train the shared model once; a failure surfaces per run so
@@ -51,7 +62,7 @@ func RunConcurrent(ids []string, p Params, workers int) []Run {
 		}
 	}
 
-	runs := make([]Run, len(ids))
+	runs := make([]Run, len(scenarios))
 	var next int
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -64,10 +75,10 @@ func RunConcurrent(ids []string, p Params, workers int) []Run {
 				i := next
 				next++
 				mu.Unlock()
-				if i >= len(ids) {
+				if i >= len(scenarios) {
 					return
 				}
-				runs[i] = runOne(ids[i], p)
+				runs[i] = runOne(scenarios[i], p)
 			}
 		}()
 	}
@@ -75,14 +86,19 @@ func RunConcurrent(ids []string, p Params, workers int) []Run {
 	return runs
 }
 
-// runOne executes a single experiment, timing it.
-func runOne(id string, p Params) Run {
-	r := Run{ID: id, Seed: p.Seed}
-	runner, ok := Registry[id]
+// runOne executes a single scenario, timing it.
+func runOne(sc Scenario, p Params) Run {
+	r := Run{ID: sc.Name(), Seed: p.Seed}
+	runner, ok := Registry[sc.ID]
 	if !ok {
-		r.Err = fmt.Errorf("experiments: unknown experiment %q", id)
+		r.Err = fmt.Errorf("experiments: unknown experiment %q", sc.ID)
 		return r
 	}
+	if !SupportsBackend(sc.ID, sc.Backend) {
+		r.Err = fmt.Errorf("experiments: %s does not support backend %s", sc.ID, sc.Backend)
+		return r
+	}
+	p.Backend = sc.Backend
 	start := time.Now()
 	r.Result, r.Err = runner(p)
 	r.Seconds = time.Since(start).Seconds()

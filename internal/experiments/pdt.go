@@ -29,7 +29,10 @@ func pdtRun(p Params, job func(n int) spark.Job, variant pdtVariant) (spark.RunR
 	if err != nil {
 		return spark.RunResult{}, err
 	}
-	sim := testbedSim(8, p.Seed)
+	sim, err := testbedCluster(p, 8, p.Seed)
+	if err != nil {
+		return spark.RunResult{}, err
+	}
 	var policy spark.ConnPolicy = spark.SingleConn{}
 	var fw *wanify.Framework
 
@@ -41,7 +44,7 @@ func pdtRun(p Params, job func(n int) spark.Job, variant pdtVariant) (spark.RunR
 		policy = spark.UniformConn{K: 8}
 	case variantDynamic, variantThrottle:
 		fw, err = wanify.New(wanify.Config{
-			Sim: sim, Rates: rates, Seed: p.Seed,
+			Cluster: sim, Rates: rates, Seed: p.Seed,
 			Agent: agent.Config{Throttle: variant == variantThrottle},
 		}, model)
 		if err != nil {

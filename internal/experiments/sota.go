@@ -9,11 +9,11 @@ import (
 	"github.com/wanify/wanify/internal/bwmatrix"
 	"github.com/wanify/wanify/internal/gda"
 	"github.com/wanify/wanify/internal/ml/dataset"
-	"github.com/wanify/wanify/internal/netsim"
 	"github.com/wanify/wanify/internal/optimize"
 	"github.com/wanify/wanify/internal/predict"
 	"github.com/wanify/wanify/internal/simrand"
 	"github.com/wanify/wanify/internal/spark"
+	"github.com/wanify/wanify/internal/substrate"
 	"github.com/wanify/wanify/internal/workloads"
 )
 
@@ -33,9 +33,12 @@ func runWANifyQuery(p Params, system string, query int, input []float64,
 	if err != nil {
 		return spark.RunResult{}, err
 	}
-	sim := testbedSim(8, p.Seed+uint64(query)*13)
+	sim, err := testbedCluster(p, 8, p.Seed+uint64(query)*13)
+	if err != nil {
+		return spark.RunResult{}, err
+	}
 	fw, err := wanify.New(wanify.Config{
-		Sim: sim, Rates: rates, Seed: p.Seed,
+		Cluster: sim, Rates: rates, Seed: p.Seed,
 		Agent: agent.Config{Throttle: throttle},
 	}, model)
 	if err != nil {
@@ -67,7 +70,10 @@ func runVanillaQuery(p Params, system string, query int, input []float64) (spark
 	if err != nil {
 		return spark.RunResult{}, err
 	}
-	sim := testbedSim(8, p.Seed+uint64(query)*13)
+	sim, err := testbedCluster(p, 8, p.Seed+uint64(query)*13)
+	if err != nil {
+		return spark.RunResult{}, err
+	}
 	believed, err := obtainBelief(sim, beliefStaticIndependent, model, p.Seed)
 	if err != nil {
 		return spark.RunResult{}, err
@@ -211,7 +217,10 @@ func runGlobalOnly(p Params, model *predict.Model, system string, query int, inp
 	if err != nil {
 		return spark.RunResult{}, err
 	}
-	sim := testbedSim(8, p.Seed+uint64(query)*13)
+	sim, err := testbedCluster(p, 8, p.Seed+uint64(query)*13)
+	if err != nil {
+		return spark.RunResult{}, err
+	}
 	sim.RunUntil(queryStart - 1)
 	pred, err := predictOn(sim, model, p.Seed)
 	if err != nil {
@@ -221,7 +230,7 @@ func runGlobalOnly(p Params, model *predict.Model, system string, query int, inp
 	eng := spark.NewEngine(sim, rates)
 	info := gda.NewClusterInfo(sim, rates)
 	sched := schedFor(system, system+"(global-only)", pred, info)
-	return eng.RunJob(job, sched, spark.FixedConn{Sim: sim, Matrix: plan.MaxConns})
+	return eng.RunJob(job, sched, spark.FixedConn{Cluster: sim, Matrix: plan.MaxConns})
 }
 
 // runLocalOnly runs agents with the §5.5 static window (1–8 connections
@@ -231,7 +240,10 @@ func runLocalOnly(p Params, model *predict.Model, system string, query int, inpu
 	if err != nil {
 		return spark.RunResult{}, err
 	}
-	sim := testbedSim(8, p.Seed+uint64(query)*13)
+	sim, err := testbedCluster(p, 8, p.Seed+uint64(query)*13)
+	if err != nil {
+		return spark.RunResult{}, err
+	}
 	sim.RunUntil(queryStart - 1)
 	pred, err := predictOn(sim, model, p.Seed)
 	if err != nil {
@@ -352,7 +364,7 @@ func (r *Fig8bResult) String() string {
 // --- shared helper: predict on a live sim ---
 
 // predictOn snapshots the sim and predicts the runtime BW matrix.
-func predictOn(sim *netsim.Sim, model *predict.Model, seed uint64) (bwmatrix.Matrix, error) {
+func predictOn(sim substrate.Cluster, model *predict.Model, seed uint64) (bwmatrix.Matrix, error) {
 	feats, _ := dataset.SnapshotFeatures(sim, simrand.Derive(seed, "ablation-snapshot"))
 	return model.PredictMatrix(feats), nil
 }

@@ -22,8 +22,8 @@ import (
 	"github.com/wanify/wanify/internal/bwmatrix"
 	"github.com/wanify/wanify/internal/cost"
 	"github.com/wanify/wanify/internal/geo"
-	"github.com/wanify/wanify/internal/netsim"
 	"github.com/wanify/wanify/internal/spark"
+	"github.com/wanify/wanify/internal/substrate"
 )
 
 // ClusterInfo describes what schedulers know about the cluster.
@@ -38,7 +38,7 @@ type ClusterInfo struct {
 
 // NewClusterInfo extracts scheduler-visible cluster facts from a
 // simulator and pricing table.
-func NewClusterInfo(sim *netsim.Sim, rates cost.Rates) ClusterInfo {
+func NewClusterInfo(sim substrate.Cluster, rates cost.Rates) ClusterInfo {
 	n := sim.NumDCs()
 	info := ClusterInfo{
 		Regions:      sim.Regions(),

@@ -9,6 +9,7 @@ import (
 	"github.com/wanify/wanify/internal/geo"
 	"github.com/wanify/wanify/internal/netsim"
 	"github.com/wanify/wanify/internal/spark"
+	"github.com/wanify/wanify/internal/substrate"
 )
 
 // testInfo builds a 4-DC cluster description with unit compute and the
@@ -153,7 +154,7 @@ func TestPlacementsAreDistributions(t *testing.T) {
 
 // TestNewClusterInfo checks extraction from a live sim.
 func TestNewClusterInfo(t *testing.T) {
-	cfg := netsim.UniformCluster(geo.TestbedSubset(3), netsim.T2Medium, 1)
+	cfg := netsim.UniformCluster(geo.TestbedSubset(3), substrate.T2Medium, 1)
 	cfg.Frozen = true
 	sim := netsim.NewSim(cfg)
 	info := NewClusterInfo(sim, cost.DefaultRates())
@@ -161,7 +162,7 @@ func TestNewClusterInfo(t *testing.T) {
 		t.Fatalf("N = %d", info.N())
 	}
 	for i, r := range info.ComputeRates {
-		if r != netsim.T2Medium.ComputeRate {
+		if r != substrate.T2Medium.ComputeRate {
 			t.Errorf("compute rate %d = %v", i, r)
 		}
 	}

@@ -1,5 +1,5 @@
 // Package measure reproduces the paper's bandwidth measurement
-// methodology on top of the netsim substrate:
+// methodology on top of any substrate.Cluster backend:
 //
 //   - Static-independent probing (§2.2): one DC pair at a time, the way
 //     existing GDA systems run iPerf.
@@ -20,8 +20,8 @@ import (
 	"fmt"
 
 	"github.com/wanify/wanify/internal/bwmatrix"
-	"github.com/wanify/wanify/internal/netsim"
 	"github.com/wanify/wanify/internal/simrand"
+	"github.com/wanify/wanify/internal/substrate"
 )
 
 // Options configures a measurement run.
@@ -74,7 +74,7 @@ func (r Report) Add(o Report) Report {
 // way Tetrium/Kimchi/Iridium run iPerf (§2.2: "we measured one DC-pair
 // BW at a time"). The returned matrix holds the per-pair averages; the
 // diagonal is zero.
-func StaticIndependent(sim *netsim.Sim, opts Options) (bwmatrix.Matrix, Report) {
+func StaticIndependent(sim substrate.Cluster, opts Options) (bwmatrix.Matrix, Report) {
 	n := sim.NumDCs()
 	out := bwmatrix.New(n)
 	var rep Report
@@ -94,7 +94,7 @@ func StaticIndependent(sim *netsim.Sim, opts Options) (bwmatrix.Matrix, Report) 
 // StaticSimultaneous measures all ordered DC pairs at the same time,
 // capturing runtime contention. This is the ground truth the prediction
 // model learns to reproduce, and the expensive approach Table 2 prices.
-func StaticSimultaneous(sim *netsim.Sim, opts Options) (bwmatrix.Matrix, Report) {
+func StaticSimultaneous(sim substrate.Cluster, opts Options) (bwmatrix.Matrix, Report) {
 	n := sim.NumDCs()
 	pairs := make([][2]int, 0, n*(n-1))
 	for i := 0; i < n; i++ {
@@ -117,11 +117,11 @@ func StaticSimultaneous(sim *netsim.Sim, opts Options) (bwmatrix.Matrix, Report)
 // Snapshot takes a 1-second (or opts.DurationS) all-pairs sample — the
 // S_BWij feature of Table 3 — along with the host metrics the
 // prediction model consumes.
-func Snapshot(sim *netsim.Sim, opts Options) (bwmatrix.Matrix, []netsim.VMStats, Report) {
+func Snapshot(sim substrate.Cluster, opts Options) (bwmatrix.Matrix, []substrate.VMStats, Report) {
 	bw, rep := StaticSimultaneous(sim, opts)
-	stats := make([]netsim.VMStats, sim.NumVMs())
+	stats := make([]substrate.VMStats, sim.NumVMs())
 	for v := 0; v < sim.NumVMs(); v++ {
-		stats[v] = sim.VMStats(netsim.VMID(v))
+		stats[v] = sim.VMStats(substrate.VMID(v))
 	}
 	return bw, stats, rep
 }
@@ -131,23 +131,23 @@ func Snapshot(sim *netsim.Sim, opts Options) (bwmatrix.Matrix, []netsim.VMStats,
 // for the association path of §3.3.3 — per-VM-pair predictions are
 // summed into a DC-level matrix rather than predicting on out-of-range
 // aggregate bandwidths. The returned matrix is NumVMs×NumVMs.
-func SnapshotByVM(sim *netsim.Sim, opts Options) (bwmatrix.Matrix, []netsim.VMStats, Report) {
+func SnapshotByVM(sim substrate.Cluster, opts Options) (bwmatrix.Matrix, []substrate.VMStats, Report) {
 	if opts.DurationS <= 0 {
 		panic("measure: non-positive probe duration")
 	}
 	nv := sim.NumVMs()
 	type probe struct {
 		src, dst int
-		flow     *netsim.Flow
+		flow     substrate.Flow
 		start    float64
 	}
 	var probes []probe
 	for s := 0; s < nv; s++ {
 		for d := 0; d < nv; d++ {
-			if s == d || sim.DCOf(netsim.VMID(s)) == sim.DCOf(netsim.VMID(d)) {
+			if s == d || sim.DCOf(substrate.VMID(s)) == sim.DCOf(substrate.VMID(d)) {
 				continue
 			}
-			f := sim.StartProbe(netsim.VMID(s), netsim.VMID(d), maxIntOne(opts.Conns))
+			f := sim.StartProbe(substrate.VMID(s), substrate.VMID(d), maxIntOne(opts.Conns))
 			probes = append(probes, probe{src: s, dst: d, flow: f, start: f.TransferredBytes()})
 		}
 	}
@@ -160,9 +160,9 @@ func SnapshotByVM(sim *netsim.Sim, opts Options) (bwmatrix.Matrix, []netsim.VMSt
 		out[pr.src][pr.dst] = noisy(bytes*8/1e6/opts.DurationS, opts)
 		pr.flow.Stop()
 	}
-	stats := make([]netsim.VMStats, nv)
+	stats := make([]substrate.VMStats, nv)
 	for v := 0; v < nv; v++ {
-		stats[v] = sim.VMStats(netsim.VMID(v))
+		stats[v] = sim.VMStats(substrate.VMID(v))
 	}
 	rep := Report{
 		ElapsedS:         opts.DurationS,
@@ -183,7 +183,7 @@ func maxIntOne(c int) int {
 // of the two DCs, so multi-VM DCs report their combined bandwidth — the
 // paper's "association", §3.3.3), runs for the configured duration, and
 // returns byte-integrated average rates per pair.
-func probePairs(sim *netsim.Sim, pairs [][2]int, opts Options) (map[[2]int]float64, Report) {
+func probePairs(sim substrate.Cluster, pairs [][2]int, opts Options) (map[[2]int]float64, Report) {
 	if opts.DurationS <= 0 {
 		panic("measure: non-positive probe duration")
 	}
@@ -193,7 +193,7 @@ func probePairs(sim *netsim.Sim, pairs [][2]int, opts Options) (map[[2]int]float
 	}
 	type probe struct {
 		pair  [2]int
-		flow  *netsim.Flow
+		flow  substrate.Flow
 		start float64
 	}
 	var probes []probe
@@ -241,7 +241,7 @@ func noisy(v float64, opts Options) float64 {
 // periodically sampling the simulator, and reports windowed averages.
 // WANify's WAN Monitor sub-module (§4.1.3) is built on this.
 type Monitor struct {
-	sim    *netsim.Sim
+	sim    substrate.Cluster
 	srcDC  int
 	window int // samples per window
 
@@ -253,7 +253,7 @@ type Monitor struct {
 
 // NewMonitor starts monitoring the given source DC, sampling every
 // sampleEveryS seconds with a window of `window` samples.
-func NewMonitor(sim *netsim.Sim, srcDC int, sampleEveryS float64, window int) *Monitor {
+func NewMonitor(sim substrate.Cluster, srcDC int, sampleEveryS float64, window int) *Monitor {
 	if window < 1 {
 		window = 1
 	}

@@ -7,10 +7,11 @@ import (
 	"github.com/wanify/wanify/internal/geo"
 	"github.com/wanify/wanify/internal/netsim"
 	"github.com/wanify/wanify/internal/simrand"
+	"github.com/wanify/wanify/internal/substrate"
 )
 
 func frozenSim(n int, seed uint64) *netsim.Sim {
-	cfg := netsim.UniformCluster(geo.TestbedSubset(n), netsim.T2Medium, seed)
+	cfg := netsim.UniformCluster(geo.TestbedSubset(n), substrate.T2Medium, seed)
 	cfg.Frozen = true
 	return netsim.NewSim(cfg)
 }
@@ -29,7 +30,7 @@ func TestStaticIndependentMatchesUncontendedCaps(t *testing.T) {
 				}
 				continue
 			}
-			cap := math.Min(sim.PerConnCapMbps(i, j), netsim.T2Medium.EgressMbps)
+			cap := math.Min(sim.PerConnCapMbps(i, j), substrate.T2Medium.EgressMbps)
 			// The slow-start ramp costs a little of the 10 s window.
 			if m[i][j] < cap*0.85 || m[i][j] > cap*1.01 {
 				t.Errorf("static[%d][%d] = %.0f, want ~%.0f (pair cap)", i, j, m[i][j], cap)
@@ -57,7 +58,7 @@ func TestSimultaneousBelowIndependent(t *testing.T) {
 		for j := 0; j < 8; j++ {
 			sum += simul[i][j]
 		}
-		if sum > netsim.T2Medium.EgressMbps*1.01 {
+		if sum > substrate.T2Medium.EgressMbps*1.01 {
 			t.Errorf("DC %d simultaneous egress sum %.0f exceeds cap", i, sum)
 		}
 	}
@@ -110,10 +111,10 @@ func TestSnapshotUnderreportsFarLinks(t *testing.T) {
 // TestSnapshotByVM checks the VM-granularity association path.
 func TestSnapshotByVM(t *testing.T) {
 	regions := geo.TestbedSubset(3)
-	vms := [][]netsim.VMSpec{
-		{netsim.T2Medium, netsim.T2Medium}, // 2 VMs in DC0
-		{netsim.T2Medium},
-		{netsim.T2Medium},
+	vms := [][]substrate.VMSpec{
+		{substrate.T2Medium, substrate.T2Medium}, // 2 VMs in DC0
+		{substrate.T2Medium},
+		{substrate.T2Medium},
 	}
 	cfg := netsim.Config{Regions: regions, VMs: vms, Seed: 6, Frozen: true}
 	sim := netsim.NewSim(cfg)

@@ -23,6 +23,7 @@ import (
 	"github.com/wanify/wanify/internal/ml/rf"
 	"github.com/wanify/wanify/internal/netsim"
 	"github.com/wanify/wanify/internal/simrand"
+	"github.com/wanify/wanify/internal/substrate"
 )
 
 // Feature indices of the Table 3 feature vector.
@@ -62,7 +63,7 @@ func (p PairFeatures) Vector() []float64 {
 // (consuming simulated time) and combines it with host metrics and
 // geography. Both the Bandwidth Analyzer (offline, labeled) and the
 // online Runtime Bandwidth Determination module use this path.
-func SnapshotFeatures(sim *netsim.Sim, rng *simrand.Source) ([][]PairFeatures, measure.Report) {
+func SnapshotFeatures(sim substrate.Cluster, rng *simrand.Source) ([][]PairFeatures, measure.Report) {
 	snap, stats, rep := measure.Snapshot(sim, measure.SnapshotOptions(rng))
 	n := sim.NumDCs()
 	regions := sim.Regions()
@@ -92,7 +93,7 @@ func SnapshotFeatures(sim *netsim.Sim, rng *simrand.Source) ([][]PairFeatures, m
 // deployments (association, §3.3.3). The returned matrix is indexed by
 // VM; entries for VM pairs within one DC are zero-valued. Predictions
 // over these rows are summed per DC pair by the caller.
-func SnapshotFeaturesByVM(sim *netsim.Sim, rng *simrand.Source) ([][]PairFeatures, measure.Report) {
+func SnapshotFeaturesByVM(sim substrate.Cluster, rng *simrand.Source) ([][]PairFeatures, measure.Report) {
 	snap, stats, rep := measure.SnapshotByVM(sim, measure.SnapshotOptions(rng))
 	nv := sim.NumVMs()
 	regions := sim.Regions()
@@ -100,7 +101,7 @@ func SnapshotFeaturesByVM(sim *netsim.Sim, rng *simrand.Source) ([][]PairFeature
 	for s := 0; s < nv; s++ {
 		out[s] = make([]PairFeatures, nv)
 		for d := 0; d < nv; d++ {
-			ds, dd := sim.DCOf(netsim.VMID(s)), sim.DCOf(netsim.VMID(d))
+			ds, dd := sim.DCOf(substrate.VMID(s)), sim.DCOf(substrate.VMID(d))
 			if s == d || ds == dd {
 				continue
 			}
@@ -129,7 +130,7 @@ type GenConfig struct {
 	Seed uint64
 	// Spec is the VM shape used for the monitoring cluster (default
 	// T3Nano, the paper's monitoring instance).
-	Spec netsim.VMSpec
+	Spec substrate.VMSpec
 	// MaxWarmupS is the maximum random warmup before sampling, which
 	// diversifies the network-weather states seen (default 180).
 	MaxWarmupS float64
@@ -143,7 +144,7 @@ func (c GenConfig) withDefaults() GenConfig {
 		c.DrawsPerSize = 20
 	}
 	if c.Spec.Type == "" {
-		c.Spec = netsim.T3Nano
+		c.Spec = substrate.T3Nano
 	}
 	if c.MaxWarmupS == 0 {
 		c.MaxWarmupS = 180
@@ -191,10 +192,10 @@ func session(cfg GenConfig, size int, rng *simrand.Source) (rows [][]float64, la
 	// on some pairs, so Md/Ci/Nr vary across sessions.
 	for v := 0; v < sim.NumVMs(); v++ {
 		if rng.Bool(0.5) {
-			sim.SetCPULoad(netsim.VMID(v), rng.Uniform(0.1, 0.9))
+			sim.SetCPULoad(substrate.VMID(v), rng.Uniform(0.1, 0.9))
 		}
 	}
-	var background []*netsim.Flow
+	var background []substrate.Flow
 	for i := 0; i < size; i++ {
 		for j := 0; j < size; j++ {
 			if i != j && rng.Bool(0.3) {
@@ -235,7 +236,7 @@ type LabeledMatrices struct {
 // CollectSession captures features and a stable label matrix from an
 // existing simulation (without constructing a new cluster), consuming
 // ~21 seconds of simulated time.
-func CollectSession(sim *netsim.Sim, rng *simrand.Source) (LabeledMatrices, measure.Report) {
+func CollectSession(sim substrate.Cluster, rng *simrand.Source) (LabeledMatrices, measure.Report) {
 	feats, r1 := SnapshotFeatures(sim, rng)
 	stable, r2 := measure.StaticSimultaneous(sim, measure.StableOptions())
 	return LabeledMatrices{Features: feats, Stable: stable}, r1.Add(r2)

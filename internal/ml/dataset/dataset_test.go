@@ -7,6 +7,7 @@ import (
 	"github.com/wanify/wanify/internal/netsim"
 	"github.com/wanify/wanify/internal/simrand"
 	"github.com/wanify/wanify/internal/stats"
+	"github.com/wanify/wanify/internal/substrate"
 )
 
 // TestFeatureVectorOrder checks the Table 3 canonical ordering.
@@ -30,7 +31,7 @@ func TestFeatureVectorOrder(t *testing.T) {
 // TestSnapshotFeaturesShape checks per-pair feature extraction on a
 // live cluster.
 func TestSnapshotFeaturesShape(t *testing.T) {
-	cfg := netsim.UniformCluster(geo.TestbedSubset(4), netsim.T3Nano, 1)
+	cfg := netsim.UniformCluster(geo.TestbedSubset(4), substrate.T3Nano, 1)
 	cfg.Frozen = true
 	sim := netsim.NewSim(cfg)
 	feats, rep := SnapshotFeatures(sim, simrand.Derive(1, "t"))
@@ -123,10 +124,10 @@ func TestGenerateDeterminism(t *testing.T) {
 // TestSnapshotFeaturesByVM checks the association-path features.
 func TestSnapshotFeaturesByVM(t *testing.T) {
 	regions := geo.TestbedSubset(3)
-	vms := [][]netsim.VMSpec{
-		{netsim.T2Medium, netsim.T2Medium},
-		{netsim.T2Medium},
-		{netsim.T2Medium},
+	vms := [][]substrate.VMSpec{
+		{substrate.T2Medium, substrate.T2Medium},
+		{substrate.T2Medium},
+		{substrate.T2Medium},
 	}
 	sim := netsim.NewSim(netsim.Config{Regions: regions, VMs: vms, Seed: 2, Frozen: true})
 	feats, _ := SnapshotFeaturesByVM(sim, simrand.Derive(2, "t"))
@@ -146,7 +147,7 @@ func TestSnapshotFeaturesByVM(t *testing.T) {
 
 // TestCollectSession checks live-cluster collection.
 func TestCollectSession(t *testing.T) {
-	cfg := netsim.UniformCluster(geo.TestbedSubset(3), netsim.T3Nano, 3)
+	cfg := netsim.UniformCluster(geo.TestbedSubset(3), substrate.T3Nano, 3)
 	cfg.Frozen = true
 	sim := netsim.NewSim(cfg)
 	before := sim.Now()

@@ -4,13 +4,14 @@ import (
 	"testing"
 
 	"github.com/wanify/wanify/internal/geo"
+	"github.com/wanify/wanify/internal/substrate"
 )
 
 // benchChurnSim builds an 8-DC cluster saturated with nFlows probes
 // spread round-robin across all ordered DC pairs — the shape of the
 // paper's Fig. 5-10 shuffle phases.
 func benchChurnSim(nFlows int) (*Sim, []*Flow) {
-	cfg := UniformCluster(geo.TestbedSubset(8), T2Medium, 99)
+	cfg := UniformCluster(geo.TestbedSubset(8), substrate.T2Medium, 99)
 	cfg.Frozen = true
 	s := NewSim(cfg)
 	var pairs [][2]int
@@ -24,7 +25,7 @@ func benchChurnSim(nFlows int) (*Sim, []*Flow) {
 	flows := make([]*Flow, nFlows)
 	for k := range flows {
 		p := pairs[k%len(pairs)]
-		flows[k] = s.StartProbe(s.FirstVMOfDC(p[0]), s.FirstVMOfDC(p[1]), k%7+1)
+		flows[k] = s.startProbe(s.FirstVMOfDC(p[0]), s.FirstVMOfDC(p[1]), k%7+1)
 	}
 	s.ensureAllocated()
 	return s, flows
@@ -48,7 +49,7 @@ func BenchmarkAllocatorChurn(b *testing.B) {
 			old := flows[k]
 			src, dst := old.Src(), old.Dst()
 			old.Stop()
-			flows[k] = s.StartProbe(src, dst, n%7+1)
+			flows[k] = s.startProbe(src, dst, n%7+1)
 			if incremental {
 				s.ensureAllocated()
 			} else {

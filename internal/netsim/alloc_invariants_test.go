@@ -6,6 +6,7 @@ import (
 
 	"github.com/wanify/wanify/internal/geo"
 	"github.com/wanify/wanify/internal/simrand"
+	"github.com/wanify/wanify/internal/substrate"
 )
 
 // churnSim drives a simulator through a deterministic random schedule
@@ -15,7 +16,7 @@ import (
 // invalidation scoping is exercised too.
 func churnSim(t *testing.T, seed uint64, steps int, check func(s *Sim)) {
 	t.Helper()
-	cfg := UniformCluster(geo.TestbedSubset(6), T2Medium, seed)
+	cfg := UniformCluster(geo.TestbedSubset(6), substrate.T2Medium, seed)
 	s := NewSim(cfg)
 	rng := simrand.Derive(seed, "churn-test")
 	var live []*Flow
@@ -29,9 +30,9 @@ func churnSim(t *testing.T, seed uint64, steps int, check func(s *Sim)) {
 			}
 			conns := rng.IntN(8) + 1
 			if rng.IntN(2) == 0 {
-				live = append(live, s.StartProbe(s.FirstVMOfDC(src), s.FirstVMOfDC(dst), conns))
+				live = append(live, s.startProbe(s.FirstVMOfDC(src), s.FirstVMOfDC(dst), conns))
 			} else {
-				live = append(live, s.StartFlow(s.FirstVMOfDC(src), s.FirstVMOfDC(dst), conns, float64(rng.IntN(200)+1)*1e6, nil))
+				live = append(live, s.startFlow(s.FirstVMOfDC(src), s.FirstVMOfDC(dst), conns, float64(rng.IntN(200)+1)*1e6, nil))
 			}
 		case op < 6: // finish
 			i := rng.IntN(len(live))
@@ -205,7 +206,7 @@ func TestRepeatedAllocateDeterministic(t *testing.T) {
 // idle VMs and tc changes on empty pairs must not mark the allocation
 // dirty, while the same events with affected flows must.
 func TestScopedInvalidationSkipsCleanAllocations(t *testing.T) {
-	cfg := UniformCluster(geo.TestbedSubset(3), T2Medium, 5)
+	cfg := UniformCluster(geo.TestbedSubset(3), substrate.T2Medium, 5)
 	s := NewSim(cfg) // fluctuation on
 	s.RunFor(2)      // let a fluct step fire with zero flows
 	s.ensureAllocated()
@@ -224,7 +225,7 @@ func TestScopedInvalidationSkipsCleanAllocations(t *testing.T) {
 	if s.allocDirty {
 		t.Error("tc limit on a pair with no flows dirtied the allocation")
 	}
-	f := s.StartProbe(s.FirstVMOfDC(0), s.FirstVMOfDC(1), 2)
+	f := s.startProbe(s.FirstVMOfDC(0), s.FirstVMOfDC(1), 2)
 	if !s.allocDirty {
 		t.Error("starting a flow did not dirty the allocation")
 	}

@@ -6,13 +6,14 @@ import (
 	"github.com/wanify/wanify/internal/geo"
 	"github.com/wanify/wanify/internal/measure"
 	"github.com/wanify/wanify/internal/netsim"
+	"github.com/wanify/wanify/internal/substrate"
 )
 
 // TestAnchorBandwidths checks the two calibration anchors from the
 // paper's §1/§2.1: a single connection US East↔US West achieves
 // ≈1700 Mbps and US East↔AP SE ≈121 Mbps.
 func TestAnchorBandwidths(t *testing.T) {
-	cfg := netsim.UniformCluster(geo.Testbed(), netsim.T2Medium, 7)
+	cfg := netsim.UniformCluster(geo.Testbed(), substrate.T2Medium, 7)
 	cfg.Frozen = true
 	sim := netsim.NewSim(cfg)
 
@@ -30,7 +31,7 @@ func TestAnchorBandwidths(t *testing.T) {
 // significantly (>100 Mbps) from simultaneous runtime measurements on
 // many links, because concurrent transfers contend.
 func TestStaticVsRuntimeGap(t *testing.T) {
-	cfg := netsim.UniformCluster(geo.Testbed(), netsim.T2Medium, 11)
+	cfg := netsim.UniformCluster(geo.Testbed(), substrate.T2Medium, 11)
 	sim := netsim.NewSim(cfg)
 
 	static, _ := measure.StaticIndependent(sim, measure.Options{DurationS: 10, Conns: 1})
@@ -57,7 +58,7 @@ func TestStaticVsRuntimeGap(t *testing.T) {
 // (US East↔AP SE) rises toward ~1 Gbps with 9 connections when probed
 // alone — parallel connections scale weak-link throughput near-linearly.
 func TestParallelConnectionsScaleWeakLink(t *testing.T) {
-	cfg := netsim.UniformCluster(geo.Testbed(), netsim.T2Medium, 7)
+	cfg := netsim.UniformCluster(geo.Testbed(), substrate.T2Medium, 7)
 	cfg.Frozen = true
 	sim := netsim.NewSim(cfg)
 
@@ -86,12 +87,12 @@ func TestParallelConnectionsScaleWeakLink(t *testing.T) {
 // capacity.
 func TestUniformParallelismLittleBenefit(t *testing.T) {
 	regions := []geo.Region{geo.USEast, geo.USWest, geo.APSE}
-	cfg := netsim.UniformCluster(regions, netsim.T3Nano, 13)
+	cfg := netsim.UniformCluster(regions, substrate.T3Nano, 13)
 	cfg.Frozen = true
 	sim := netsim.NewSim(cfg)
 
 	minRate := func(conns int) float64 {
-		var flows []*netsim.Flow
+		var flows []substrate.Flow
 		for i := 0; i < 3; i++ {
 			for j := 0; j < 3; j++ {
 				if i != j {
@@ -125,12 +126,12 @@ func TestUniformParallelismLittleBenefit(t *testing.T) {
 // cluster's minimum BW by roughly 2x.
 func TestHeterogeneousConnectionsRaiseMinBW(t *testing.T) {
 	regions := []geo.Region{geo.USEast, geo.USWest, geo.APSE}
-	cfg := netsim.UniformCluster(regions, netsim.T3Nano, 13)
+	cfg := netsim.UniformCluster(regions, substrate.T3Nano, 13)
 	cfg.Frozen = true
 	sim := netsim.NewSim(cfg)
 
 	run := func(conns func(i, j int) int) (min, max float64) {
-		var flows []*netsim.Flow
+		var flows []substrate.Flow
 		for i := 0; i < 3; i++ {
 			for j := 0; j < 3; j++ {
 				if i != j {

@@ -1,6 +1,8 @@
-// Package netsim is the WAN substrate of the WANify reproduction: a
-// deterministic fluid-flow simulator of wide-area traffic between
-// geo-distributed data centers.
+// Package netsim is the reference substrate.Cluster backend of the
+// WANify reproduction: a deterministic fluid-flow simulator of
+// wide-area traffic between geo-distributed data centers. (The
+// trace-replay backend, internal/tracesim, layers recorded bandwidth
+// timeseries over this same machinery.)
 //
 // It stands in for the paper's AWS VPC testbed and models exactly the
 // three mechanisms WANify exploits:
@@ -33,42 +35,22 @@ package netsim
 
 import (
 	"github.com/wanify/wanify/internal/geo"
+	"github.com/wanify/wanify/internal/substrate"
 )
 
-// VMSpec describes the network-relevant shape of a virtual machine.
-type VMSpec struct {
-	// Type is a descriptive instance type name, e.g. "t2.medium".
-	Type string
-	// EgressMbps is the sustained WAN egress capacity.
-	EgressMbps float64
-	// IngressMbps is the sustained WAN ingress capacity.
-	IngressMbps float64
-	// MemGB is the instance memory; parallel connections consume
-	// buffer space out of it (the paper's Md feature, Table 3).
-	MemGB float64
-	// ComputeRate is the relative task-processing rate (1.0 = one
-	// t2.medium vCPU pair). Used by the analytics engine.
-	ComputeRate float64
-	// VCPUs is the vCPU count, used for burst-surcharge pricing (the
-	// paper adds $0.05 per vCPU-hour for unlimited CPU bursts, §5.1).
-	VCPUs int
-	// HourlyUSD is the on-demand instance price, used by the cost model.
-	HourlyUSD float64
-}
-
-// Predefined instance shapes used across the paper's experiments.
-// Capacities are calibrated so the paper's anchor bandwidths reproduce
-// (see DESIGN.md §2): WAN caps are roughly half of peak NIC rate, as
-// the paper notes for m5.large ("10 Gbps NIC, WAN throttled to half").
-var (
-	// T2Medium hosts Spark workers in the paper's evaluation.
-	T2Medium = VMSpec{Type: "t2.medium", EgressMbps: 2400, IngressMbps: 2800, MemGB: 4, ComputeRate: 1.0, VCPUs: 2, HourlyUSD: 0.0464}
-	// T2Large hosts the Spark master.
-	T2Large = VMSpec{Type: "t2.large", EgressMbps: 3000, IngressMbps: 3400, MemGB: 8, ComputeRate: 1.2, VCPUs: 2, HourlyUSD: 0.0928}
-	// T3Nano (unlimited burst) runs the bandwidth-monitoring probes.
-	T3Nano = VMSpec{Type: "t3.nano", EgressMbps: 1000, IngressMbps: 1100, MemGB: 0.5, ComputeRate: 0.25, VCPUs: 2, HourlyUSD: 0.0052}
-	// E2Medium is the GCP instance used in the multi-cloud check (§5.8.3).
-	E2Medium = VMSpec{Type: "e2-medium", EgressMbps: 2200, IngressMbps: 2600, MemGB: 4, ComputeRate: 0.95, VCPUs: 2, HourlyUSD: 0.0335}
+// The simulator speaks the substrate vocabulary: VM identifiers, specs
+// and host-metric snapshots are the shared types every backend uses
+// (instance shapes live in internal/substrate next to the Cluster
+// interface). The aliases keep netsim's own code and tests terse.
+type (
+	// VMID identifies a virtual machine within a Sim.
+	VMID = substrate.VMID
+	// FlowID identifies a flow within a Sim.
+	FlowID = substrate.FlowID
+	// VMSpec describes the network-relevant shape of a virtual machine.
+	VMSpec = substrate.VMSpec
+	// VMStats is a snapshot of a VM's host-level metrics (Md, Ci, Nr).
+	VMStats = substrate.VMStats
 )
 
 // Config configures a Sim. Zero-valued physics knobs take the defaults

@@ -1,12 +1,13 @@
 package netsim
 
-import "math"
+import (
+	"math"
 
-// VMID identifies a virtual machine within a Sim.
-type VMID int
+	"github.com/wanify/wanify/internal/substrate"
+)
 
-// FlowID identifies a flow within a Sim.
-type FlowID int
+// Flow implements substrate.Flow on the simulator.
+var _ substrate.Flow = (*Flow)(nil)
 
 // Flow is an active WAN transfer between two VMs. A flow aggregates all
 // parallel connections a sender maintains toward one receiver; the
@@ -113,19 +114,4 @@ type vm struct {
 	cpuLoad      float64 // [0,1], set by the compute engine
 	retransAccum float64 // cumulative retransmission events
 	lastRetrans  float64 // retrans rate per second, from last allocation
-}
-
-// VMStats is a snapshot of a VM's host-level metrics, the sources of
-// the paper's Table 3 features (Md, Ci, Nr).
-type VMStats struct {
-	// CPULoad is the current CPU utilization in [0, 1] (feature Ci).
-	CPULoad float64
-	// MemUtil is the current memory utilization in [0, 1], including
-	// per-connection socket buffers (feature Md).
-	MemUtil float64
-	// RetransPerSec is the current TCP retransmission rate (feature Nr).
-	RetransPerSec float64
-	// ActiveConns is the total number of connections terminating at
-	// this VM (both directions).
-	ActiveConns int
 }

@@ -6,10 +6,11 @@ import (
 	"testing/quick"
 
 	"github.com/wanify/wanify/internal/geo"
+	"github.com/wanify/wanify/internal/substrate"
 )
 
 func frozenSim(n int, seed uint64) *Sim {
-	cfg := UniformCluster(geo.TestbedSubset(n), T2Medium, seed)
+	cfg := UniformCluster(geo.TestbedSubset(n), substrate.T2Medium, seed)
 	cfg.Frozen = true
 	return NewSim(cfg)
 }
@@ -19,7 +20,7 @@ func frozenSim(n int, seed uint64) *Sim {
 func TestFlowLifecycle(t *testing.T) {
 	s := frozenSim(3, 1)
 	done := 0
-	f := s.StartFlow(s.FirstVMOfDC(0), s.FirstVMOfDC(1), 1, 100e6, func() { done++ })
+	f := s.startFlow(s.FirstVMOfDC(0), s.FirstVMOfDC(1), 1, 100e6, func() { done++ })
 	if f.Done() {
 		t.Fatal("flow done before running")
 	}
@@ -44,7 +45,7 @@ func TestFlowLifecycle(t *testing.T) {
 func TestStoppedFlowDoesNotComplete(t *testing.T) {
 	s := frozenSim(3, 1)
 	done := false
-	f := s.StartFlow(s.FirstVMOfDC(0), s.FirstVMOfDC(1), 1, 1e12, func() { done = true })
+	f := s.startFlow(s.FirstVMOfDC(0), s.FirstVMOfDC(1), 1, 1e12, func() { done = true })
 	s.RunFor(1)
 	f.Stop()
 	s.RunFor(5)
@@ -68,7 +69,7 @@ func TestByteConservation(t *testing.T) {
 			return true
 		}
 		size := float64(sizeKB%100000+1) * 1024
-		fl := s.StartFlow(s.FirstVMOfDC(src), s.FirstVMOfDC(dst), int(conns%10)+1, size, nil)
+		fl := s.startFlow(s.FirstVMOfDC(src), s.FirstVMOfDC(dst), int(conns%10)+1, size, nil)
 		if err := s.AwaitFlows(36000, fl); err != nil {
 			return false
 		}
@@ -92,7 +93,7 @@ func TestAllocationRespectsCaps(t *testing.T) {
 				if i == j {
 					continue
 				}
-				flows = append(flows, s.StartProbe(s.FirstVMOfDC(i), s.FirstVMOfDC(j), int(connChoices[k]%8)+1))
+				flows = append(flows, s.startProbe(s.FirstVMOfDC(i), s.FirstVMOfDC(j), int(connChoices[k]%8)+1))
 				k++
 			}
 		}
@@ -131,7 +132,7 @@ func TestAllocationRespectsCaps(t *testing.T) {
 // TestPairLimitEnforced checks simulated `tc` throttling.
 func TestPairLimitEnforced(t *testing.T) {
 	s := frozenSim(3, 2)
-	f := s.StartProbe(s.FirstVMOfDC(0), s.FirstVMOfDC(1), 4)
+	f := s.startProbe(s.FirstVMOfDC(0), s.FirstVMOfDC(1), 4)
 	s.RunFor(5)
 	unlimited := f.Rate()
 	s.SetPairLimit(0, 1, 100)
@@ -153,7 +154,7 @@ func TestPairLimitEnforced(t *testing.T) {
 func TestSetConnsChangesRate(t *testing.T) {
 	s := frozenSim(4, 3)
 	// DC0 (US East) -> DC3 (AP SE): far, per-connection capped.
-	f := s.StartProbe(s.FirstVMOfDC(0), s.FirstVMOfDC(3), 1)
+	f := s.startProbe(s.FirstVMOfDC(0), s.FirstVMOfDC(3), 1)
 	s.RunFor(10)
 	r1 := f.Rate()
 	f.SetConns(4)
@@ -194,7 +195,7 @@ func TestCongestionKneeDegradesThroughput(t *testing.T) {
 		s := frozenSim(8, 5)
 		var flows []*Flow
 		for d := 1; d < 8; d++ {
-			flows = append(flows, s.StartProbe(s.FirstVMOfDC(0), s.FirstVMOfDC(d), connsPerPeer))
+			flows = append(flows, s.startProbe(s.FirstVMOfDC(0), s.FirstVMOfDC(d), connsPerPeer))
 		}
 		s.RunFor(10)
 		sum := 0.0
@@ -216,7 +217,7 @@ func TestRetransmissionsRiseUnderOverload(t *testing.T) {
 	idle := s.VMStats(s.FirstVMOfDC(0)).RetransPerSec
 	var flows []*Flow
 	for d := 1; d < 8; d++ {
-		flows = append(flows, s.StartProbe(s.FirstVMOfDC(0), s.FirstVMOfDC(d), 8))
+		flows = append(flows, s.startProbe(s.FirstVMOfDC(0), s.FirstVMOfDC(d), 8))
 	}
 	s.RunFor(5)
 	loaded := s.VMStats(s.FirstVMOfDC(0)).RetransPerSec
@@ -233,7 +234,7 @@ func TestMemUtilGrowsWithConnections(t *testing.T) {
 	s := frozenSim(3, 7)
 	vm := s.FirstVMOfDC(1)
 	before := s.VMStats(vm).MemUtil
-	f := s.StartProbe(s.FirstVMOfDC(0), vm, 30)
+	f := s.startProbe(s.FirstVMOfDC(0), vm, 30)
 	s.RunFor(1)
 	after := s.VMStats(vm).MemUtil
 	if after <= before {
@@ -246,7 +247,7 @@ func TestMemUtilGrowsWithConnections(t *testing.T) {
 // a lower uncontended rate.
 func TestCPULoadReducesRate(t *testing.T) {
 	s := frozenSim(4, 8)
-	f := s.StartProbe(s.FirstVMOfDC(0), s.FirstVMOfDC(3), 1)
+	f := s.startProbe(s.FirstVMOfDC(0), s.FirstVMOfDC(3), 1)
 	s.RunFor(10)
 	freeRate := f.Rate()
 	s.SetCPULoad(s.FirstVMOfDC(0), 1.0)
@@ -264,7 +265,7 @@ func TestCPULoadReducesRate(t *testing.T) {
 func TestSlowStartRamp(t *testing.T) {
 	s := frozenSim(4, 9)
 	src, dst := s.FirstVMOfDC(0), s.FirstVMOfDC(3) // long RTT
-	f := s.StartProbe(src, dst, 1)
+	f := s.startProbe(src, dst, 1)
 	rampWindow := 4 * s.RTTSeconds(0, 3)
 	s.RunFor(rampWindow / 4)
 	early := f.Rate()
@@ -276,7 +277,7 @@ func TestSlowStartRamp(t *testing.T) {
 	f.Stop()
 
 	// More connections shorten the ramp.
-	f8 := s.StartProbe(src, dst, 8)
+	f8 := s.startProbe(src, dst, 8)
 	s.RunFor(rampWindow / 4)
 	early8 := f8.Rate()
 	perConnEarly8 := early8 / 8
@@ -290,11 +291,11 @@ func TestSlowStartRamp(t *testing.T) {
 // identically through fluctuation and flows.
 func TestDeterminism(t *testing.T) {
 	run := func() []float64 {
-		cfg := UniformCluster(geo.TestbedSubset(4), T2Medium, 31)
+		cfg := UniformCluster(geo.TestbedSubset(4), substrate.T2Medium, 31)
 		s := NewSim(cfg) // fluctuation ON
 		var flows []*Flow
 		for d := 1; d < 4; d++ {
-			flows = append(flows, s.StartProbe(s.FirstVMOfDC(0), s.FirstVMOfDC(d), d))
+			flows = append(flows, s.startProbe(s.FirstVMOfDC(0), s.FirstVMOfDC(d), d))
 		}
 		s.RunFor(30)
 		out := make([]float64, len(flows))
@@ -329,7 +330,7 @@ func TestRunUntilExactness(t *testing.T) {
 // that no simulated time is wasted after the last flow drains.
 func TestAwaitFlowsStopsAtCompletion(t *testing.T) {
 	s := frozenSim(3, 11)
-	f := s.StartFlow(s.FirstVMOfDC(0), s.FirstVMOfDC(1), 1, 50e6, nil)
+	f := s.startFlow(s.FirstVMOfDC(0), s.FirstVMOfDC(1), 1, 50e6, nil)
 	start := s.Now()
 	if err := s.AwaitFlows(3600, f); err != nil {
 		t.Fatal(err)
@@ -346,7 +347,7 @@ func TestAwaitFlowsStopsAtCompletion(t *testing.T) {
 func TestAwaitFlowsTimeout(t *testing.T) {
 	s := frozenSim(3, 12)
 	s.SetPairLimit(0, 1, 0.001) // effectively stalled
-	f := s.StartFlow(s.FirstVMOfDC(0), s.FirstVMOfDC(1), 1, 1e12, nil)
+	f := s.startFlow(s.FirstVMOfDC(0), s.FirstVMOfDC(1), 1, 1e12, nil)
 	if err := s.AwaitFlows(5, f); err == nil {
 		t.Error("expected timeout error")
 	}
@@ -356,8 +357,8 @@ func TestAwaitFlowsTimeout(t *testing.T) {
 // TestPairRateAggregation checks DC-level rate reporting.
 func TestPairRateAggregation(t *testing.T) {
 	s := frozenSim(3, 13)
-	f1 := s.StartProbe(s.FirstVMOfDC(0), s.FirstVMOfDC(1), 1)
-	f2 := s.StartProbe(s.FirstVMOfDC(0), s.FirstVMOfDC(1), 2)
+	f1 := s.startProbe(s.FirstVMOfDC(0), s.FirstVMOfDC(1), 1)
+	f2 := s.startProbe(s.FirstVMOfDC(0), s.FirstVMOfDC(1), 2)
 	s.RunFor(5)
 	if got, want := s.PairRate(0, 1), f1.Rate()+f2.Rate(); math.Abs(got-want) > 1e-6 {
 		t.Errorf("PairRate = %v, want %v", got, want)
@@ -375,11 +376,11 @@ func TestConfigValidation(t *testing.T) {
 		"no regions": {},
 		"vm mismatch": {
 			Regions: geo.TestbedSubset(2),
-			VMs:     [][]VMSpec{{T2Medium}},
+			VMs:     [][]VMSpec{{substrate.T2Medium}},
 		},
 		"empty DC": {
 			Regions: geo.TestbedSubset(2),
-			VMs:     [][]VMSpec{{T2Medium}, {}},
+			VMs:     [][]VMSpec{{substrate.T2Medium}, {}},
 		},
 	} {
 		func() {
@@ -399,8 +400,8 @@ func TestConfigValidation(t *testing.T) {
 func TestAddingFlowNeverHelpsOthers(t *testing.T) {
 	f := func(seed uint64, si, di uint8, conns uint8) bool {
 		s := frozenSim(4, seed)
-		f1 := s.StartProbe(s.FirstVMOfDC(0), s.FirstVMOfDC(1), 2)
-		f2 := s.StartProbe(s.FirstVMOfDC(2), s.FirstVMOfDC(3), 2)
+		f1 := s.startProbe(s.FirstVMOfDC(0), s.FirstVMOfDC(1), 2)
+		f2 := s.startProbe(s.FirstVMOfDC(2), s.FirstVMOfDC(3), 2)
 		s.RunFor(6)
 		r1, r2 := f1.Rate(), f2.Rate()
 
@@ -409,7 +410,7 @@ func TestAddingFlowNeverHelpsOthers(t *testing.T) {
 		if src == dst {
 			return true
 		}
-		s.StartProbe(s.FirstVMOfDC(src), s.FirstVMOfDC(dst), int(conns%8)+1)
+		s.startProbe(s.FirstVMOfDC(src), s.FirstVMOfDC(dst), int(conns%8)+1)
 		s.RunFor(6)
 		const eps = 1e-6
 		return f1.Rate() <= r1+eps && f2.Rate() <= r2+eps
@@ -423,9 +424,9 @@ func TestAddingFlowNeverHelpsOthers(t *testing.T) {
 // factors near 1 (no drift) while producing real variance, by observing
 // a probe's rate over several minutes of weather.
 func TestFluctuationStationarity(t *testing.T) {
-	cfg := UniformCluster(geo.TestbedSubset(2), T2Medium, 21)
+	cfg := UniformCluster(geo.TestbedSubset(2), substrate.T2Medium, 21)
 	s := NewSim(cfg)
-	f := s.StartProbe(s.FirstVMOfDC(0), s.FirstVMOfDC(1), 1)
+	f := s.startProbe(s.FirstVMOfDC(0), s.FirstVMOfDC(1), 1)
 	var rates []float64
 	for i := 0; i < 300; i++ {
 		s.RunFor(1)
@@ -458,18 +459,18 @@ func TestMultiVMEgressIndependent(t *testing.T) {
 	regions := geo.TestbedSubset(2)
 	cfg := Config{
 		Regions: regions,
-		VMs:     [][]VMSpec{{T2Medium, T2Medium}, {T2Medium, T2Medium}},
+		VMs:     [][]VMSpec{{substrate.T2Medium, substrate.T2Medium}, {substrate.T2Medium, substrate.T2Medium}},
 		Seed:    22, Frozen: true,
 	}
 	s := NewSim(cfg)
 	vms0 := s.VMsOfDC(0)
 	vms1 := s.VMsOfDC(1)
-	f1 := s.StartProbe(vms0[0], vms1[0], 4)
-	f2 := s.StartProbe(vms0[1], vms1[1], 4)
+	f1 := s.startProbe(vms0[0], vms1[0], 4)
+	f2 := s.startProbe(vms0[1], vms1[1], 4)
 	s.RunFor(6)
 	total := f1.Rate() + f2.Rate()
-	if total <= T2Medium.EgressMbps*1.05 {
-		t.Errorf("two-VM DC egress %.0f did not exceed one VM's cap %.0f", total, T2Medium.EgressMbps)
+	if total <= substrate.T2Medium.EgressMbps*1.05 {
+		t.Errorf("two-VM DC egress %.0f did not exceed one VM's cap %.0f", total, substrate.T2Medium.EgressMbps)
 	}
 	f1.Stop()
 	f2.Stop()

@@ -8,7 +8,11 @@ import (
 
 	"github.com/wanify/wanify/internal/geo"
 	"github.com/wanify/wanify/internal/simrand"
+	"github.com/wanify/wanify/internal/substrate"
 )
+
+// Sim is the reference implementation of the substrate contract.
+var _ substrate.Cluster = (*Sim)(nil)
 
 // Sim is a deterministic event-driven fluid simulator of WAN traffic
 // among geo-distributed data centers. See the package comment for the
@@ -291,12 +295,37 @@ func (s *Sim) pairLimitAt(srcDC, dstDC int) float64 {
 	return s.pairLimits[s.pairKey(srcDC, dstDC)]
 }
 
+// SetPerConnCap overrides the nominal single-connection throughput cap
+// between two DCs (normally derived from geography at construction).
+// The trace-replay backend (internal/tracesim) drives this from
+// recorded per-pair timeseries; contention, host factors and tc limits
+// still apply on top. The invalidation is scoped like SetPairLimit's:
+// with no flows on the pair, current rates stand.
+func (s *Sim) SetPerConnCap(srcDC, dstDC int, mbps float64) {
+	if mbps < 0 {
+		mbps = 0
+	}
+	if s.perConnBase[srcDC][dstDC] == mbps {
+		return
+	}
+	s.perConnBase[srcDC][dstDC] = mbps
+	if len(s.pairFlows[s.pairKey(srcDC, dstDC)]) > 0 {
+		s.invalidate()
+	}
+}
+
 // --- flows ---
 
 // StartFlow starts a sized transfer of the given bytes from src to dst
 // using conns parallel connections. onDone, if non-nil, fires when the
 // transfer completes (not when it is stopped early).
-func (s *Sim) StartFlow(src, dst VMID, conns int, bytes float64, onDone func()) *Flow {
+func (s *Sim) StartFlow(src, dst VMID, conns int, bytes float64, onDone func()) substrate.Flow {
+	return s.startFlow(src, dst, conns, bytes, onDone)
+}
+
+// startFlow is StartFlow with the concrete return type, for in-package
+// callers (tests, benchmarks) that reach into flow internals.
+func (s *Sim) startFlow(src, dst VMID, conns int, bytes float64, onDone func()) *Flow {
 	if src == dst {
 		panic("netsim: flow src == dst")
 	}
@@ -311,7 +340,12 @@ func (s *Sim) StartFlow(src, dst VMID, conns int, bytes float64, onDone func()) 
 
 // StartProbe starts an unbounded measurement flow (iPerf-style) that
 // runs until stopped.
-func (s *Sim) StartProbe(src, dst VMID, conns int) *Flow {
+func (s *Sim) StartProbe(src, dst VMID, conns int) substrate.Flow {
+	return s.startProbe(src, dst, conns)
+}
+
+// startProbe is StartProbe with the concrete return type.
+func (s *Sim) startProbe(src, dst VMID, conns int) *Flow {
 	if src == dst {
 		panic("netsim: probe src == dst")
 	}
@@ -623,12 +657,12 @@ func (s *Sim) advanceTo(tNext float64) {
 // until maxWait seconds have elapsed (returning an error in that case).
 // It stops at the exact completion instant of the last flow, so no
 // simulated time is wasted.
-func (s *Sim) AwaitFlows(maxWait float64, flows ...*Flow) error {
+func (s *Sim) AwaitFlows(maxWait float64, flows ...substrate.Flow) error {
 	deadline := s.now + maxWait
 	for {
 		all := true
 		for _, f := range flows {
-			if !f.done {
+			if !f.Done() {
 				all = false
 				break
 			}

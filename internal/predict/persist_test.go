@@ -1,0 +1,92 @@
+package predict
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"github.com/wanify/wanify/internal/ml/dataset"
+	"github.com/wanify/wanify/internal/ml/rf"
+)
+
+func trainedModel(t *testing.T) (*Model, rf.Dataset) {
+	t.Helper()
+	ds, _ := dataset.Generate(dataset.GenConfig{Sizes: []int{3, 4}, DrawsPerSize: 3, Seed: 11})
+	m, err := Train(ds, TrainConfig{Forest: rf.Config{NumTrees: 10, Seed: 11}, FlagLimit: 0.2, ErrWindow: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, ds
+}
+
+// TestSaveLoadRoundTrip checks a reloaded model predicts identically
+// and keeps its staleness configuration.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m, ds := trainedModel(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds.X {
+		if a, b := m.forest.Predict(ds.X[i]), got.forest.Predict(ds.X[i]); a != b {
+			t.Fatalf("row %d: prediction %v != %v after reload", i, a, b)
+		}
+	}
+	if got.errCap != 7 || got.flagLimit != 0.2 {
+		t.Errorf("staleness config not preserved: errCap=%d flagLimit=%v", got.errCap, got.flagLimit)
+	}
+	if got.NeedsRetrain() || got.PendingRows() != 0 {
+		t.Error("loaded model carries runtime staleness state")
+	}
+}
+
+// TestSaveLoadFile checks the file helpers.
+func TestSaveLoadFile(t *testing.T) {
+	m, ds := trainedModel(t)
+	path := filepath.Join(t.TempDir(), "model.gob")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := m.forest.Predict(ds.X[0]), got.forest.Predict(ds.X[0]); a != b {
+		t.Errorf("prediction differs after file round trip: %v vs %v", a, b)
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.gob")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// TestLoadRejectsGarbage checks corrupt input fails loudly.
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+// TestLoadLegacyForestFile checks backward compatibility: a bare
+// forest gob (the pre-model persistence format) loads with default
+// staleness thresholds.
+func TestLoadLegacyForestFile(t *testing.T) {
+	m, ds := trainedModel(t)
+	var buf bytes.Buffer
+	if err := m.Forest().Save(&buf); err != nil { // legacy: forest only
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("legacy forest file rejected: %v", err)
+	}
+	if a, b := m.forest.Predict(ds.X[0]), got.forest.Predict(ds.X[0]); a != b {
+		t.Errorf("legacy prediction %v != %v", b, a)
+	}
+	if got.errCap != defaultErrWindow || got.flagLimit != defaultFlagLimit {
+		t.Errorf("legacy load staleness config: errCap=%d flagLimit=%v", got.errCap, got.flagLimit)
+	}
+}

@@ -20,6 +20,13 @@ import (
 // throughout to call a gap "significant" (100 Mbps, [13, 24]).
 const SignificantMbps = 100.0
 
+// Default staleness thresholds (§3.3.4), shared by Train and by the
+// legacy model-file fallback in Load.
+const (
+	defaultFlagLimit = 0.15
+	defaultErrWindow = 10
+)
+
 // Model is a trained runtime-bandwidth predictor.
 type Model struct {
 	forest *rf.Forest
@@ -55,10 +62,10 @@ func Train(ds rf.Dataset, cfg TrainConfig) (*Model, error) {
 		return nil, fmt.Errorf("predict: %w", err)
 	}
 	if cfg.FlagLimit == 0 {
-		cfg.FlagLimit = 0.15
+		cfg.FlagLimit = defaultFlagLimit
 	}
 	if cfg.ErrWindow == 0 {
-		cfg.ErrWindow = 10
+		cfg.ErrWindow = defaultErrWindow
 	}
 	return &Model{forest: f, errCap: cfg.ErrWindow, flagLimit: cfg.FlagLimit}, nil
 }

@@ -5,7 +5,7 @@ import (
 	"math"
 
 	"github.com/wanify/wanify/internal/cost"
-	"github.com/wanify/wanify/internal/netsim"
+	"github.com/wanify/wanify/internal/substrate"
 )
 
 // Scheduler decides stage placement. Implementations (internal/gda)
@@ -48,7 +48,7 @@ type RunResult struct {
 
 // Engine executes jobs on a simulated geo-distributed cluster.
 type Engine struct {
-	sim   *netsim.Sim
+	sim   substrate.Cluster
 	rates cost.Rates
 
 	// ComputeLoadDuringTransfer is the CPU load set on worker VMs while
@@ -67,7 +67,7 @@ type Engine struct {
 }
 
 // NewEngine builds an engine over a simulator with the given pricing.
-func NewEngine(sim *netsim.Sim, rates cost.Rates) *Engine {
+func NewEngine(sim substrate.Cluster, rates cost.Rates) *Engine {
 	return &Engine{
 		sim:                       sim,
 		rates:                     rates,
@@ -76,8 +76,8 @@ func NewEngine(sim *netsim.Sim, rates cost.Rates) *Engine {
 	}
 }
 
-// Sim exposes the underlying simulator.
-func (e *Engine) Sim() *netsim.Sim { return e.sim }
+// Cluster exposes the underlying WAN substrate.
+func (e *Engine) Cluster() substrate.Cluster { return e.sim }
 
 // ComputeRates returns the aggregate compute rate per DC.
 func (e *Engine) ComputeRates() []float64 {
@@ -173,7 +173,7 @@ func (e *Engine) RunJob(job Job, sched Scheduler, policy ConnPolicy) (RunResult,
 			}
 			e.sim.RunFor(computeS)
 			for v := 0; v < e.sim.NumVMs(); v++ {
-				e.sim.SetCPULoad(netsim.VMID(v), 0)
+				e.sim.SetCPULoad(substrate.VMID(v), 0)
 			}
 		}
 		rep.ComputeS = computeS
@@ -208,7 +208,7 @@ func (e *Engine) executeTransfers(transfer [][]float64, policy ConnPolicy) (elap
 		done  float64 // completion time of the pair's last flow
 		left  int
 	}
-	var flows []*netsim.Flow
+	var flows []substrate.Flow
 	var pairs []*pendingPair
 	start := e.sim.Now()
 
@@ -253,11 +253,11 @@ func (e *Engine) executeTransfers(transfer [][]float64, policy ConnPolicy) (elap
 		load = 0.9
 	}
 	for v := 0; v < e.sim.NumVMs(); v++ {
-		e.sim.SetCPULoad(netsim.VMID(v), load)
+		e.sim.SetCPULoad(substrate.VMID(v), load)
 	}
 	err = e.sim.AwaitFlows(e.MaxStageTransferS, flows...)
 	for v := 0; v < e.sim.NumVMs(); v++ {
-		e.sim.SetCPULoad(netsim.VMID(v), 0)
+		e.sim.SetCPULoad(substrate.VMID(v), 0)
 	}
 	if err != nil {
 		return 0, nil, 0, err
@@ -278,7 +278,7 @@ func (e *Engine) executeTransfers(transfer [][]float64, policy ConnPolicy) (elap
 func (e *Engine) price(job Job, res RunResult) cost.Breakdown {
 	var b cost.Breakdown
 	for v := 0; v < e.sim.NumVMs(); v++ {
-		b.ComputeUSD += e.rates.ComputeUSD(e.sim.Spec(netsim.VMID(v)), res.JCTSeconds)
+		b.ComputeUSD += e.rates.ComputeUSD(e.sim.Spec(substrate.VMID(v)), res.JCTSeconds)
 	}
 	regions := e.sim.Regions()
 	for _, st := range res.Stages {

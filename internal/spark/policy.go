@@ -3,7 +3,7 @@ package spark
 import (
 	"github.com/wanify/wanify/internal/agent"
 	"github.com/wanify/wanify/internal/bwmatrix"
-	"github.com/wanify/wanify/internal/netsim"
+	"github.com/wanify/wanify/internal/substrate"
 )
 
 // ConnPolicy decides how many parallel connections a transfer opens,
@@ -12,10 +12,10 @@ import (
 type ConnPolicy interface {
 	// Conns returns the connection count for a new transfer from srcVM
 	// toward dstDC.
-	Conns(srcVM netsim.VMID, dstDC int) int
+	Conns(srcVM substrate.VMID, dstDC int) int
 	// Register offers a started flow to the policy; policies without
 	// runtime management ignore it.
-	Register(f *netsim.Flow)
+	Register(f substrate.Flow)
 }
 
 // SingleConn is vanilla Spark: one connection per transfer (§2.1,
@@ -24,17 +24,17 @@ type ConnPolicy interface {
 type SingleConn struct{}
 
 // Conns returns 1.
-func (SingleConn) Conns(netsim.VMID, int) int { return 1 }
+func (SingleConn) Conns(substrate.VMID, int) int { return 1 }
 
 // Register ignores the flow.
-func (SingleConn) Register(*netsim.Flow) {}
+func (SingleConn) Register(substrate.Flow) {}
 
 // UniformConn opens the same K connections on every pair — the
 // WANify-P baseline of §5.3.1 (the paper uses K=8).
 type UniformConn struct{ K int }
 
 // Conns returns K (at least 1).
-func (u UniformConn) Conns(netsim.VMID, int) int {
+func (u UniformConn) Conns(substrate.VMID, int) int {
 	if u.K < 1 {
 		return 1
 	}
@@ -42,22 +42,22 @@ func (u UniformConn) Conns(netsim.VMID, int) int {
 }
 
 // Register ignores the flow.
-func (UniformConn) Register(*netsim.Flow) {}
+func (UniformConn) Register(substrate.Flow) {}
 
 // FixedConn opens a static per-pair connection count from a matrix —
 // the "Global only" ablation variant of §5.5, which applies the global
 // optimizer's heterogeneous solution without runtime fine-tuning.
 type FixedConn struct {
-	// Sim resolves sending VMs to their DCs.
-	Sim *netsim.Sim
+	// Cluster resolves sending VMs to their DCs.
+	Cluster substrate.Cluster
 	// Matrix is the static DC-pair connection matrix (typically a
 	// global-optimization MaxConns).
 	Matrix bwmatrix.ConnMatrix
 }
 
 // Conns returns the matrix entry for the sending VM's DC.
-func (f FixedConn) Conns(srcVM netsim.VMID, dstDC int) int {
-	src := f.Sim.DCOf(srcVM)
+func (f FixedConn) Conns(srcVM substrate.VMID, dstDC int) int {
+	src := f.Cluster.DCOf(srcVM)
 	if src == dstDC {
 		return 1
 	}
@@ -69,7 +69,7 @@ func (f FixedConn) Conns(srcVM netsim.VMID, dstDC int) int {
 }
 
 // Register ignores the flow.
-func (FixedConn) Register(*netsim.Flow) {}
+func (FixedConn) Register(substrate.Flow) {}
 
 // AgentConn delegates to WANify local agents: connection counts come
 // from the sending VM's Connections Manager, and flows are registered
@@ -77,12 +77,12 @@ func (FixedConn) Register(*netsim.Flow) {}
 type AgentConn struct {
 	// ByVM maps each sending VM to its local agent. VMs without an
 	// agent fall back to a single connection.
-	ByVM map[netsim.VMID]*agent.Agent
+	ByVM map[substrate.VMID]*agent.Agent
 }
 
 // NewAgentConn builds the policy from a set of agents.
 func NewAgentConn(agents []*agent.Agent) AgentConn {
-	m := make(map[netsim.VMID]*agent.Agent, len(agents))
+	m := make(map[substrate.VMID]*agent.Agent, len(agents))
 	for _, a := range agents {
 		if a != nil {
 			m[a.VM()] = a
@@ -92,7 +92,7 @@ func NewAgentConn(agents []*agent.Agent) AgentConn {
 }
 
 // Conns asks the sending VM's agent.
-func (a AgentConn) Conns(srcVM netsim.VMID, dstDC int) int {
+func (a AgentConn) Conns(srcVM substrate.VMID, dstDC int) int {
 	if ag, ok := a.ByVM[srcVM]; ok {
 		return ag.ConnsTo(dstDC)
 	}
@@ -100,7 +100,7 @@ func (a AgentConn) Conns(srcVM netsim.VMID, dstDC int) int {
 }
 
 // Register hands the flow to the sending VM's agent.
-func (a AgentConn) Register(f *netsim.Flow) {
+func (a AgentConn) Register(f substrate.Flow) {
 	if ag, ok := a.ByVM[f.Src()]; ok {
 		ag.Register(f)
 	}

@@ -8,10 +8,11 @@ import (
 	"github.com/wanify/wanify/internal/cost"
 	"github.com/wanify/wanify/internal/geo"
 	"github.com/wanify/wanify/internal/netsim"
+	"github.com/wanify/wanify/internal/substrate"
 )
 
 func frozenSim(n int, seed uint64) *netsim.Sim {
-	cfg := netsim.UniformCluster(geo.TestbedSubset(n), netsim.T2Medium, seed)
+	cfg := netsim.UniformCluster(geo.TestbedSubset(n), substrate.T2Medium, seed)
 	cfg.Frozen = true
 	return netsim.NewSim(cfg)
 }
@@ -202,9 +203,9 @@ func TestEngineHeterogeneousCompute(t *testing.T) {
 	regions := geo.TestbedSubset(2)
 	cfg := netsim.Config{
 		Regions: regions,
-		VMs: [][]netsim.VMSpec{
-			{netsim.T2Medium, netsim.T2Medium}, // double compute in DC0
-			{netsim.T2Medium},
+		VMs: [][]substrate.VMSpec{
+			{substrate.T2Medium, substrate.T2Medium}, // double compute in DC0
+			{substrate.T2Medium},
 		},
 		Seed: 2, Frozen: true,
 	}
@@ -232,7 +233,7 @@ func TestConnPolicies(t *testing.T) {
 	for i := range m {
 		m[i] = []int{1, 5, 9}
 	}
-	fc := FixedConn{Sim: sim, Matrix: m}
+	fc := FixedConn{Cluster: sim, Matrix: m}
 	if got := fc.Conns(sim.FirstVMOfDC(0), 2); got != 9 {
 		t.Errorf("fixed = %d", got)
 	}
@@ -244,7 +245,7 @@ func TestConnPolicies(t *testing.T) {
 // TestEngineDeterminism checks two identical runs agree exactly.
 func TestEngineDeterminism(t *testing.T) {
 	run := func() RunResult {
-		cfg := netsim.UniformCluster(geo.TestbedSubset(4), netsim.T2Medium, 77)
+		cfg := netsim.UniformCluster(geo.TestbedSubset(4), substrate.T2Medium, 77)
 		sim := netsim.NewSim(cfg) // fluctuation on
 		eng := NewEngine(sim, cost.DefaultRates())
 		job := Job{

@@ -15,7 +15,7 @@ import (
 	"io"
 	"strconv"
 
-	"github.com/wanify/wanify/internal/netsim"
+	"github.com/wanify/wanify/internal/substrate"
 )
 
 // Sample is one instant's pairwise rate snapshot.
@@ -28,14 +28,14 @@ type Sample struct {
 
 // Recorder samples a simulation's pairwise rates.
 type Recorder struct {
-	sim     *netsim.Sim
+	sim     substrate.Cluster
 	samples []Sample
 	cancel  func()
 	closed  bool
 }
 
 // NewRecorder starts recording every intervalS seconds.
-func NewRecorder(sim *netsim.Sim, intervalS float64) *Recorder {
+func NewRecorder(sim substrate.Cluster, intervalS float64) *Recorder {
 	if intervalS <= 0 {
 		intervalS = 1
 	}

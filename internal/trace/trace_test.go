@@ -7,10 +7,11 @@ import (
 
 	"github.com/wanify/wanify/internal/geo"
 	"github.com/wanify/wanify/internal/netsim"
+	"github.com/wanify/wanify/internal/substrate"
 )
 
 func frozenSim(n int, seed uint64) *netsim.Sim {
-	cfg := netsim.UniformCluster(geo.TestbedSubset(n), netsim.T2Medium, seed)
+	cfg := netsim.UniformCluster(geo.TestbedSubset(n), substrate.T2Medium, seed)
 	cfg.Frozen = true
 	return netsim.NewSim(cfg)
 }
@@ -91,7 +92,7 @@ func TestWriteCSV(t *testing.T) {
 // TestRecorderDeterminism checks same-seed recordings agree.
 func TestRecorderDeterminism(t *testing.T) {
 	run := func() []Sample {
-		cfg := netsim.UniformCluster(geo.TestbedSubset(3), netsim.T2Medium, 9)
+		cfg := netsim.UniformCluster(geo.TestbedSubset(3), substrate.T2Medium, 9)
 		sim := netsim.NewSim(cfg) // weather on
 		rec := NewRecorder(sim, 1.0)
 		f := sim.StartProbe(sim.FirstVMOfDC(0), sim.FirstVMOfDC(1), 2)

@@ -1,0 +1,122 @@
+package tracesim
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/wanify/wanify/internal/netsim"
+	"github.com/wanify/wanify/internal/substrate"
+)
+
+// Config configures a trace-replay cluster.
+type Config struct {
+	// Trace is the recorded timeseries to replay (required).
+	Trace *Trace
+	// VMs lists the virtual machines per DC; nil deploys one Spec VM
+	// in every trace region (the paper's default 1-worker-per-DC).
+	VMs [][]substrate.VMSpec
+	// Spec is the uniform VM shape used when VMs is nil (default
+	// substrate.T2Medium).
+	Spec substrate.VMSpec
+	// Seed drives the residual stochastic machinery (slow-start
+	// scheduling noise is nil here, but snapshot callers derive their
+	// noise streams from the cluster seed, as with netsim).
+	Seed uint64
+}
+
+// Sim replays a bandwidth trace as a substrate.Cluster.
+//
+// It wraps a frozen netsim.Sim — no Ornstein–Uhlenbeck weather, no
+// degradation episodes — and installs the trace's per-connection caps
+// at every sample boundary via SetPerConnCap. The incremental
+// water-filling allocator, flow lifecycle, timer heap and host-metric
+// model are shared with netsim verbatim; the only difference between
+// the two backends is where link quality comes from. Replays are
+// bit-deterministic: the same trace, topology and workload reproduce
+// identical rates.
+type Sim struct {
+	*netsim.Sim
+	trace *Trace
+
+	next    int     // index of the next sample to apply
+	offsetS float64 // accumulated loop offset
+}
+
+// Sim implements the substrate contract (by embedding netsim.Sim and
+// adding the replay schedule).
+var _ substrate.Cluster = (*Sim)(nil)
+
+// New builds a trace-replay cluster and applies the trace's first
+// sample (samples at t=0 take effect immediately; a trace whose first
+// sample is later starts on geography-derived caps until then).
+func New(cfg Config) (*Sim, error) {
+	if cfg.Trace == nil {
+		return nil, fmt.Errorf("tracesim: config needs a trace")
+	}
+	if err := cfg.Trace.validate(); err != nil {
+		return nil, err
+	}
+	spec := cfg.Spec
+	if spec.Type == "" {
+		spec = substrate.T2Medium
+	}
+	vms := cfg.VMs
+	if vms == nil {
+		vms = make([][]substrate.VMSpec, cfg.Trace.N())
+		for i := range vms {
+			vms[i] = []substrate.VMSpec{spec}
+		}
+	}
+	if len(vms) != cfg.Trace.N() {
+		return nil, fmt.Errorf("tracesim: VMs for %d DCs but trace %q has %d regions", len(vms), cfg.Trace.Name, cfg.Trace.N())
+	}
+	s := &Sim{
+		Sim: netsim.NewSim(netsim.Config{
+			Regions: cfg.Trace.Regions,
+			VMs:     vms,
+			Seed:    cfg.Seed,
+			Frozen:  true, // the trace is the weather
+		}),
+		trace: cfg.Trace,
+	}
+	if s.trace.Samples[0].T == 0 {
+		s.apply(0)
+		s.next = 1
+	}
+	s.scheduleNext()
+	return s, nil
+}
+
+// Trace returns the replayed trace.
+func (s *Sim) Trace() *Trace { return s.trace }
+
+// apply installs sample k's per-connection caps.
+func (s *Sim) apply(k int) {
+	m := s.trace.Samples[k].PerConnMbps
+	for i := range m {
+		for j, v := range m[i] {
+			if i != j && !math.IsNaN(v) {
+				s.SetPerConnCap(i, j, v)
+			}
+		}
+	}
+}
+
+// scheduleNext arms a timer for the next sample boundary. Exactly one
+// replay timer is pending at any moment; when the trace is exhausted
+// and does not loop, the last values hold and no timer remains.
+func (s *Sim) scheduleNext() {
+	if s.next >= len(s.trace.Samples) {
+		if !s.trace.Loop {
+			return
+		}
+		s.next = 0
+		s.offsetS += s.trace.PeriodS
+	}
+	at := s.offsetS + s.trace.Samples[s.next].T
+	s.After(at-s.Now(), func(float64) {
+		s.apply(s.next)
+		s.next++
+		s.scheduleNext()
+	})
+}

@@ -5,8 +5,8 @@ import (
 
 	"github.com/wanify/wanify/internal/bwmatrix"
 	"github.com/wanify/wanify/internal/cost"
-	"github.com/wanify/wanify/internal/netsim"
 	"github.com/wanify/wanify/internal/spark"
+	"github.com/wanify/wanify/internal/substrate"
 )
 
 // The geo-distributed ML workload of §5.6: synchronous training where
@@ -157,7 +157,7 @@ func meanBits(bits []int, masterDC int) float64 {
 // believed selects the quantization policy's bandwidth beliefs (nil =
 // NoQ); policy selects the connection strategy (spark.SingleConn for
 // all paper variants except WQ, which passes agent-managed pools).
-func RunQuantizedTraining(sim *netsim.Sim, rates cost.Rates, believed bwmatrix.Matrix, policy spark.ConnPolicy, cfg MLConfig) (MLResult, error) {
+func RunQuantizedTraining(sim substrate.Cluster, rates cost.Rates, believed bwmatrix.Matrix, policy spark.ConnPolicy, cfg MLConfig) (MLResult, error) {
 	n := sim.NumDCs()
 	bits := AllocateBits(believed, cfg.MasterDC, cfg.MinMeanBits)
 	if bits == nil {
@@ -184,15 +184,15 @@ func RunQuantizedTraining(sim *netsim.Sim, rates cost.Rates, believed bwmatrix.M
 			}
 		}
 		for v := 0; v < sim.NumVMs(); v++ {
-			sim.SetCPULoad(netsim.VMID(v), 0.9)
+			sim.SetCPULoad(substrate.VMID(v), 0.9)
 		}
 		sim.RunFor(computeS)
 		for v := 0; v < sim.NumVMs(); v++ {
-			sim.SetCPULoad(netsim.VMID(v), 0.2)
+			sim.SetCPULoad(substrate.VMID(v), 0.2)
 		}
 
 		// Gradient push + weight pull, all workers concurrently.
-		var flows []*netsim.Flow
+		var flows []substrate.Flow
 		var payloads []float64
 		exchangeStart := sim.Now()
 		for d := 0; d < n; d++ {
@@ -227,7 +227,7 @@ func RunQuantizedTraining(sim *netsim.Sim, rates cost.Rates, believed bwmatrix.M
 			}
 		}
 		for v := 0; v < sim.NumVMs(); v++ {
-			sim.SetCPULoad(netsim.VMID(v), 0)
+			sim.SetCPULoad(substrate.VMID(v), 0)
 		}
 	}
 
@@ -236,7 +236,7 @@ func RunQuantizedTraining(sim *netsim.Sim, rates cost.Rates, believed bwmatrix.M
 		res.MinLinkMbps = 0
 	}
 	for v := 0; v < sim.NumVMs(); v++ {
-		res.Cost.ComputeUSD += rates.ComputeUSD(sim.Spec(netsim.VMID(v)), res.TrainSeconds)
+		res.Cost.ComputeUSD += rates.ComputeUSD(sim.Spec(substrate.VMID(v)), res.TrainSeconds)
 	}
 	regions := sim.Regions()
 	for d := 0; d < n; d++ {

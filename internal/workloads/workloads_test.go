@@ -9,6 +9,7 @@ import (
 	"github.com/wanify/wanify/internal/geo"
 	"github.com/wanify/wanify/internal/netsim"
 	"github.com/wanify/wanify/internal/spark"
+	"github.com/wanify/wanify/internal/substrate"
 )
 
 // TestUniformInput checks even spreading.
@@ -153,7 +154,7 @@ func TestAllocateBits(t *testing.T) {
 func TestQuantizedTrainingRuns(t *testing.T) {
 	rates := cost.DefaultRates()
 	run := func(believed bwmatrix.Matrix) MLResult {
-		cfg := netsim.UniformCluster(geo.TestbedSubset(4), netsim.T2Medium, 5)
+		cfg := netsim.UniformCluster(geo.TestbedSubset(4), substrate.T2Medium, 5)
 		cfg.Frozen = true
 		sim := netsim.NewSim(cfg)
 		mc := MLConfig{Epochs: 3, ModelBytes: 100e6, ComputeSecPerEpoch: 5, MasterDC: 0, MinMeanBits: 12}

@@ -33,17 +33,18 @@ import (
 	"github.com/wanify/wanify/internal/cost"
 	"github.com/wanify/wanify/internal/measure"
 	"github.com/wanify/wanify/internal/ml/dataset"
-	"github.com/wanify/wanify/internal/netsim"
 	"github.com/wanify/wanify/internal/optimize"
 	"github.com/wanify/wanify/internal/predict"
 	"github.com/wanify/wanify/internal/simrand"
 	"github.com/wanify/wanify/internal/spark"
+	"github.com/wanify/wanify/internal/substrate"
 )
 
 // Config configures a Framework instance for one cluster.
 type Config struct {
-	// Sim is the cluster's network substrate.
-	Sim *netsim.Sim
+	// Cluster is the WAN substrate the deployment runs on (a netsim
+	// simulation, a tracesim replay, or any future backend).
+	Cluster substrate.Cluster
 	// Rates prices measurement and query activity.
 	Rates cost.Rates
 	// Seed drives snapshot noise and any tie-breaking.
@@ -70,8 +71,8 @@ type Framework struct {
 
 // New builds a Framework around a trained prediction model.
 func New(cfg Config, model *predict.Model) (*Framework, error) {
-	if cfg.Sim == nil {
-		return nil, fmt.Errorf("wanify: config needs a simulator")
+	if cfg.Cluster == nil {
+		return nil, fmt.Errorf("wanify: config needs a cluster backend")
 	}
 	if model == nil {
 		return nil, fmt.Errorf("wanify: nil prediction model")
@@ -99,7 +100,7 @@ func (f *Framework) Model() *predict.Model { return f.model }
 // can be fed to them unmodified (the Table 4 usage). The measurement
 // report prices the snapshot.
 func (f *Framework) DetermineRuntimeBW() (bwmatrix.Matrix, measure.Report) {
-	features, rep := dataset.SnapshotFeatures(f.cfg.Sim, f.rng.Derive("snapshot"))
+	features, rep := dataset.SnapshotFeatures(f.cfg.Cluster, f.rng.Derive("snapshot"))
 	f.predicted = f.model.PredictMatrix(features)
 	return f.predicted.Clone(), rep
 }
@@ -142,7 +143,7 @@ func (f *Framework) Plan() optimize.Plan { return f.plan }
 // are stopped first.
 func (f *Framework) DeployAgents(pred bwmatrix.Matrix, plan optimize.Plan) []*agent.Agent {
 	f.StopAgents()
-	sim := f.cfg.Sim
+	sim := f.cfg.Cluster
 	n := sim.NumDCs()
 	var agents []*agent.Agent
 	for dc := 0; dc < n; dc++ {

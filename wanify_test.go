@@ -11,6 +11,7 @@ import (
 	"github.com/wanify/wanify/internal/netsim"
 	"github.com/wanify/wanify/internal/predict"
 	"github.com/wanify/wanify/internal/spark"
+	"github.com/wanify/wanify/internal/substrate"
 	"github.com/wanify/wanify/internal/workloads"
 )
 
@@ -66,7 +67,7 @@ func TestEndToEndTeraSort(t *testing.T) {
 	input := workloads.UniformInput(8, 20e9) // scaled-down TeraSort
 
 	runVanilla := func() spark.RunResult {
-		sim := netsim.NewSim(netsim.UniformCluster(geo.Testbed(), netsim.T2Medium, 99))
+		sim := netsim.NewSim(netsim.UniformCluster(geo.Testbed(), substrate.T2Medium, 99))
 		eng := spark.NewEngine(sim, rates)
 		res, err := eng.RunJob(workloads.TeraSort(input), gda.Locality{}, spark.SingleConn{})
 		if err != nil {
@@ -75,9 +76,9 @@ func TestEndToEndTeraSort(t *testing.T) {
 		return res
 	}
 	runWANify := func() spark.RunResult {
-		sim := netsim.NewSim(netsim.UniformCluster(geo.Testbed(), netsim.T2Medium, 99))
+		sim := netsim.NewSim(netsim.UniformCluster(geo.Testbed(), substrate.T2Medium, 99))
 		fw, err := wanify.New(wanify.Config{
-			Sim: sim, Rates: rates, Seed: 1,
+			Cluster: sim, Rates: rates, Seed: 1,
 			Agent: agent.Config{Throttle: true},
 		}, model)
 		if err != nil {
