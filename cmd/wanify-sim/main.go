@@ -14,10 +14,12 @@
 // -believe picks the bandwidth matrix they plan with (static,
 // simultaneous, predicted). Connection strategies: single, uniform
 // (8 per pair), wanify (predicted BWs + heterogeneous agent-managed
-// pools + throttling). -overlap pipelines compute into the transfer
-// window (SDTP-style). -backend selects the substrate (netsim, trace,
-// trace:<name|file>); -model reuses a wanify-train model so the online
-// run skips retraining.
+// pools + throttling). -rebalance adds the mid-job re-gauging
+// controller (internal/runtime): the plan is re-measured and swapped
+// into the running agents when WAN drift is detected. -overlap
+// pipelines compute into the transfer window (SDTP-style). -backend
+// selects the substrate (netsim, trace, trace:<name|file>); -model
+// reuses a wanify-train model so the online run skips retraining.
 package main
 
 import (
@@ -49,6 +51,7 @@ func main() {
 		sched   = flag.String("sched", "locality", "locality | iridium | tetrium | kimchi")
 		believe = flag.String("believe", "predicted", "static | simultaneous | predicted (for tetrium/kimchi)")
 		conns   = flag.String("conns", "single", "single | uniform | wanify")
+		rebal   = flag.Bool("rebalance", false, "with -conns wanify: re-gauge and rebalance the plan mid-job when WAN drift is detected")
 		overlap = flag.Bool("overlap", false, "pipeline compute into the transfer window (SDTP-style)")
 		traceTo = flag.String("trace", "", "write a per-pair rate time series (CSV) to this file")
 		backend = flag.String("backend", "netsim", "substrate backend: netsim | trace | trace:<name|file>")
@@ -168,6 +171,9 @@ func main() {
 		fw.DeployAgents(pred, plan)
 		defer fw.StopAgents()
 		policy = fw.ConnPolicy()
+		if *rebal {
+			fw.StartController(wanify.OptimizeOptions{SkewWeights: ws})
+		}
 	default:
 		log.Fatalf("unknown conns %q", *conns)
 	}
@@ -218,6 +224,15 @@ func main() {
 	for _, st := range res.Stages {
 		fmt.Printf("%-14s%12.1f%12.1f%14.3g  %s\n",
 			st.Name, st.TransferS, st.ComputeS, st.WANBytes, placementString(st.Placement))
+	}
+	if fw != nil {
+		if ctl := fw.Controller(); ctl != nil {
+			fmt.Printf("\nre-gauging: %d replans over %d drift epochs (probe traffic %.1f MB)\n",
+				ctl.Replans(), ctl.DriftEpochs(), ctl.TotalCost().BytesTransferred/1e6)
+			for _, ev := range ctl.Events() {
+				fmt.Printf("  replan %s\n", ev)
+			}
+		}
 	}
 	fmt.Printf("\nJCT: %.1f s (%.1f min)\n", res.JCTSeconds, res.JCTSeconds/60)
 	fmt.Printf("min observed pair BW: %.0f Mbps\n", res.MinShuffleMbps)

@@ -12,6 +12,7 @@ import (
 	"github.com/wanify/wanify/internal/netsim"
 	"github.com/wanify/wanify/internal/optimize"
 	"github.com/wanify/wanify/internal/predict"
+	rgauge "github.com/wanify/wanify/internal/runtime"
 	"github.com/wanify/wanify/internal/spark"
 	"github.com/wanify/wanify/internal/substrate"
 	"github.com/wanify/wanify/internal/workloads"
@@ -280,4 +281,65 @@ func runSeedQuery(t *testing.T, model *predict.Model, rates cost.Rates, input []
 		t.Fatal(err)
 	}
 	return res.JCTSeconds
+}
+
+// TestRuntimeControllerDisabledByDefault checks the default Enable path
+// deploys no re-gauging controller (the base single-plan behaviour all
+// golden outputs are locked against).
+func TestRuntimeControllerDisabledByDefault(t *testing.T) {
+	fw, _ := newFramework(t, []int{1, 1, 1}, false)
+	fw.Enable(wanify.OptimizeOptions{})
+	defer fw.StopAgents()
+	if fw.Controller() != nil {
+		t.Error("controller running without Runtime.Enabled")
+	}
+}
+
+// TestRuntimeControllerEndToEnd runs a job with the re-gauging
+// controller enabled (staleness-forced) and checks replans fire, the
+// job completes, and StopAgents tears the controller down.
+func TestRuntimeControllerEndToEnd(t *testing.T) {
+	model := getModel(t)
+	sim := netsim.NewSim(netsim.Config{
+		Regions: geo.TestbedSubset(3),
+		VMs: [][]substrate.VMSpec{
+			{substrate.T2Medium}, {substrate.T2Medium}, {substrate.T2Medium},
+		},
+		Seed: 11, Frozen: true,
+	})
+	fw, err := wanify.New(wanify.Config{
+		Cluster: sim, Rates: cost.DefaultRates(), Seed: 11,
+		Agent: agent.Config{Throttle: true},
+		Runtime: rgauge.Config{
+			Enabled: true, EpochS: 5, StaleAfterS: 20, CooldownS: 10,
+		},
+	}, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, policy, _ := fw.Enable(wanify.OptimizeOptions{})
+	ctl := fw.Controller()
+	if ctl == nil {
+		t.Fatal("Runtime.Enabled did not start a controller")
+	}
+
+	job := workloads.TeraSort(workloads.UniformInput(3, 30e9))
+	eng := spark.NewEngine(sim, cost.DefaultRates())
+	res, err := eng.RunJob(job, gda.Tetrium{Believed: pred, Info: gda.NewClusterInfo(sim, cost.DefaultRates())}, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JCTSeconds <= 0 {
+		t.Fatalf("job did not run")
+	}
+	if got := ctl.Replans(); got < 1 {
+		t.Errorf("no staleness replans during a %.0fs job with StaleAfterS=20", res.JCTSeconds)
+	}
+	fw.StopAgents()
+	if fw.Controller() != nil {
+		t.Error("controller survived StopAgents")
+	}
+	if got := sim.ActiveFlows(); got != 0 {
+		t.Errorf("%d flows left after teardown", got)
+	}
 }

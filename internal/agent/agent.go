@@ -82,6 +82,64 @@ type PlanRow struct {
 	PredBW []float64
 }
 
+// ChunkPlan splits a DC-level global plan into one PlanRow per VM (the
+// association/chunking path of §3.3.3): each VM gets its
+// optimize.SplitAcrossVMs share of the DC's connection window, floored
+// at one connection, and the per-VM slice of the DC's predicted
+// bandwidth. Both initial deployment (wanify.Framework.DeployAgents)
+// and mid-job window swaps (internal/runtime) chunk through here, so a
+// re-gauged plan lands on every agent exactly the way the original one
+// did.
+func ChunkPlan(sim substrate.Cluster, pred bwmatrix.Matrix, plan optimize.Plan) map[substrate.VMID]PlanRow {
+	n := sim.NumDCs()
+	rows := make(map[substrate.VMID]PlanRow, sim.NumVMs())
+	for dc := 0; dc < n; dc++ {
+		vms := sim.VMsOfDC(dc)
+		k := len(vms)
+		for idx, vm := range vms {
+			row := PlanRow{
+				MinConns: make([]int, n),
+				MaxConns: make([]int, n),
+				MinBW:    make([]float64, n),
+				MaxBW:    make([]float64, n),
+				PredBW:   make([]float64, n),
+			}
+			for j := 0; j < n; j++ {
+				if j == dc {
+					row.MinConns[j], row.MaxConns[j] = 1, 1
+					continue
+				}
+				minChunk := chunkAtLeastOne(plan.MinConns[dc][j], k, idx)
+				maxChunk := chunkAtLeastOne(plan.MaxConns[dc][j], k, idx)
+				if maxChunk < minChunk {
+					maxChunk = minChunk
+				}
+				row.MinConns[j] = minChunk
+				row.MaxConns[j] = maxChunk
+				// Per-VM share of the DC-level predicted bandwidth.
+				perVM := pred[dc][j] / float64(k)
+				row.PredBW[j] = perVM
+				row.MinBW[j] = perVM * float64(minChunk)
+				row.MaxBW[j] = perVM * float64(maxChunk)
+			}
+			rows[vm] = row
+		}
+	}
+	return rows
+}
+
+// chunkAtLeastOne splits a DC-level connection count over k VMs and
+// returns VM idx's share, floored at 1 (every agent keeps at least one
+// connection available).
+func chunkAtLeastOne(conns, k, idx int) int {
+	parts := optimize.SplitAcrossVMs(conns, k)
+	c := parts[idx]
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
 // RowFor extracts the plan row of source DC i from a global Plan.
 func RowFor(plan optimize.Plan, pred bwmatrix.Matrix, i int) PlanRow {
 	n := len(plan.MinConns)
@@ -123,6 +181,7 @@ type Agent struct {
 	active     []substrate.Flow
 	lastBytes  map[substrate.FlowID]float64
 	epochBytes []float64 // per destination DC, bytes moved this epoch
+	monitored  []float64 // last epoch's WAN-monitor rates, Mbps per destination DC
 
 	history []EpochRecord
 	cancel  func()
@@ -251,6 +310,33 @@ func (a *Agent) TargetBW() []float64 {
 	return append([]float64(nil), a.targetBW...)
 }
 
+// MonitoredMbps returns a copy of the WAN Monitor's achieved rates from
+// the most recent AIMD epoch (Mbps per destination DC), or nil before
+// the first epoch has run. The runtime re-gauging controller
+// (internal/runtime) aggregates these across agents into the live
+// cluster bandwidth matrix it checks the global plan against.
+func (a *Agent) MonitoredMbps() []float64 {
+	if a.monitored == nil {
+		return nil
+	}
+	return append([]float64(nil), a.monitored...)
+}
+
+// ActivePool returns the per-destination count of registered transfers
+// still in flight — the Connections Manager's demand signal. The
+// re-gauging controller uses it to tell a quiet link (no demand, says
+// nothing about the plan) from a dead one (demand present but nothing
+// delivered), which would otherwise hide below any live-rate floor.
+func (a *Agent) ActivePool() []int {
+	out := make([]int, a.sim.NumDCs())
+	for _, f := range a.active {
+		if !f.Done() {
+			out[a.sim.DCOf(f.Dst())]++
+		}
+	}
+	return out
+}
+
 // Conns returns a copy of the current per-destination connection
 // targets.
 func (a *Agent) Conns() []int {
@@ -319,6 +405,7 @@ func (a *Agent) epoch(now float64) {
 		}
 	}
 
+	a.monitored = monitored
 	a.history = append(a.history, EpochRecord{
 		Now:       now,
 		TargetBW:  append([]float64(nil), a.targetBW...),
@@ -326,6 +413,49 @@ func (a *Agent) epoch(now float64) {
 		Conns:     append([]int(nil), a.conns...),
 		Modes:     modes,
 	})
+}
+
+// SwapWindow atomically replaces the agent's optimization window with a
+// re-gauged plan row while the AIMD loop keeps running — the mid-job
+// rebalance path (internal/runtime). Unlike ApplyPlan it preserves the
+// AIMD state: the current connection counts and target bandwidths are
+// clamped into the new [min, max] window rather than reset to the
+// maximum configuration, so a congested pair does not restart at full
+// throttle and an upgraded pair is lifted to its new floor. Live
+// transfers in the pool are resized to the clamped counts immediately
+// (remaining shuffle bytes rebalance without waiting for the next
+// epoch), and the tc thresholds are recomputed from the new achievable
+// bandwidths when throttling is on.
+func (a *Agent) SwapWindow(row PlanRow) {
+	if a.conns == nil {
+		panic("agent: SwapWindow before ApplyPlan")
+	}
+	n := a.sim.NumDCs()
+	if len(row.MinConns) != n || len(row.MaxConns) != n || len(row.MinBW) != n ||
+		len(row.MaxBW) != n || len(row.PredBW) != n {
+		panic(fmt.Sprintf("agent: plan row width != %d DCs", n))
+	}
+	a.row = row
+	for j := 0; j < n; j++ {
+		if j == a.dc {
+			continue
+		}
+		if a.conns[j] < row.MinConns[j] {
+			a.conns[j] = row.MinConns[j]
+		}
+		if a.conns[j] > row.MaxConns[j] {
+			a.conns[j] = row.MaxConns[j]
+		}
+		a.targetBW[j] = math.Min(row.MaxBW[j], math.Max(row.MinBW[j], a.targetBW[j]))
+		for _, f := range a.active {
+			if !f.Done() && a.sim.DCOf(f.Dst()) == j {
+				f.SetConns(a.conns[j])
+			}
+		}
+	}
+	if a.cfg.Throttle {
+		a.applyThrottles()
+	}
 }
 
 func maxInt(a, b int) int {

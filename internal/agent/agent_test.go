@@ -274,6 +274,191 @@ func TestPoolResizing(t *testing.T) {
 	f.Stop()
 }
 
+// stubFlow is a controllable substrate.Flow for exercising the WAN
+// Monitor's byte accounting at exact boundaries.
+type stubFlow struct {
+	id       substrate.FlowID
+	src, dst substrate.VMID
+	conns    int
+	bytes    float64
+	done     bool
+}
+
+func (f *stubFlow) ID() substrate.FlowID      { return f.id }
+func (f *stubFlow) Src() substrate.VMID       { return f.src }
+func (f *stubFlow) Dst() substrate.VMID       { return f.dst }
+func (f *stubFlow) Conns() int                { return f.conns }
+func (f *stubFlow) SetConns(n int)            { f.conns = n }
+func (f *stubFlow) Rate() float64             { return 0 }
+func (f *stubFlow) TransferredBytes() float64 { return f.bytes }
+func (f *stubFlow) RemainingBytes() float64   { return 0 }
+func (f *stubFlow) Done() bool                { return f.done }
+func (f *stubFlow) Probe() bool               { return false }
+func (f *stubFlow) Stop()                     { f.done = true }
+
+// TestMinTransferBytesBoundary pins the §3.2.2 skip rule at its exact
+// boundary: a pair that moved one byte less than MinTransferBytes is
+// skipped as idle, while a pair at exactly MinTransferBytes
+// participates in AIMD.
+func TestMinTransferBytesBoundary(t *testing.T) {
+	const minBytes = 1 << 20
+	for _, tc := range []struct {
+		name     string
+		moved    float64
+		wantIdle bool
+	}{
+		{"one-under", minBytes - 1, true},
+		{"exactly-at", minBytes, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sim := frozenSim(3, 10)
+			a := New(sim, sim.FirstVMOfDC(0), Config{})
+			a.ApplyPlan(planRowFor(3, 0, 8, 800))
+			f := &stubFlow{src: a.VM(), dst: sim.FirstVMOfDC(1), conns: 1}
+			a.Register(f)
+			f.bytes = tc.moved
+			a.epoch(5)
+			rec := a.History()[0]
+			if gotIdle := rec.Modes[1] == ModeIdle; gotIdle != tc.wantIdle {
+				t.Errorf("moved %.0f bytes: idle = %v, want %v", tc.moved, gotIdle, tc.wantIdle)
+			}
+			if !tc.wantIdle && rec.Modes[1] != ModeDecrease {
+				// 1 MB over 5 s is ~1.7 Mbps against an 800 Mbps target:
+				// participating means seeing congestion here.
+				t.Errorf("boundary pair mode = %v, want decrease", rec.Modes[1])
+			}
+		})
+	}
+}
+
+// TestWindowCollapse pins the degenerate window minCons == maxCons:
+// AIMD has no room, so connection counts never move in either mode and
+// targets stay pinned to the single configuration.
+func TestWindowCollapse(t *testing.T) {
+	sim := frozenSim(3, 11)
+	a := New(sim, sim.FirstVMOfDC(0), Config{})
+	row := planRowFor(3, 0, 1, 800)
+	for j := 1; j < 3; j++ {
+		row.MinConns[j], row.MaxConns[j] = 3, 3
+		row.MinBW[j], row.MaxBW[j] = 3*800, 3*800
+	}
+	a.ApplyPlan(row)
+	a.Start()
+	defer a.Stop()
+
+	// Congested traffic (way below the 2400 Mbps target) for several
+	// epochs: decrease mode fires but cannot leave the window.
+	f := sim.StartFlow(sim.FirstVMOfDC(0), sim.FirstVMOfDC(2), a.ConnsTo(2), 100e9, nil)
+	a.Register(f)
+	sim.RunFor(21)
+	sawDecrease := false
+	for _, rec := range a.History() {
+		if rec.Conns[2] != 3 {
+			t.Errorf("collapsed window moved to %d conns", rec.Conns[2])
+		}
+		if rec.Modes[2] == ModeDecrease {
+			sawDecrease = true
+		}
+		if rec.TargetBW[2] != 2400 {
+			t.Errorf("collapsed window target moved to %v", rec.TargetBW[2])
+		}
+	}
+	if !sawDecrease {
+		t.Error("congestion never detected (test premise broken)")
+	}
+	f.Stop()
+}
+
+// TestSwapWindowClampsAndResizes checks the mid-job swap path the
+// re-gauging controller uses: current state is clamped into the new
+// window (not reset), and live flows resize immediately.
+func TestSwapWindowClampsAndResizes(t *testing.T) {
+	sim := frozenSim(3, 12)
+	a := New(sim, sim.FirstVMOfDC(0), Config{})
+	a.ApplyPlan(planRowFor(3, 0, 8, 800)) // starts at 8 conns, target 6400
+	a.Start()
+	defer a.Stop()
+	f := sim.StartFlow(sim.FirstVMOfDC(0), sim.FirstVMOfDC(1), a.ConnsTo(1), 50e9, nil)
+	a.Register(f)
+
+	// Shrink: window [1, 2] — conns and target clamp down, pool resizes.
+	down := planRowFor(3, 0, 2, 800)
+	a.SwapWindow(down)
+	if got := a.Conns()[1]; got != 2 {
+		t.Errorf("conns after shrink swap = %d, want 2", got)
+	}
+	if got := f.Conns(); got != 2 {
+		t.Errorf("live flow conns after swap = %d, want 2", got)
+	}
+	if got := a.TargetBW()[1]; got != 1600 {
+		t.Errorf("target after shrink swap = %v, want clamped 1600", got)
+	}
+
+	// Raise the floor: window [4, 6] — conns lift to the new minimum.
+	up := planRowFor(3, 0, 6, 800)
+	for j := 1; j < 3; j++ {
+		up.MinConns[j] = 4
+		up.MinBW[j] = 4 * 800
+	}
+	a.SwapWindow(up)
+	if got := a.Conns()[1]; got != 4 {
+		t.Errorf("conns after floor-raise swap = %d, want lifted to 4", got)
+	}
+	if got := f.Conns(); got != 4 {
+		t.Errorf("live flow conns after floor-raise = %d, want 4", got)
+	}
+	f.Stop()
+}
+
+// TestThrottleTracksWindowSwap checks the `tc` interaction with a
+// mid-epoch swap: the throttle threshold is recomputed from the new
+// achievable bandwidths, re-capping a link that the old plan throttled
+// at a now-stale level, and the next AIMD epoch runs against the new
+// caps without disturbance.
+func TestThrottleTracksWindowSwap(t *testing.T) {
+	sim := frozenSim(3, 13)
+	a := New(sim, sim.FirstVMOfDC(0), Config{Throttle: true})
+	row := planRowFor(3, 0, 8, 100)
+	row.MaxBW[1] = 5000 // rich: throttled at T = (5000+500)/2 = 2750
+	row.MaxBW[2] = 500
+	a.ApplyPlan(row)
+	a.Start()
+	defer a.Stop()
+
+	probe := sim.StartProbe(sim.FirstVMOfDC(0), sim.FirstVMOfDC(1), 8)
+	sim.RunFor(2.5) // mid-epoch
+	if got := probe.Rate(); got > 2750.001 {
+		t.Fatalf("pre-swap throttled rate %v exceeds 2750", got)
+	}
+
+	// Re-gauged plan: destination 1 is now believed far poorer, so the
+	// threshold drops to T = (900+500)/2 = 700 and the cap tightens.
+	swapped := planRowFor(3, 0, 8, 100)
+	swapped.MaxBW[1] = 900
+	swapped.MaxBW[2] = 500
+	a.SwapWindow(swapped)
+	sim.RunFor(1)
+	if got := probe.Rate(); got > 700.001 {
+		t.Errorf("post-swap throttled rate %v exceeds new threshold 700", got)
+	}
+
+	// The next epoch still runs (mid-epoch swap does not wedge AIMD).
+	sim.RunFor(3)
+	if len(a.History()) == 0 {
+		t.Error("no AIMD epoch after mid-epoch swap")
+	}
+	probe.Stop()
+
+	// Stop clears the swapped throttle too.
+	a.Stop()
+	probe2 := sim.StartProbe(sim.FirstVMOfDC(0), sim.FirstVMOfDC(1), 8)
+	sim.RunFor(2)
+	if got := probe2.Rate(); got <= 700.001 {
+		t.Errorf("throttle survived Stop: rate %v", got)
+	}
+	probe2.Stop()
+}
+
 // TestAIMDReactsToBlackout injects a link failure (a near-zero `tc`
 // limit standing in for a blackout) and checks the agent collapses its
 // targets toward the minimum, then recovers after the link heals. The

@@ -98,6 +98,8 @@ var netsimOnly = map[string]bool{
 	"multicloud":      true, // AWS+GCP VM mix with provider rvec
 	"ablation-model":  true, // offline dataset generation only
 	"ablation-netsim": true, // sweeps netsim physics knobs
+	"rebalance":       true, // injects a netsim cap-cut episode
+	"rebalance-trace": true, // pinned to the bundled cloud4 replay
 }
 
 // SupportsBackend reports whether an experiment can run on b. The

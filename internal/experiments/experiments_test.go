@@ -19,6 +19,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig11b", "sec583",
 		// Extensions (DESIGN.md §3).
 		"ablation-model", "ablation-netsim", "multicloud",
+		"rebalance", "rebalance-trace",
 	}
 	for _, id := range want {
 		if _, ok := Registry[id]; !ok {
@@ -344,5 +345,42 @@ func TestMultiCloudPredictionWins(t *testing.T) {
 	}
 	if r.PredictedSig >= r.StaticSig {
 		t.Errorf("multi-cloud: predicted %d significant errors vs static %d", r.PredictedSig, r.StaticSig)
+	}
+}
+
+// TestRebalanceImproves locks the runtime-controller acceptance
+// property: under both episode scenarios the re-gauged run replans at
+// least once and completes sooner than the static one-shot plan, while
+// moving the same job bytes.
+func TestRebalanceImproves(t *testing.T) {
+	for _, id := range []string{"rebalance", "rebalance-trace"} {
+		t.Run(id, func(t *testing.T) {
+			res, err := Registry[id](tinyParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := res.(*RebalanceResult)
+			if len(r.Rows) != 2 || r.Rows[0].Variant != "static" || r.Rows[1].Variant != "regauge" {
+				t.Fatalf("unexpected rows: %+v", r.Rows)
+			}
+			static, regauge := r.Rows[0], r.Rows[1]
+			if regauge.Replans < 1 {
+				t.Errorf("controller never replanned during the episode")
+			}
+			if static.Replans != 0 || static.DriftEpochs != 0 {
+				t.Errorf("static variant ran a controller: %+v", static)
+			}
+			if regauge.JCTSeconds >= static.JCTSeconds {
+				t.Errorf("re-gauging did not improve JCT: %.1f vs %.1f",
+					regauge.JCTSeconds, static.JCTSeconds)
+			}
+			if regauge.WANBytes != static.WANBytes {
+				t.Errorf("variants moved different job bytes: %.0f vs %.0f",
+					regauge.WANBytes, static.WANBytes)
+			}
+			if r.ImprovementPct <= 0 {
+				t.Errorf("improvement %.1f%% not positive", r.ImprovementPct)
+			}
+		})
 	}
 }

@@ -55,11 +55,39 @@ func TestGoldenOutputs(t *testing.T) {
 				t.Fatalf("missing golden file (run with -update): %v", err)
 			}
 			if got != string(want) {
+				dumpGoldenDiff(t, filepath.Base(path), got, string(want))
 				t.Errorf("seed %d output diverged from golden file %s;\nfirst divergence near byte %d",
 					seed, path, firstDiff(got, string(want)))
 			}
 		})
 	}
+}
+
+// dumpGoldenDiff writes the got and want sides of a golden mismatch
+// into $WANIFY_GOLDEN_DIFF_DIR (when set) so CI can upload them as
+// workflow artifacts and a failure is debuggable without a local
+// reproduction.
+func dumpGoldenDiff(t *testing.T, name, got, want string) {
+	t.Helper()
+	dir := os.Getenv("WANIFY_GOLDEN_DIFF_DIR")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("golden-diff dir: %v", err)
+		return
+	}
+	for _, f := range []struct{ prefix, content string }{
+		{"got_", got},
+		{"want_", want},
+	} {
+		p := filepath.Join(dir, f.prefix+name)
+		if err := os.WriteFile(p, []byte(f.content), 0o644); err != nil {
+			t.Logf("golden-diff dump: %v", err)
+			return
+		}
+	}
+	t.Logf("golden got/want dumped to %s for artifact upload", dir)
 }
 
 // TestGoldenTraceOutputs locks the trace-backend scenarios: every
@@ -95,6 +123,7 @@ func TestGoldenTraceOutputs(t *testing.T) {
 		t.Fatalf("missing golden file (run with -update): %v", err)
 	}
 	if got != string(want) {
+		dumpGoldenDiff(t, filepath.Base(path), got, string(want))
 		t.Errorf("trace-backend output diverged from golden file %s;\nfirst divergence near byte %d",
 			path, firstDiff(got, string(want)))
 	}

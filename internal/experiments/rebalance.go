@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	wanify "github.com/wanify/wanify"
+	"github.com/wanify/wanify/internal/agent"
+	"github.com/wanify/wanify/internal/gda"
+	"github.com/wanify/wanify/internal/geo"
+	"github.com/wanify/wanify/internal/netsim"
+	rgauge "github.com/wanify/wanify/internal/runtime"
+	"github.com/wanify/wanify/internal/spark"
+	"github.com/wanify/wanify/internal/substrate"
+	"github.com/wanify/wanify/internal/tracesim"
+	"github.com/wanify/wanify/internal/workloads"
+)
+
+// --- rebalance / rebalance-trace: mid-job re-gauging & rebalancing ---
+//
+// The paper's headline is *runtime* gauging, yet its evaluation (and
+// every driver above) computes the global plan once per job. These two
+// extension drivers measure what the internal/runtime controller buys
+// when WAN conditions shift mid-shuffle:
+//
+//   - rebalance runs on netsim with an injected fluctuation: partway
+//     into the shuffle every link out of US East degrades to 45% of
+//     its nominal per-connection cap for a few minutes (the transient
+//     episode shape of §2.2), then recovers.
+//   - rebalance-trace replays the bundled cloud4 recording, whose
+//     US East -> EU West link drops to ~45% during its 600-900 s
+//     congestion episode. The job is launched just before the episode
+//     so the one-shot plan is built on pre-congestion bandwidths and
+//     goes stale exactly as the paper warns.
+//
+// Each driver runs the same job twice under identical network
+// histories: once with the static one-shot plan (controller off) and
+// once with mid-job re-gauging (controller on), reporting completion
+// times, the replan history and the re-gauging measurement bill.
+
+func init() {
+	Registry["rebalance"] = func(p Params) (Result, error) { return Rebalance(p) }
+	Registry["rebalance-trace"] = func(p Params) (Result, error) { return RebalanceTrace(p) }
+}
+
+// rebalanceRuntime is the controller configuration both drivers use:
+// 15-second aggregation epochs, two-epoch hysteresis and a 30-second
+// cooldown — reactive enough to catch a minutes-long episode, damped
+// enough that the stable phases replan nothing.
+func rebalanceRuntime() rgauge.Config {
+	return rgauge.Config{
+		Enabled:          true,
+		EpochS:           15,
+		HysteresisEpochs: 2,
+		CooldownS:        30,
+	}
+}
+
+// RebalanceVariant is one compared execution.
+type RebalanceVariant struct {
+	Variant        string // static | regauge
+	JCTSeconds     float64
+	MinShuffleMbps float64
+	WANBytes       float64
+	Replans        int
+	DriftEpochs    int
+	Events         []string
+	RegaugeBytes   float64 // probe traffic spent on re-gauge snapshots
+}
+
+// RebalanceResult compares the static one-shot plan with mid-job
+// re-gauging under one episode scenario.
+type RebalanceResult struct {
+	Scenario string
+	Episode  string
+	Rows     []RebalanceVariant
+	// ImprovementPct is the JCT reduction of regauge vs static
+	// (positive = re-gauging finished sooner).
+	ImprovementPct float64
+}
+
+// String renders the comparison.
+func (r *RebalanceResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Mid-job re-gauging on %s (%s)\n", r.Scenario, r.Episode)
+	fmt.Fprintf(&b, "%-10s%12s%14s%12s%10s%8s\n", "plan", "JCT(s)", "minBW(Mbps)", "WAN(GB)", "replans", "drift")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s%12.1f%14.1f%12.2f%10d%8d\n",
+			row.Variant, row.JCTSeconds, row.MinShuffleMbps, row.WANBytes/1e9, row.Replans, row.DriftEpochs)
+	}
+	for _, row := range r.Rows {
+		for _, ev := range row.Events {
+			fmt.Fprintf(&b, "  replan %s\n", ev)
+		}
+		if row.RegaugeBytes > 0 {
+			fmt.Fprintf(&b, "  re-gauge probe traffic: %.1f MB\n", row.RegaugeBytes/1e6)
+		}
+	}
+	fmt.Fprintf(&b, "re-gauged plan completes %.1f%% sooner than the static plan\n", r.ImprovementPct)
+	return b.String()
+}
+
+// runRebalanceVariant executes one TeraSort under the given cluster
+// factory, starting the job at startAt, with or without the re-gauging
+// controller.
+func runRebalanceVariant(p Params, mk func() (substrate.Cluster, error), startAt, totalBytes float64, regauge bool) (RebalanceVariant, error) {
+	model, err := sharedModel(p)
+	if err != nil {
+		return RebalanceVariant{}, err
+	}
+	sim, err := mk()
+	if err != nil {
+		return RebalanceVariant{}, err
+	}
+	cfg := wanify.Config{
+		Cluster: sim, Rates: rates, Seed: p.Seed,
+		Agent: agent.Config{Throttle: true},
+	}
+	if regauge {
+		cfg.Runtime = rebalanceRuntime()
+	}
+	fw, err := wanify.New(cfg, model)
+	if err != nil {
+		return RebalanceVariant{}, err
+	}
+	sim.RunUntil(startAt - 1)
+	pred, policy, _ := fw.Enable(wanify.OptimizeOptions{})
+	defer fw.StopAgents()
+
+	job := workloads.TeraSort(workloads.UniformInput(sim.NumDCs(), totalBytes))
+	eng := spark.NewEngine(sim, rates)
+	sched := gda.Tetrium{Label: "tetrium(wanify)", Believed: pred, Info: gda.NewClusterInfo(sim, rates)}
+	res, err := eng.RunJob(job, sched, policy)
+	if err != nil {
+		return RebalanceVariant{}, err
+	}
+	v := RebalanceVariant{
+		Variant:        "static",
+		JCTSeconds:     res.JCTSeconds,
+		MinShuffleMbps: res.MinShuffleMbps,
+		WANBytes:       res.WANBytes,
+	}
+	if ctl := fw.Controller(); ctl != nil {
+		v.Variant = "regauge"
+		v.Replans = ctl.Replans()
+		v.DriftEpochs = ctl.DriftEpochs()
+		for _, ev := range ctl.Events() {
+			v.Events = append(v.Events, ev.String())
+		}
+		v.RegaugeBytes = ctl.TotalCost().BytesTransferred
+	}
+	return v, nil
+}
+
+func rebalanceCompare(p Params, scenario, episode string, mk func() (substrate.Cluster, error), startAt, totalBytes float64) (*RebalanceResult, error) {
+	res := &RebalanceResult{Scenario: scenario, Episode: episode}
+	for _, regauge := range []bool{false, true} {
+		row, err := runRebalanceVariant(p, mk, startAt, totalBytes, regauge)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.ImprovementPct = pct(res.Rows[0].JCTSeconds, res.Rows[1].JCTSeconds)
+	return res, nil
+}
+
+// Rebalance is the netsim episode scenario: a 100 GB-class TeraSort
+// (scaled by Params.Scale) whose shuffle is hit 60 seconds in by a
+// 4-minute degradation of every link out of US East.
+func Rebalance(p Params) (*RebalanceResult, error) {
+	p = p.withDefaults()
+	const (
+		episodeStart = queryStart + 60
+		episodeEnd   = episodeStart + 240
+		cutFactor    = 0.45
+	)
+	mk := func() (substrate.Cluster, error) {
+		sim := netsim.NewSim(netsim.UniformCluster(geo.Testbed(), substrate.T2Medium, p.Seed))
+		base := make([]float64, sim.NumDCs())
+		for j := 1; j < sim.NumDCs(); j++ {
+			base[j] = sim.PerConnCapMbps(0, j)
+		}
+		sim.After(episodeStart, func(float64) {
+			for j := 1; j < sim.NumDCs(); j++ {
+				sim.SetPerConnCap(0, j, base[j]*cutFactor)
+			}
+		})
+		sim.After(episodeEnd, func(float64) {
+			for j := 1; j < sim.NumDCs(); j++ {
+				sim.SetPerConnCap(0, j, base[j])
+			}
+		})
+		return sim, nil
+	}
+	return rebalanceCompare(p,
+		"netsim 8-DC testbed",
+		fmt.Sprintf("US East egress cut to %.0f%% during t=[%.0f, %.0f]s", cutFactor*100, float64(episodeStart), float64(episodeEnd)),
+		mk, queryStart, 1000e9*p.Scale)
+}
+
+// RebalanceTrace is the cloud4 scenario: the job launches at t=560 s,
+// 40 seconds before the recording's US East -> EU West congestion
+// episode, so the one-shot plan is built on pre-congestion bandwidths.
+func RebalanceTrace(p Params) (*RebalanceResult, error) {
+	p = p.withDefaults()
+	const startAt = 560.0
+	mk := func() (substrate.Cluster, error) {
+		return tracesim.New(tracesim.Config{
+			Trace: tracesim.Cloud4(),
+			Spec:  substrate.T2Medium,
+			Seed:  p.Seed,
+		})
+	}
+	return rebalanceCompare(p,
+		"trace:cloud4 4-DC replay",
+		"recorded US East->EU West congestion episode at t=[600, 900]s",
+		mk, startAt, 600e9*p.Scale)
+}

@@ -18,6 +18,7 @@ package measure
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/wanify/wanify/internal/bwmatrix"
 	"github.com/wanify/wanify/internal/simrand"
@@ -116,14 +117,132 @@ func StaticSimultaneous(sim substrate.Cluster, opts Options) (bwmatrix.Matrix, R
 
 // Snapshot takes a 1-second (or opts.DurationS) all-pairs sample — the
 // S_BWij feature of Table 3 — along with the host metrics the
-// prediction model consumes.
+// prediction model consumes. It is the synchronous composition of the
+// asynchronous primitive below: begin, drive the clock, collect.
 func Snapshot(sim substrate.Cluster, opts Options) (bwmatrix.Matrix, []substrate.VMStats, Report) {
-	bw, rep := StaticSimultaneous(sim, opts)
-	stats := make([]substrate.VMStats, sim.NumVMs())
-	for v := 0; v < sim.NumVMs(); v++ {
-		stats[v] = sim.VMStats(substrate.VMID(v))
+	ps := BeginSnapshot(sim, opts)
+	sim.RunFor(opts.DurationS)
+	return ps.Collect()
+}
+
+// PendingSnapshot is an in-flight all-pairs snapshot whose probes run
+// concurrently with whatever traffic the cluster is already carrying.
+// Snapshot drives the clock itself (RunFor) and so cannot be taken from
+// inside a substrate timer callback; the runtime re-gauging controller
+// (internal/runtime) instead calls BeginSnapshot from its epoch tick,
+// lets the simulation advance on its own for Options.DurationS, and
+// then Collects — same probes, same noise order, no nested clock.
+type PendingSnapshot struct {
+	sim    substrate.Cluster
+	opts   Options
+	pairs  [][2]int
+	probes []pendingProbe
+	begun  float64
+}
+
+type pendingProbe struct {
+	pair  [2]int
+	flow  substrate.Flow
+	start float64
+}
+
+// BeginSnapshot starts the probe set of an all-pairs snapshot and
+// returns a handle to collect it once opts.DurationS of substrate time
+// has passed. The probe layout, accumulation order and noise draws
+// match Snapshot exactly: on an otherwise idle cluster,
+// BeginSnapshot + RunFor + Collect is byte-identical to Snapshot.
+func BeginSnapshot(sim substrate.Cluster, opts Options) *PendingSnapshot {
+	if opts.DurationS <= 0 {
+		panic("measure: non-positive probe duration")
 	}
-	return bw, stats, rep
+	conns := maxIntOne(opts.Conns)
+	n := sim.NumDCs()
+	ps := &PendingSnapshot{sim: sim, opts: opts, begun: sim.Now()}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				ps.pairs = append(ps.pairs, [2]int{i, j})
+			}
+		}
+	}
+	for _, p := range ps.pairs {
+		for _, src := range sim.VMsOfDC(p[0]) {
+			for _, dst := range sim.VMsOfDC(p[1]) {
+				f := sim.StartProbe(src, dst, conns)
+				ps.probes = append(ps.probes, pendingProbe{pair: p, flow: f, start: f.TransferredBytes()})
+			}
+		}
+	}
+	return ps
+}
+
+// DurationS returns the configured probe duration.
+func (ps *PendingSnapshot) DurationS() float64 { return ps.opts.DurationS }
+
+// Ready reports whether the configured probe duration has elapsed.
+func (ps *PendingSnapshot) Ready() bool {
+	return ps.sim.Now() >= ps.begun+ps.opts.DurationS
+}
+
+// Abandon tears the probes down without producing a sample (the
+// snapshot's owner is shutting down mid-window).
+func (ps *PendingSnapshot) Abandon() {
+	for _, pr := range ps.probes {
+		pr.flow.Stop()
+	}
+	ps.probes = nil
+}
+
+// Collect tears the probes down and returns the sampled bandwidth
+// matrix, the post-probe host metrics and the measurement bill. It
+// must be called exactly once, after the probe duration has elapsed.
+// Probes keep transferring until Collect stops them, so a collection
+// later than the configured window integrates over the real elapsed
+// time (rates stay honest); collecting at exactly DurationS matches
+// Snapshot byte for byte.
+func (ps *PendingSnapshot) Collect() (bwmatrix.Matrix, []substrate.VMStats, Report) {
+	if ps.probes == nil {
+		panic("measure: PendingSnapshot collected twice")
+	}
+	// Clock subtraction can land an ulp either side of the configured
+	// duration; treat anything within tol as on-time and use the
+	// configured duration verbatim so the division is bit-identical to
+	// the synchronous path.
+	const tol = 1e-9
+	elapsed := ps.sim.Now() - ps.begun
+	if elapsed < ps.opts.DurationS-tol {
+		panic(fmt.Sprintf("measure: snapshot collected after %.2fs of a %.2fs probe window", elapsed, ps.opts.DurationS))
+	}
+	window := elapsed
+	if math.Abs(elapsed-ps.opts.DurationS) <= tol {
+		window = ps.opts.DurationS
+	}
+	byPair := make(map[[2]int]float64, len(ps.pairs))
+	totalBytes := 0.0
+	for _, pr := range ps.probes {
+		bytes := pr.flow.TransferredBytes() - pr.start
+		totalBytes += bytes
+		byPair[pr.pair] += bytes * 8 / 1e6 / window // Mbps
+		pr.flow.Stop()
+	}
+	ps.probes = nil
+	n := ps.sim.NumDCs()
+	out := bwmatrix.New(n)
+	// Iterate the ordered pair list (not the map) so measurement noise
+	// attaches to pairs deterministically, as in StaticSimultaneous.
+	for _, p := range ps.pairs {
+		out[p[0]][p[1]] = noisy(byPair[p], ps.opts)
+	}
+	stats := make([]substrate.VMStats, ps.sim.NumVMs())
+	for v := 0; v < ps.sim.NumVMs(); v++ {
+		stats[v] = ps.sim.VMStats(substrate.VMID(v))
+	}
+	rep := Report{
+		ElapsedS:         window,
+		BytesTransferred: totalBytes,
+		VMSeconds:        window * float64(ps.sim.NumVMs()),
+	}
+	return out, stats, rep
 }
 
 // SnapshotByVM takes a short all-pairs sample at VM granularity: one

@@ -2,6 +2,7 @@ package measure
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"github.com/wanify/wanify/internal/geo"
@@ -192,5 +193,82 @@ func TestReportAccounting(t *testing.T) {
 	sum := rep.Add(rep)
 	if sum.ElapsedS != 20 || sum.VMSeconds != 60 {
 		t.Errorf("Add broken: %+v", sum)
+	}
+}
+
+// TestBeginSnapshotMatchesSnapshot checks the async snapshot path is
+// byte-identical to the synchronous one on an idle cluster: same probe
+// layout, same noise order, same stats and bill. The runtime
+// re-gauging controller relies on this equivalence when it samples from
+// inside a timer callback.
+func TestBeginSnapshotMatchesSnapshot(t *testing.T) {
+	optsFor := func() Options { return SnapshotOptions(simrand.Derive(99, "snap-equiv")) }
+
+	simA := frozenSim(4, 7)
+	wantBW, wantStats, wantRep := Snapshot(simA, optsFor())
+
+	simB := frozenSim(4, 7)
+	ps := BeginSnapshot(simB, optsFor())
+	if ps.Ready() {
+		t.Fatal("snapshot ready before its window elapsed")
+	}
+	simB.RunFor(ps.DurationS())
+	if !ps.Ready() {
+		t.Fatal("snapshot not ready after its window elapsed")
+	}
+	gotBW, gotStats, gotRep := ps.Collect()
+
+	for i := range wantBW {
+		for j := range wantBW[i] {
+			if gotBW[i][j] != wantBW[i][j] {
+				t.Errorf("bw[%d][%d] = %v, want %v", i, j, gotBW[i][j], wantBW[i][j])
+			}
+		}
+	}
+	if !reflect.DeepEqual(gotStats, wantStats) {
+		t.Errorf("stats diverge: %v vs %v", gotStats, wantStats)
+	}
+	if gotRep != wantRep {
+		t.Errorf("report = %+v, want %+v", gotRep, wantRep)
+	}
+	if simB.ActiveFlows() != 0 {
+		t.Errorf("%d probes left after Collect", simB.ActiveFlows())
+	}
+}
+
+// TestPendingSnapshotGuards pins the misuse panics: early collection
+// and double collection.
+func TestPendingSnapshotGuards(t *testing.T) {
+	sim := frozenSim(3, 8)
+	ps := BeginSnapshot(sim, Options{DurationS: 1, Conns: 1})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic collecting before the window elapsed")
+			}
+		}()
+		ps.Collect()
+	}()
+	sim.RunFor(1)
+	ps.Collect()
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on double collection")
+		}
+	}()
+	ps.Collect()
+}
+
+// TestPendingSnapshotAbandon checks Abandon tears probes down without
+// producing a sample.
+func TestPendingSnapshotAbandon(t *testing.T) {
+	sim := frozenSim(3, 9)
+	ps := BeginSnapshot(sim, Options{DurationS: 1, Conns: 1})
+	if sim.ActiveFlows() == 0 {
+		t.Fatal("no probes started")
+	}
+	ps.Abandon()
+	if sim.ActiveFlows() != 0 {
+		t.Errorf("%d probes left after Abandon", sim.ActiveFlows())
 	}
 }

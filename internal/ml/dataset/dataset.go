@@ -65,6 +65,16 @@ func (p PairFeatures) Vector() []float64 {
 // online Runtime Bandwidth Determination module use this path.
 func SnapshotFeatures(sim substrate.Cluster, rng *simrand.Source) ([][]PairFeatures, measure.Report) {
 	snap, stats, rep := measure.Snapshot(sim, measure.SnapshotOptions(rng))
+	return FeaturesFromSnapshot(sim, snap, stats), rep
+}
+
+// FeaturesFromSnapshot assembles the per-pair feature matrix from
+// already-collected snapshot parts (a sampled bandwidth matrix plus
+// host metrics). SnapshotFeatures takes the snapshot and delegates
+// here; the runtime re-gauging controller collects its snapshot
+// asynchronously (measure.BeginSnapshot) and feeds the parts in
+// directly.
+func FeaturesFromSnapshot(sim substrate.Cluster, snap bwmatrix.Matrix, stats []substrate.VMStats) [][]PairFeatures {
 	n := sim.NumDCs()
 	regions := sim.Regions()
 	out := make([][]PairFeatures, n)
@@ -86,7 +96,7 @@ func SnapshotFeatures(sim substrate.Cluster, rng *simrand.Source) ([][]PairFeatu
 			}
 		}
 	}
-	return out, rep
+	return out
 }
 
 // SnapshotFeaturesByVM builds per-VM-pair features for multi-VM

@@ -1,0 +1,392 @@
+// Package runtime implements WANify's mid-job re-gauging and
+// rebalancing controller: the control loop that keeps the global
+// connection plan honest while a job runs.
+//
+// The paper's headline claim is *runtime* gauging and balancing, but
+// the base online path computes the global plan exactly once — at
+// enable time — and leaves all mid-job adaptation to the per-VM AIMD
+// agents, which can only move inside the [minCons, maxCons] windows
+// that plan fixed. When WAN conditions shift materially after the plan
+// is built (a diurnal swing, a congestion episode on one inter-region
+// link), the windows themselves go stale: AIMD pins against a floor or
+// ceiling that no longer matches the network, which is precisely the
+// regime cross-layer systems like Terra argue plans must be revisited
+// in. The controller closes that loop:
+//
+//   - Each epoch it aggregates the agents' WAN-monitor achieved rates
+//     into a live cluster bandwidth matrix and compares each active
+//     pair against the plan's achievable-bandwidth model (Eq. 3
+//     evaluated at the agents' current window position — the
+//     operational form of the prediction the plan was built from).
+//   - Drift on a pair is a relative delta above Config.DriftFrac that
+//     is also absolutely significant (Config.SignificantMbps, the
+//     paper's 100 Mbps threshold). Hysteresis demands the drift
+//     persist for Config.HysteresisEpochs consecutive epochs, and a
+//     cooldown keeps replans apart, so transient wobbles and the
+//     controller's own plan swaps cause no churn. A staleness clock
+//     (Config.StaleAfterS) can additionally force periodic re-gauging
+//     even without observed drift, the §3.3.4 spirit applied to the
+//     plan instead of the model.
+//   - On trigger it re-snapshots the cluster (measure.BeginSnapshot —
+//     the probes run concurrently with the job's own transfers, so the
+//     sample sees exactly the contended WAN the paper says must be
+//     gauged), re-predicts the runtime bandwidth matrix, re-runs
+//     global optimization, and atomically swaps the new windows into
+//     every running agent (agent.SwapWindow) within one substrate
+//     event. Remaining transfers rebalance mid-shuffle; flows in
+//     flight keep their identity and their delivered bytes.
+//
+// The controller is deterministic for a fixed seed and substrate
+// history, and entirely passive when nothing drifts: a stable network
+// produces zero replans (see controller_test.go invariants).
+package runtime
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/wanify/wanify/internal/agent"
+	"github.com/wanify/wanify/internal/bwmatrix"
+	"github.com/wanify/wanify/internal/measure"
+	"github.com/wanify/wanify/internal/optimize"
+	"github.com/wanify/wanify/internal/substrate"
+)
+
+// Config configures the re-gauging controller. The zero value (with
+// Enabled false) is the base WANify behaviour: plan once, never
+// revisit.
+type Config struct {
+	// Enabled turns the controller on. Default off: all existing
+	// single-plan runs (and their golden outputs) are untouched.
+	Enabled bool
+	// EpochS is the controller's aggregation epoch in seconds (default
+	// 15 — three 5-second agent epochs per controller look).
+	EpochS float64
+	// DriftFrac is the relative per-pair delta between the live
+	// monitored rate and the plan's achievable-BW target beyond which
+	// the pair counts as drifted (default 0.3).
+	DriftFrac float64
+	// SignificantMbps is the absolute floor a drifted delta must also
+	// clear (default 100 Mbps, the paper's significance threshold) so
+	// thin links cannot trigger replans on noise.
+	SignificantMbps float64
+	// MinActiveMbps is the minimum live rate for a pair to participate
+	// in drift detection (default 5 Mbps); an idle link says nothing
+	// about the plan, exactly as in the agents' skip rule. Pairs with
+	// registered transfers still in flight participate regardless of
+	// their live rate, so a blackout (demand present, nothing
+	// delivered) cannot hide below the activity floor.
+	MinActiveMbps float64
+	// MinDriftPairs is how many pairs must drift in one epoch for the
+	// epoch to count toward the hysteresis streak (default 1).
+	MinDriftPairs int
+	// HysteresisEpochs is how many consecutive drifted epochs arm the
+	// trigger (default 2).
+	HysteresisEpochs int
+	// CooldownS is the minimum time between a plan swap and the next
+	// trigger (default 2×EpochS), bounding replan churn.
+	CooldownS float64
+	// StaleAfterS forces a re-gauge when the current plan is older than
+	// this many seconds even without drift (default 0: disabled).
+	StaleAfterS float64
+	// MaxReplans caps the number of replans per controller lifetime
+	// (default 0: unlimited).
+	MaxReplans int
+}
+
+func (c Config) withDefaults() Config {
+	if c.EpochS == 0 {
+		c.EpochS = 15
+	}
+	if c.DriftFrac == 0 {
+		c.DriftFrac = 0.3
+	}
+	if c.SignificantMbps == 0 {
+		c.SignificantMbps = 100
+	}
+	if c.MinActiveMbps == 0 {
+		c.MinActiveMbps = 5
+	}
+	if c.MinDriftPairs == 0 {
+		c.MinDriftPairs = 1
+	}
+	if c.HysteresisEpochs == 0 {
+		c.HysteresisEpochs = 2
+	}
+	if c.CooldownS == 0 {
+		c.CooldownS = 2 * c.EpochS
+	}
+	return c
+}
+
+// Deps are the hooks the controller re-plans through. The framework
+// supplies closures over its model and optimizer options so this
+// package needs no dependency on the top-level wanify package.
+type Deps struct {
+	// Cluster is the substrate the job runs on.
+	Cluster substrate.Cluster
+	// Agents are the deployed local agents whose windows get swapped.
+	Agents []*agent.Agent
+	// SnapshotOpts yields the measurement options (noise stream
+	// included) for one re-gauge snapshot. Called once per replan.
+	SnapshotOpts func() measure.Options
+	// Predict maps collected snapshot parts to a runtime-BW matrix —
+	// the Runtime Bandwidth Determination sub-module.
+	Predict func(snap bwmatrix.Matrix, stats []substrate.VMStats) bwmatrix.Matrix
+	// Optimize recomputes the global plan from a predicted matrix
+	// (Algorithm 1 + Eq. 2–3, with the deployment's skew/rvec options).
+	Optimize func(pred bwmatrix.Matrix) optimize.Plan
+}
+
+// Reason states why a replan fired.
+type Reason int8
+
+// Replan reasons.
+const (
+	ReasonDrift Reason = iota // live rates departed from the plan
+	ReasonStale               // the plan aged past StaleAfterS
+)
+
+// String names the reason.
+func (r Reason) String() string {
+	if r == ReasonStale {
+		return "stale"
+	}
+	return "drift"
+}
+
+// Event records one completed replan.
+type Event struct {
+	// TriggeredAt is when the drift/staleness trigger armed and the
+	// re-gauge snapshot began.
+	TriggeredAt float64
+	// AppliedAt is when the new windows swapped into the agents
+	// (TriggeredAt + snapshot duration).
+	AppliedAt float64
+	// Reason is what fired the replan.
+	Reason Reason
+	// DriftedPairs and MaxDriftFrac describe the epoch that armed the
+	// trigger (zero for pure staleness replans).
+	DriftedPairs int
+	MaxDriftFrac float64
+	// Cost is the measurement bill of the re-gauge snapshot.
+	Cost measure.Report
+}
+
+// String renders the event for reports.
+func (e Event) String() string {
+	return fmt.Sprintf("t=%.0fs %s (pairs=%d maxΔ=%.0f%%) applied t=%.0fs",
+		e.TriggeredAt, e.Reason, e.DriftedPairs, e.MaxDriftFrac*100, e.AppliedAt)
+}
+
+// Controller is a running re-gauging loop bound to one deployment.
+type Controller struct {
+	cfg  Config
+	deps Deps
+
+	pred   bwmatrix.Matrix // prediction the current plan was built from
+	plan   optimize.Plan
+	planAt float64 // when the current plan was installed
+
+	live    bwmatrix.Matrix // latest aggregated monitored rates
+	streak  int             // consecutive drifted epochs
+	pending *measure.PendingSnapshot
+
+	events      []Event
+	driftEpochs int
+	cancel      func()
+	stopped     bool
+}
+
+// Start begins the re-gauging loop against the given deployment state:
+// pred and plan are the prediction and plan the agents are currently
+// running. Config defaults are applied; Start panics on nil deps since
+// a controller without a replan path is meaningless.
+func Start(deps Deps, cfg Config, pred bwmatrix.Matrix, plan optimize.Plan) *Controller {
+	if deps.Cluster == nil || deps.SnapshotOpts == nil || deps.Predict == nil || deps.Optimize == nil {
+		panic("runtime: controller needs cluster, snapshot, predict and optimize deps")
+	}
+	c := &Controller{
+		cfg:    cfg.withDefaults(),
+		deps:   deps,
+		pred:   pred.Clone(),
+		plan:   plan,
+		planAt: deps.Cluster.Now(),
+	}
+	c.cancel = deps.Cluster.Every(c.cfg.EpochS, c.epoch)
+	return c
+}
+
+// Stop halts the loop. A snapshot in flight is abandoned (its probes
+// are torn down without being applied).
+func (c *Controller) Stop() {
+	if c.stopped {
+		return
+	}
+	c.stopped = true
+	c.cancel()
+	if c.pending != nil {
+		// Tear the probes down; the swap timer will find c.stopped.
+		c.pending.Abandon()
+		c.pending = nil
+	}
+}
+
+// Events returns the completed replans.
+func (c *Controller) Events() []Event { return c.events }
+
+// Replans returns how many plan swaps have been applied.
+func (c *Controller) Replans() int { return len(c.events) }
+
+// DriftEpochs returns how many epochs counted toward a drift streak —
+// a churn diagnostic: on a stable network this stays zero.
+func (c *Controller) DriftEpochs() int { return c.driftEpochs }
+
+// CurrentPred returns the prediction the active plan was built from.
+func (c *Controller) CurrentPred() bwmatrix.Matrix { return c.pred.Clone() }
+
+// CurrentPlan returns the active global plan.
+func (c *Controller) CurrentPlan() optimize.Plan { return c.plan }
+
+// Live returns the latest aggregated live bandwidth matrix (nil before
+// the first epoch).
+func (c *Controller) Live() bwmatrix.Matrix {
+	if c.live == nil {
+		return nil
+	}
+	return c.live.Clone()
+}
+
+// epoch is one controller tick: aggregate, compare, maybe trigger.
+func (c *Controller) epoch(now float64) {
+	if c.stopped || c.pending != nil {
+		return
+	}
+	live, expected, demand := c.aggregate()
+	c.live = live
+	drifted, maxFrac := c.drift(live, expected, demand)
+	if drifted >= c.cfg.MinDriftPairs {
+		c.streak++
+		c.driftEpochs++
+	} else {
+		c.streak = 0
+	}
+
+	if c.cfg.MaxReplans > 0 && len(c.events) >= c.cfg.MaxReplans {
+		return
+	}
+	if now-c.planAt < c.cfg.CooldownS {
+		return
+	}
+	switch {
+	case c.streak >= c.cfg.HysteresisEpochs:
+		c.beginRegauge(now, ReasonDrift, drifted, maxFrac)
+	case c.cfg.StaleAfterS > 0 && now-c.planAt >= c.cfg.StaleAfterS:
+		c.beginRegauge(now, ReasonStale, drifted, maxFrac)
+	}
+}
+
+// aggregate sums the agents' last-epoch WAN-monitor rates, current
+// achievable-BW targets and in-flight transfer counts into DC-level
+// matrices.
+func (c *Controller) aggregate() (live, expected bwmatrix.Matrix, demand [][]int) {
+	n := c.deps.Cluster.NumDCs()
+	live = bwmatrix.New(n)
+	expected = bwmatrix.New(n)
+	demand = make([][]int, n)
+	for i := range demand {
+		demand[i] = make([]int, n)
+	}
+	for _, a := range c.deps.Agents {
+		mon := a.MonitoredMbps()
+		if mon == nil {
+			continue // no AIMD epoch yet
+		}
+		tgt := a.TargetBW()
+		pool := a.ActivePool()
+		i := a.DC()
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			live[i][j] += mon[j]
+			expected[i][j] += tgt[j]
+			demand[i][j] += pool[j]
+		}
+	}
+	return live, expected, demand
+}
+
+// drift counts the active pairs whose live rate departs from the
+// plan's target both relatively (DriftFrac) and absolutely
+// (SignificantMbps), returning the count and the worst relative delta.
+// A pair is active when its live rate clears the floor or transfers
+// are still in flight on it — a dead-but-demanded link is the
+// strongest drift signal there is, not an idle one.
+func (c *Controller) drift(live, expected bwmatrix.Matrix, demand [][]int) (pairs int, maxFrac float64) {
+	n := live.N()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j || expected[i][j] <= 0 {
+				continue
+			}
+			if live[i][j] < c.cfg.MinActiveMbps && demand[i][j] == 0 {
+				continue
+			}
+			diff := math.Abs(live[i][j] - expected[i][j])
+			frac := diff / expected[i][j]
+			if frac > c.cfg.DriftFrac && diff > c.cfg.SignificantMbps {
+				pairs++
+				if frac > maxFrac {
+					maxFrac = frac
+				}
+			}
+		}
+	}
+	return pairs, maxFrac
+}
+
+// beginRegauge starts the re-gauge snapshot and schedules the plan
+// swap for the moment the probe window closes.
+func (c *Controller) beginRegauge(now float64, reason Reason, drifted int, maxFrac float64) {
+	opts := c.deps.SnapshotOpts()
+	ps := measure.BeginSnapshot(c.deps.Cluster, opts)
+	c.pending = ps
+	c.deps.Cluster.After(ps.DurationS(), func(applied float64) {
+		if c.stopped || c.pending != ps {
+			return // Stop drained the snapshot already
+		}
+		c.pending = nil
+		snap, stats, rep := ps.Collect()
+		pred := c.deps.Predict(snap, stats)
+		plan := c.deps.Optimize(pred)
+		// Atomic swap: every agent receives its chunk of the new plan
+		// within this one substrate event, so no transfer ever observes
+		// a half-old, half-new plan.
+		rows := agent.ChunkPlan(c.deps.Cluster, pred, plan)
+		for _, a := range c.deps.Agents {
+			a.SwapWindow(rows[a.VM()])
+		}
+		c.pred = pred.Clone()
+		c.plan = plan
+		c.planAt = applied
+		c.streak = 0
+		c.events = append(c.events, Event{
+			TriggeredAt:  now,
+			AppliedAt:    applied,
+			Reason:       reason,
+			DriftedPairs: drifted,
+			MaxDriftFrac: maxFrac,
+			Cost:         rep,
+		})
+	})
+}
+
+// TotalCost sums the measurement bills of all replans.
+func (c *Controller) TotalCost() measure.Report {
+	var rep measure.Report
+	for _, e := range c.events {
+		rep = rep.Add(e.Cost)
+	}
+	return rep
+}

@@ -35,6 +35,7 @@ import (
 	"github.com/wanify/wanify/internal/ml/dataset"
 	"github.com/wanify/wanify/internal/optimize"
 	"github.com/wanify/wanify/internal/predict"
+	rgauge "github.com/wanify/wanify/internal/runtime"
 	"github.com/wanify/wanify/internal/simrand"
 	"github.com/wanify/wanify/internal/spark"
 	"github.com/wanify/wanify/internal/substrate"
@@ -56,6 +57,10 @@ type Config struct {
 	RelationD float64
 	// Agent configures the local agents (epoch, thresholds, throttle).
 	Agent agent.Config
+	// Runtime configures the mid-job re-gauging controller
+	// (internal/runtime). Default off: the plan computed at Enable time
+	// stays fixed for the whole job, the base §4.1 behaviour.
+	Runtime rgauge.Config
 }
 
 // Framework is a WANify deployment bound to one cluster.
@@ -64,9 +69,11 @@ type Framework struct {
 	model *predict.Model
 	rng   *simrand.Source
 
-	predicted bwmatrix.Matrix
-	plan      optimize.Plan
-	agents    []*agent.Agent
+	predicted  bwmatrix.Matrix
+	plan       optimize.Plan
+	deployed   bwmatrix.Matrix // the matrix the deployed agents' plan was built from
+	agents     []*agent.Agent
+	controller *rgauge.Controller
 }
 
 // New builds a Framework around a trained prediction model.
@@ -143,40 +150,14 @@ func (f *Framework) Plan() optimize.Plan { return f.plan }
 // are stopped first.
 func (f *Framework) DeployAgents(pred bwmatrix.Matrix, plan optimize.Plan) []*agent.Agent {
 	f.StopAgents()
+	f.deployed = pred.Clone()
 	sim := f.cfg.Cluster
-	n := sim.NumDCs()
+	rows := agent.ChunkPlan(sim, pred, plan)
 	var agents []*agent.Agent
-	for dc := 0; dc < n; dc++ {
-		vms := sim.VMsOfDC(dc)
-		k := len(vms)
-		for idx, vm := range vms {
-			row := agent.PlanRow{
-				MinConns: make([]int, n),
-				MaxConns: make([]int, n),
-				MinBW:    make([]float64, n),
-				MaxBW:    make([]float64, n),
-				PredBW:   make([]float64, n),
-			}
-			for j := 0; j < n; j++ {
-				if j == dc {
-					row.MinConns[j], row.MaxConns[j] = 1, 1
-					continue
-				}
-				minChunk := chunkAtLeastOne(plan.MinConns[dc][j], k, idx)
-				maxChunk := chunkAtLeastOne(plan.MaxConns[dc][j], k, idx)
-				if maxChunk < minChunk {
-					maxChunk = minChunk
-				}
-				row.MinConns[j] = minChunk
-				row.MaxConns[j] = maxChunk
-				// Per-VM share of the DC-level predicted bandwidth.
-				perVM := pred[dc][j] / float64(k)
-				row.PredBW[j] = perVM
-				row.MinBW[j] = perVM * float64(minChunk)
-				row.MaxBW[j] = perVM * float64(maxChunk)
-			}
+	for dc := 0; dc < sim.NumDCs(); dc++ {
+		for _, vm := range sim.VMsOfDC(dc) {
 			a := agent.New(sim, vm, f.cfg.Agent)
-			a.ApplyPlan(row)
+			a.ApplyPlan(rows[vm])
 			a.Start()
 			agents = append(agents, a)
 		}
@@ -185,27 +166,57 @@ func (f *Framework) DeployAgents(pred bwmatrix.Matrix, plan optimize.Plan) []*ag
 	return agents
 }
 
-// chunkAtLeastOne splits a DC-level connection count over k VMs and
-// returns VM idx's share, floored at 1 (every agent keeps at least one
-// connection available).
-func chunkAtLeastOne(conns, k, idx int) int {
-	parts := optimize.SplitAcrossVMs(conns, k)
-	c := parts[idx]
-	if c < 1 {
-		c = 1
-	}
-	return c
-}
-
 // Agents returns the currently deployed agents (nil when none).
 func (f *Framework) Agents() []*agent.Agent { return f.agents }
 
-// StopAgents stops all deployed agents and clears their throttles.
+// StopAgents stops the re-gauging controller (when one is running) and
+// all deployed agents, clearing their throttles.
 func (f *Framework) StopAgents() {
+	if f.controller != nil {
+		f.controller.Stop()
+		f.controller = nil
+	}
 	for _, a := range f.agents {
 		a.Stop()
 	}
 	f.agents = nil
+	f.deployed = nil
+}
+
+// Controller returns the running re-gauging controller, or nil when
+// Config.Runtime is disabled or agents are not deployed.
+func (f *Framework) Controller() *rgauge.Controller { return f.controller }
+
+// StartController launches the mid-job re-gauging loop over the
+// currently deployed agents, re-planning with the given optimizer
+// options whenever drift or staleness triggers (internal/runtime).
+// Enable calls this automatically when Config.Runtime.Enabled is set;
+// callers driving the deploy steps by hand (including ones whose plan
+// was built from a measured rather than predicted matrix) can invoke
+// it directly after DeployAgents.
+func (f *Framework) StartController(opts OptimizeOptions) *rgauge.Controller {
+	if f.deployed == nil {
+		panic("wanify: StartController before DeployAgents")
+	}
+	if f.controller != nil {
+		f.controller.Stop()
+	}
+	f.controller = rgauge.Start(rgauge.Deps{
+		Cluster: f.cfg.Cluster,
+		Agents:  f.agents,
+		SnapshotOpts: func() measure.Options {
+			return measure.SnapshotOptions(f.rng.Derive("snapshot"))
+		},
+		Predict: func(snap bwmatrix.Matrix, stats []substrate.VMStats) bwmatrix.Matrix {
+			features := dataset.FeaturesFromSnapshot(f.cfg.Cluster, snap, stats)
+			f.predicted = f.model.PredictMatrix(features)
+			return f.predicted.Clone()
+		},
+		Optimize: func(pred bwmatrix.Matrix) optimize.Plan {
+			return f.Optimize(pred, opts)
+		},
+	}, f.cfg.Runtime, f.deployed, f.plan)
+	return f.controller
 }
 
 // ConnPolicy returns the connection policy a spark engine should use so
@@ -216,12 +227,17 @@ func (f *Framework) ConnPolicy() spark.ConnPolicy {
 
 // Enable is the one-call integration path (§4.1, "any GDA system that
 // transfers data among DCs can reap WANify's benefits using the WANify
-// Interface"): snapshot → predict → optimize → deploy agents. It
-// returns the predicted matrix (for the GDA system's placement
-// decisions) and the connection policy (for its shuffle transfers).
+// Interface"): snapshot → predict → optimize → deploy agents — plus,
+// when Config.Runtime is enabled, the mid-job re-gauging loop that
+// revisits that plan as WAN conditions shift. It returns the predicted
+// matrix (for the GDA system's placement decisions) and the connection
+// policy (for its shuffle transfers).
 func (f *Framework) Enable(opts OptimizeOptions) (bwmatrix.Matrix, spark.ConnPolicy, measure.Report) {
 	pred, rep := f.DetermineRuntimeBW()
 	plan := f.Optimize(pred, opts)
 	f.DeployAgents(pred, plan)
+	if f.cfg.Runtime.Enabled {
+		f.StartController(opts)
+	}
 	return pred, f.ConnPolicy(), rep
 }
