@@ -8,15 +8,20 @@
 //	wanify-sim -job wordcount -mb 600 -skew -sched kimchi -conns uniform
 //	wanify-sim -job terasort -backend trace:cloud4
 //	wanify-sim -job terasort -conns wanify -model model.gob
+//	wanify-sim -job terasort -conns wanify -jobs 3 -share remaining
 //
 // Schedulers: locality (vanilla Spark), iridium (Pu et al.'s classic
 // per-site placement), tetrium, kimchi. For the WAN-aware schedulers,
 // -believe picks the bandwidth matrix they plan with (static,
 // simultaneous, predicted). Connection strategies: single, uniform
 // (8 per pair), wanify (predicted BWs + heterogeneous agent-managed
-// pools + throttling). -rebalance adds the mid-job re-gauging
-// controller (internal/runtime): the plan is re-measured and swapped
-// into the running agents when WAN drift is detected. -overlap
+// pools + throttling). -jobs N runs N copies of the job concurrently
+// over one cluster (the multi-tenant JobSet runner); with -conns
+// wanify, -share picks how the global plan's windows split across the
+// jobs (fair, priority, remaining). -rebalance adds the mid-job
+// re-gauging controller (internal/runtime): the plan is re-measured
+// and swapped into the running agents when WAN drift is detected —
+// with -jobs N one controller arbitrates for the whole set. -overlap
 // pipelines compute into the transfer window (SDTP-style). -backend
 // selects the substrate (netsim, trace, trace:<name|file>); -model
 // reuses a wanify-train model so the online run skips retraining.
@@ -36,6 +41,7 @@ import (
 	"github.com/wanify/wanify/internal/experiments"
 	"github.com/wanify/wanify/internal/gda"
 	"github.com/wanify/wanify/internal/measure"
+	"github.com/wanify/wanify/internal/optimize"
 	"github.com/wanify/wanify/internal/predict"
 	"github.com/wanify/wanify/internal/spark"
 	"github.com/wanify/wanify/internal/trace"
@@ -51,7 +57,9 @@ func main() {
 		sched   = flag.String("sched", "locality", "locality | iridium | tetrium | kimchi")
 		believe = flag.String("believe", "predicted", "static | simultaneous | predicted (for tetrium/kimchi)")
 		conns   = flag.String("conns", "single", "single | uniform | wanify")
-		rebal   = flag.Bool("rebalance", false, "with -conns wanify: re-gauge and rebalance the plan mid-job when WAN drift is detected")
+		jobs    = flag.Int("jobs", 1, "run N copies of the job concurrently over one cluster (multi-tenant)")
+		shareS  = flag.String("share", "fair", "with -jobs N and -conns wanify: split the global plan's windows across jobs by fair | priority | remaining (priority: job 0 ranks highest)")
+		rebal   = flag.Bool("rebalance", false, "with -conns wanify: re-gauge and rebalance the plan mid-job when WAN drift is detected (with -jobs N: one shared controller arbitrates for all jobs)")
 		overlap = flag.Bool("overlap", false, "pipeline compute into the transfer window (SDTP-style)")
 		traceTo = flag.String("trace", "", "write a per-pair rate time series (CSV) to this file")
 		backend = flag.String("backend", "netsim", "substrate backend: netsim | trace | trace:<name|file>")
@@ -152,8 +160,18 @@ func main() {
 		}
 	}
 
-	// Connection policy.
+	// Connection policy (one per job with -jobs > 1 under wanify:
+	// each job's agents hold that job's partition of the plan).
+	if *jobs < 1 {
+		log.Fatalf("-jobs must be at least 1, got %d", *jobs)
+	}
+	share, err := optimize.ParseShareMode(*shareS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var jobSet *spark.JobSet // assigned before Run; feeds bytes-remaining sharing
 	var policy spark.ConnPolicy = spark.SingleConn{}
+	policies := make([]spark.ConnPolicy, *jobs)
 	switch *conns {
 	case "single":
 	case "uniform":
@@ -168,14 +186,45 @@ func main() {
 			ws = workloads.SkewWeights(input)
 		}
 		plan := fw.Optimize(pred, wanify.OptimizeOptions{SkewWeights: ws})
-		fw.DeployAgents(pred, plan)
-		defer fw.StopAgents()
-		policy = fw.ConnPolicy()
-		if *rebal {
-			fw.StartController(wanify.OptimizeOptions{SkewWeights: ws})
+		if *jobs > 1 {
+			prios := make([]float64, *jobs)
+			for i := range prios {
+				prios[i] = float64(*jobs - i)
+			}
+			if _, err := fw.DeployJobSetAgents(pred, plan, wanify.JobSetOptions{
+				Jobs:       *jobs,
+				Share:      share,
+				Priorities: prios,
+				Remaining: func() []float64 {
+					if jobSet == nil {
+						return nil
+					}
+					return jobSet.RemainingBytes()
+				},
+				Optimize: wanify.OptimizeOptions{SkewWeights: ws},
+			}); err != nil {
+				log.Fatal(err)
+			}
+			defer fw.StopAgents()
+			copy(policies, fw.JobPolicies())
+			if *rebal {
+				fw.StartJobSetController()
+			}
+		} else {
+			fw.DeployAgents(pred, plan)
+			defer fw.StopAgents()
+			policy = fw.ConnPolicy()
+			if *rebal {
+				fw.StartController(wanify.OptimizeOptions{SkewWeights: ws})
+			}
 		}
 	default:
 		log.Fatalf("unknown conns %q", *conns)
+	}
+	for i := range policies {
+		if policies[i] == nil {
+			policies[i] = policy
+		}
 	}
 
 	// Scheduler.
@@ -194,16 +243,42 @@ func main() {
 		log.Fatalf("unknown scheduler %q", *sched)
 	}
 
-	fmt.Printf("\nrunning %s on %d DCs (%s): scheduler=%s conns=%s\n", job.Name, n, be, scheduler.Name(), *conns)
+	if *jobs > 1 {
+		fmt.Printf("\nrunning %d x %s concurrently on %d DCs (%s): scheduler=%s conns=%s share=%s\n",
+			*jobs, job.Name, n, be, scheduler.Name(), *conns, share)
+	} else {
+		fmt.Printf("\nrunning %s on %d DCs (%s): scheduler=%s conns=%s\n", job.Name, n, be, scheduler.Name(), *conns)
+	}
 	eng := spark.NewEngine(sim, rates)
 	eng.OverlapFetchCompute = *overlap
 	var rec *trace.Recorder
 	if *traceTo != "" {
 		rec = trace.NewRecorder(sim, 1.0)
 	}
-	res, err := eng.RunJob(job, scheduler, policy)
-	if err != nil {
-		log.Fatal(err)
+
+	var results []spark.RunResult
+	var makespan float64
+	if *jobs > 1 {
+		runs := make([]spark.JobRun, *jobs)
+		for i := range runs {
+			runs[i] = spark.JobRun{Job: job, Sched: scheduler, Policy: policies[i]}
+		}
+		var err error
+		jobSet, err = spark.NewJobSet(eng, runs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		set, err := jobSet.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		results, makespan = set.Results, set.MakespanS
+	} else {
+		res, err := eng.RunJob(job, scheduler, policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results, makespan = []spark.RunResult{res}, res.JCTSeconds
 	}
 	if rec != nil {
 		rec.Close()
@@ -220,10 +295,20 @@ func main() {
 		fmt.Printf("rate trace (%d samples) written to %s\n", rec.Len(), *traceTo)
 	}
 
-	fmt.Printf("\n%-14s%12s%12s%14s%14s\n", "stage", "transfer(s)", "compute(s)", "WAN bytes", "placement")
-	for _, st := range res.Stages {
-		fmt.Printf("%-14s%12.1f%12.1f%14.3g  %s\n",
-			st.Name, st.TransferS, st.ComputeS, st.WANBytes, placementString(st.Placement))
+	for i, res := range results {
+		if len(results) > 1 {
+			fmt.Printf("\n--- job %d ---\n", i)
+		}
+		fmt.Printf("\n%-14s%12s%12s%14s%14s\n", "stage", "transfer(s)", "compute(s)", "WAN bytes", "placement")
+		for _, st := range res.Stages {
+			fmt.Printf("%-14s%12.1f%12.1f%14.3g  %s\n",
+				st.Name, st.TransferS, st.ComputeS, st.WANBytes, placementString(st.Placement))
+		}
+		fmt.Printf("\nJCT: %.1f s (%.1f min)\n", res.JCTSeconds, res.JCTSeconds/60)
+		fmt.Printf("min observed pair BW: %.0f Mbps\n", res.MinShuffleMbps)
+		fmt.Printf("WAN bytes total: %.2f GB\n", res.WANBytes/1e9)
+		fmt.Printf("cost: $%.3f (compute $%.3f + network $%.3f + storage $%.4f)\n",
+			res.Cost.Total(), res.Cost.ComputeUSD, res.Cost.NetworkUSD, res.Cost.StorageUSD)
 	}
 	if fw != nil {
 		if ctl := fw.Controller(); ctl != nil {
@@ -234,11 +319,9 @@ func main() {
 			}
 		}
 	}
-	fmt.Printf("\nJCT: %.1f s (%.1f min)\n", res.JCTSeconds, res.JCTSeconds/60)
-	fmt.Printf("min observed pair BW: %.0f Mbps\n", res.MinShuffleMbps)
-	fmt.Printf("WAN bytes total: %.2f GB\n", res.WANBytes/1e9)
-	fmt.Printf("cost: $%.3f (compute $%.3f + network $%.3f + storage $%.4f)\n",
-		res.Cost.Total(), res.Cost.ComputeUSD, res.Cost.NetworkUSD, res.Cost.StorageUSD)
+	if len(results) > 1 {
+		fmt.Printf("\nmakespan: %.1f s (%.1f min)\n", makespan, makespan/60)
+	}
 }
 
 func sumOf(xs []float64) float64 {

@@ -84,60 +84,69 @@ type PlanRow struct {
 
 // ChunkPlan splits a DC-level global plan into one PlanRow per VM (the
 // association/chunking path of §3.3.3): each VM gets its
-// optimize.SplitAcrossVMs share of the DC's connection window, floored
-// at one connection, and the per-VM slice of the DC's predicted
-// bandwidth. Both initial deployment (wanify.Framework.DeployAgents)
-// and mid-job window swaps (internal/runtime) chunk through here, so a
-// re-gauged plan lands on every agent exactly the way the original one
-// did.
+// optimize.SplitAcrossVMs share of the DC's connection window and the
+// per-VM slice of the DC's predicted bandwidth. The per-DC sum of the
+// VM chunks equals the DC-level window exactly — when a DC has more
+// VMs than connections the spare slots go to the lowest-index VMs and
+// the rest get a zero window (their transfers still open one physical
+// connection, the ConnsTo floor, but their AIMD targets stay down so
+// the DC as a whole honors the optimizer's cap). An earlier version
+// floored every chunk at one connection, which let k VMs oversubscribe
+// a window of conns < k; see TestChunkPlanSumsToGlobalPlan. Both
+// initial deployment (wanify.Framework.DeployAgents) and mid-job
+// window swaps (internal/runtime) chunk through here, so a re-gauged
+// plan lands on every agent exactly the way the original one did.
 func ChunkPlan(sim substrate.Cluster, pred bwmatrix.Matrix, plan optimize.Plan) map[substrate.VMID]PlanRow {
 	n := sim.NumDCs()
 	rows := make(map[substrate.VMID]PlanRow, sim.NumVMs())
+	minParts := make([]int, 0, 8)
+	maxParts := make([]int, 0, 8)
 	for dc := 0; dc < n; dc++ {
 		vms := sim.VMsOfDC(dc)
 		k := len(vms)
-		for idx, vm := range vms {
-			row := PlanRow{
+		vmRows := make([]PlanRow, k)
+		for idx := range vmRows {
+			vmRows[idx] = PlanRow{
 				MinConns: make([]int, n),
 				MaxConns: make([]int, n),
 				MinBW:    make([]float64, n),
 				MaxBW:    make([]float64, n),
 				PredBW:   make([]float64, n),
 			}
-			for j := 0; j < n; j++ {
-				if j == dc {
-					row.MinConns[j], row.MaxConns[j] = 1, 1
-					continue
+		}
+		for j := 0; j < n; j++ {
+			if j == dc {
+				for idx := range vmRows {
+					vmRows[idx].MinConns[j], vmRows[idx].MaxConns[j] = 1, 1
 				}
-				minChunk := chunkAtLeastOne(plan.MinConns[dc][j], k, idx)
-				maxChunk := chunkAtLeastOne(plan.MaxConns[dc][j], k, idx)
-				if maxChunk < minChunk {
-					maxChunk = minChunk
-				}
-				row.MinConns[j] = minChunk
-				row.MaxConns[j] = maxChunk
-				// Per-VM share of the DC-level predicted bandwidth.
-				perVM := pred[dc][j] / float64(k)
-				row.PredBW[j] = perVM
-				row.MinBW[j] = perVM * float64(minChunk)
-				row.MaxBW[j] = perVM * float64(maxChunk)
+				continue
 			}
-			rows[vm] = row
+			minParts = append(minParts[:0], optimize.SplitAcrossVMs(plan.MinConns[dc][j], k)...)
+			maxParts = append(maxParts[:0], optimize.SplitAcrossVMs(plan.MaxConns[dc][j], k)...)
+			perVM := pred[dc][j] / float64(k)
+			for idx := range vmRows {
+				minChunk, maxChunk := minParts[idx], maxParts[idx]
+				if maxChunk < minChunk {
+					// SplitAcrossVMs is per-index monotone in the count, so
+					// this can only mean the plan itself had min > max —
+					// surface the malformed plan rather than silently
+					// widening a chunk past the DC window.
+					panic(fmt.Sprintf("agent: plan window min %d > max %d on pair (%d,%d)",
+						plan.MinConns[dc][j], plan.MaxConns[dc][j], dc, j))
+				}
+				vmRows[idx].MinConns[j] = minChunk
+				vmRows[idx].MaxConns[j] = maxChunk
+				// Per-VM share of the DC-level predicted bandwidth.
+				vmRows[idx].PredBW[j] = perVM
+				vmRows[idx].MinBW[j] = perVM * float64(minChunk)
+				vmRows[idx].MaxBW[j] = perVM * float64(maxChunk)
+			}
+		}
+		for idx, vm := range vms {
+			rows[vm] = vmRows[idx]
 		}
 	}
 	return rows
-}
-
-// chunkAtLeastOne splits a DC-level connection count over k VMs and
-// returns VM idx's share, floored at 1 (every agent keeps at least one
-// connection available).
-func chunkAtLeastOne(conns, k, idx int) int {
-	parts := optimize.SplitAcrossVMs(conns, k)
-	c := parts[idx]
-	if c < 1 {
-		c = 1
-	}
-	return c
 }
 
 // RowFor extracts the plan row of source DC i from a global Plan.

@@ -493,3 +493,102 @@ func TestAIMDReactsToBlackout(t *testing.T) {
 	}
 	f.Stop()
 }
+
+// multiVMSim builds a netsim cluster whose DC dc gets extra VMs, the
+// association topology of §3.3.3 / sec583.
+func multiVMSim(n int, extraPerDC []int, seed uint64) *netsim.Sim {
+	regions := geo.TestbedSubset(n)
+	vms := make([][]substrate.VMSpec, n)
+	for i := range vms {
+		vms[i] = []substrate.VMSpec{substrate.T2Medium}
+		for k := 0; k < extraPerDC[i]; k++ {
+			vms[i] = append(vms[i], substrate.T2Medium)
+		}
+	}
+	cfg := netsim.Config{Regions: regions, VMs: vms, Seed: seed, Frozen: true}
+	return netsim.NewSim(cfg)
+}
+
+// TestChunkPlanSumsToGlobalPlan is the property test of the
+// oversubscription bugfix: however the VMs are spread over DCs, the
+// per-DC sums of the VM-level connection windows must reproduce the
+// DC-level plan exactly — in particular, a DC with more VMs than
+// connections must NOT hand every VM a floor connection and blow the
+// optimizer's cap.
+func TestChunkPlanSumsToGlobalPlan(t *testing.T) {
+	check := func(seedIn uint64, extraRaw [4]uint8, mRaw uint8) bool {
+		n := 4
+		extra := make([]int, n)
+		for i := range extra {
+			extra[i] = int(extraRaw[i] % 6) // 1..6 VMs per DC
+		}
+		sim := multiVMSim(n, extra, seedIn%64)
+		pred := bwmatrix.New(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j {
+					pred[i][j] = 40 + float64((seedIn+uint64(i*7+j*3))%900)
+				}
+			}
+		}
+		plan := optimize.GlobalOptimize(pred, optimize.Options{M: 2 + int(mRaw%7)})
+		rows := ChunkPlan(sim, pred, plan)
+		for dc := 0; dc < n; dc++ {
+			vms := sim.VMsOfDC(dc)
+			for j := 0; j < n; j++ {
+				if j == dc {
+					continue
+				}
+				sumMin, sumMax := 0, 0
+				for _, vm := range vms {
+					row := rows[vm]
+					if row.MinConns[j] > row.MaxConns[j] || row.MinConns[j] < 0 {
+						t.Logf("dc %d vm %d pair %d: bad window [%d, %d]",
+							dc, vm, j, row.MinConns[j], row.MaxConns[j])
+						return false
+					}
+					sumMin += row.MinConns[j]
+					sumMax += row.MaxConns[j]
+				}
+				if sumMin != plan.MinConns[dc][j] || sumMax != plan.MaxConns[dc][j] {
+					t.Logf("dc %d->%d: chunk sums [%d, %d] != plan [%d, %d] (VMs %d)",
+						dc, j, sumMin, sumMax, plan.MinConns[dc][j], plan.MaxConns[dc][j], len(vms))
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChunkPlanSpareSlotsGoLow locks the tie-break: with a window of
+// one connection over a three-VM DC, VM 0 gets the slot and the others
+// a zero window.
+func TestChunkPlanSpareSlotsGoLow(t *testing.T) {
+	sim := multiVMSim(3, []int{2, 0, 0}, 5)
+	pred := bwmatrix.NewFilled(3, 100)
+	plan := optimize.GlobalOptimize(pred, optimize.Options{M: 8})
+	// Force a one-connection window on DC 0's pairs.
+	for j := 1; j < 3; j++ {
+		plan.MinConns[0][j], plan.MaxConns[0][j] = 1, 1
+		plan.MinBW[0][j], plan.MaxBW[0][j] = pred[0][j], pred[0][j]
+	}
+	rows := ChunkPlan(sim, pred, plan)
+	vms := sim.VMsOfDC(0)
+	for j := 1; j < 3; j++ {
+		if got := rows[vms[0]].MaxConns[j]; got != 1 {
+			t.Errorf("VM 0 pair %d: MaxConns = %d, want the single slot", j, got)
+		}
+		for _, vm := range vms[1:] {
+			if got := rows[vm].MaxConns[j]; got != 0 {
+				t.Errorf("VM %d pair %d: MaxConns = %d, want 0 (window capped)", vm, j, got)
+			}
+			if got := rows[vm].MaxBW[j]; got != 0 {
+				t.Errorf("VM %d pair %d: MaxBW = %v, want 0", vm, j, got)
+			}
+		}
+	}
+}

@@ -100,6 +100,8 @@ var netsimOnly = map[string]bool{
 	"ablation-netsim": true, // sweeps netsim physics knobs
 	"rebalance":       true, // injects a netsim cap-cut episode
 	"rebalance-trace": true, // pinned to the bundled cloud4 replay
+	"multijob":        true, // netsim contention scenario (bespoke episode-free testbed mix)
+	"multijob-trace":  true, // pinned to the bundled cloud4 replay
 }
 
 // SupportsBackend reports whether an experiment can run on b. The

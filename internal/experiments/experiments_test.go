@@ -20,6 +20,7 @@ func TestRegistryComplete(t *testing.T) {
 		// Extensions (DESIGN.md §3).
 		"ablation-model", "ablation-netsim", "multicloud",
 		"rebalance", "rebalance-trace",
+		"multijob", "multijob-trace",
 	}
 	for _, id := range want {
 		if _, ok := Registry[id]; !ok {
@@ -380,6 +381,57 @@ func TestRebalanceImproves(t *testing.T) {
 			}
 			if r.ImprovementPct <= 0 {
 				t.Errorf("improvement %.1f%% not positive", r.ImprovementPct)
+			}
+		})
+	}
+}
+
+// TestMultijobInvariants locks the multi-tenant acceptance properties
+// on both drivers: every sharing variant moves exactly the same bytes
+// per job (contention and partitioning shift time, never volume), the
+// expected variants are present, and the fair partition never loses to
+// the oversubscribed deployment on the netsim scenario.
+func TestMultijobInvariants(t *testing.T) {
+	for _, id := range []string{"multijob", "multijob-trace"} {
+		t.Run(id, func(t *testing.T) {
+			res, err := Registry[id](tinyParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := res.(*MultijobResult)
+			if len(r.Variants) < 3 {
+				t.Fatalf("only %d variants", len(r.Variants))
+			}
+			base := r.Variants[0] // solo
+			if base.Name != "solo" {
+				t.Fatalf("first variant %q, want solo", base.Name)
+			}
+			for _, v := range r.Variants[1:] {
+				if len(v.Rows) != len(base.Rows) {
+					t.Fatalf("%s has %d jobs, solo has %d", v.Name, len(v.Rows), len(base.Rows))
+				}
+				for i, row := range v.Rows {
+					if row.WANBytes != base.Rows[i].WANBytes {
+						t.Errorf("%s job %s moved %.0f bytes, solo moved %.0f (not conserved)",
+							v.Name, row.Job, row.WANBytes, base.Rows[i].WANBytes)
+					}
+					if row.JCTSeconds <= 0 {
+						t.Errorf("%s job %s has no JCT", v.Name, row.Job)
+					}
+				}
+				if v.MakespanS <= 0 {
+					t.Errorf("%s has no makespan", v.Name)
+				}
+			}
+			if id == "multijob" {
+				byName := map[string]MultijobVariant{}
+				for _, v := range r.Variants {
+					byName[v.Name] = v
+				}
+				if byName["fair"].MakespanS > byName["whole"].MakespanS {
+					t.Errorf("fair partition makespan %.1f worse than oversubscribed %.1f",
+						byName["fair"].MakespanS, byName["whole"].MakespanS)
+				}
 			}
 		})
 	}

@@ -15,12 +15,24 @@ var updateGolden = flag.Bool("update", false, "rewrite golden experiment outputs
 // end to end (the same reduced scale the benchmarks use).
 const goldenScale = 0.1
 
+// separateGolden lists experiments locked by their own golden files
+// (TestGoldenMultijobOutputs) instead of the concatenated per-seed
+// files: drivers added after the per-seed files were captured stay out
+// of renderAll so the pre-existing goldens remain byte-identical.
+var separateGolden = map[string]bool{
+	"multijob":       true,
+	"multijob-trace": true,
+}
+
 // renderAll runs every registered experiment at the given seed and
 // concatenates the rendered results in registry order.
 func renderAll(t *testing.T, seed uint64) string {
 	t.Helper()
 	var sb strings.Builder
 	for _, id := range IDs() {
+		if separateGolden[id] {
+			continue
+		}
 		res, err := Registry[id](Params{Seed: seed, Scale: goldenScale})
 		if err != nil {
 			t.Fatalf("%s (seed %d): %v", id, seed, err)
@@ -125,6 +137,39 @@ func TestGoldenTraceOutputs(t *testing.T) {
 	if got != string(want) {
 		dumpGoldenDiff(t, filepath.Base(path), got, string(want))
 		t.Errorf("trace-backend output diverged from golden file %s;\nfirst divergence near byte %d",
+			path, firstDiff(got, string(want)))
+	}
+}
+
+// TestGoldenMultijobOutputs locks the multi-job drivers on their
+// respective backends (multijob on netsim, multijob-trace on the
+// bundled cloud4 replay) byte for byte, in their own golden file so
+// the pre-existing per-seed goldens stay untouched. Regenerate
+// deliberately with `go test -run TestGoldenMultijobOutputs -update`.
+func TestGoldenMultijobOutputs(t *testing.T) {
+	var sb strings.Builder
+	for _, id := range []string{"multijob", "multijob-trace"} {
+		res, err := Registry[id](Params{Seed: 1, Scale: goldenScale})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		fmt.Fprintf(&sb, "=== %s ===\n%s\n", id, res)
+	}
+	got := sb.String()
+	path := filepath.Join("testdata", "golden_multijob_seed1.txt")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		dumpGoldenDiff(t, filepath.Base(path), got, string(want))
+		t.Errorf("multijob output diverged from golden file %s;\nfirst divergence near byte %d",
 			path, firstDiff(got, string(want)))
 	}
 }

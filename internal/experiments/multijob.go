@@ -1,0 +1,339 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	wanify "github.com/wanify/wanify"
+	"github.com/wanify/wanify/internal/agent"
+	"github.com/wanify/wanify/internal/gda"
+	"github.com/wanify/wanify/internal/geo"
+	"github.com/wanify/wanify/internal/netsim"
+	"github.com/wanify/wanify/internal/optimize"
+	"github.com/wanify/wanify/internal/spark"
+	"github.com/wanify/wanify/internal/substrate"
+	"github.com/wanify/wanify/internal/tracesim"
+	"github.com/wanify/wanify/internal/workloads"
+)
+
+// --- multijob / multijob-trace: concurrent jobs over one shared WAN ---
+//
+// The paper's motivating observation — achievable WAN bandwidth shifts
+// at runtime because the WAN is shared infrastructure — is a multi-
+// tenant story, yet every driver above runs exactly one job per
+// cluster. These two drivers measure what happens when the tenants are
+// our own jobs and WANify arbitrates among them:
+//
+//   - multijob runs three concurrent jobs (a TeraSort and two TPC-DS
+//     queries, staggered starts) on the netsim 8-DC testbed and
+//     compares: each job alone (zero-contention floor), all jobs
+//     deployed with the WHOLE global window each (the naive
+//     oversubscribed deployment every single-tenant system produces),
+//     and the partitioned deployments (fair, priority,
+//     bytes-remaining) where the per-pair windows split across jobs
+//     (optimize.PartitionPlan) so their combined connection counts
+//     respect the optimizer's congestion knee.
+//   - multijob-trace replays the bundled cloud4 recording with two
+//     concurrent jobs launched just before its 600–900 s US East ->
+//     EU West congestion episode, and compares the fair-partitioned
+//     deployment with and without the SHARED re-gauging controller
+//     (one controller arbitrating for all jobs: rates aggregated
+//     across jobs per pair, one re-gauge, per-job window swaps).
+
+func init() {
+	Registry["multijob"] = func(p Params) (Result, error) { return Multijob(p) }
+	Registry["multijob-trace"] = func(p Params) (Result, error) { return MultijobTrace(p) }
+}
+
+// MultijobJobRow is one job's outcome under one sharing variant.
+type MultijobJobRow struct {
+	Job        string
+	JCTSeconds float64
+	MinBW      float64
+	WANBytes   float64
+}
+
+// MultijobVariant is one compared deployment of the whole job set.
+type MultijobVariant struct {
+	Name      string
+	MakespanS float64
+	Rows      []MultijobJobRow
+	// Replans / RegaugeBytes describe the shared controller (zero when
+	// the variant runs without one).
+	Replans      int
+	RegaugeBytes float64
+}
+
+// MultijobResult compares sharing policies for a concurrent job set.
+type MultijobResult struct {
+	Scenario string
+	Jobs     string
+	Variants []MultijobVariant
+}
+
+// String renders the comparison.
+func (r *MultijobResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Multi-job WAN sharing on %s (%s)\n", r.Scenario, r.Jobs)
+	fmt.Fprintf(&b, "%-14s%-12s%12s%14s%12s\n", "variant", "job", "JCT(s)", "minBW(Mbps)", "WAN(GB)")
+	for _, v := range r.Variants {
+		for _, row := range v.Rows {
+			fmt.Fprintf(&b, "%-14s%-12s%12.1f%14.1f%12.2f\n",
+				v.Name, row.Job, row.JCTSeconds, row.MinBW, row.WANBytes/1e9)
+		}
+		fmt.Fprintf(&b, "%-14s%-12s%12.1f", v.Name, "makespan", v.MakespanS)
+		if v.Replans > 0 || v.RegaugeBytes > 0 {
+			fmt.Fprintf(&b, "   (replans=%d, probe traffic %.1f MB)", v.Replans, v.RegaugeBytes/1e6)
+		}
+		b.WriteByte('\n')
+	}
+	if len(r.Variants) >= 2 {
+		base := r.Variants[1] // the oversubscribed / static deployment
+		for _, v := range r.Variants[2:] {
+			fmt.Fprintf(&b, "%s makespan %+.1f%% vs %s\n", v.Name, -pct(base.MakespanS, v.MakespanS), base.Name)
+		}
+	}
+	return b.String()
+}
+
+// multijobSpec is one job of the set.
+type multijobSpec struct {
+	name     string
+	job      spark.Job
+	delayS   float64
+	priority float64
+}
+
+// multijobJobs builds the shared job mix for a cluster of n DCs:
+// a heavy TeraSort entering first and two TPC-DS queries behind it,
+// the lightest with the highest priority (the priority variant shows
+// it cutting ahead).
+func multijobJobs(n int, scale float64) ([]multijobSpec, error) {
+	q78, err := workloads.TPCDS(78, workloads.UniformInput(n, 200e9*scale))
+	if err != nil {
+		return nil, err
+	}
+	q95, err := workloads.TPCDS(95, workloads.UniformInput(n, 160e9*scale))
+	if err != nil {
+		return nil, err
+	}
+	return []multijobSpec{
+		{name: "terasort", job: workloads.TeraSort(workloads.UniformInput(n, 300e9*scale)), delayS: 0, priority: 1},
+		{name: "tpcds-78", job: q78, delayS: 30, priority: 1},
+		{name: "tpcds-95", job: q95, delayS: 60, priority: 4},
+	}, nil
+}
+
+// runMultijobSolo runs each job alone on a fresh, identically-seeded
+// cluster — the zero-contention floor.
+func runMultijobSolo(p Params, mk func() (substrate.Cluster, error), startAt float64, specs []multijobSpec) (MultijobVariant, error) {
+	model, err := sharedModel(p)
+	if err != nil {
+		return MultijobVariant{}, err
+	}
+	v := MultijobVariant{Name: "solo"}
+	for _, spec := range specs {
+		sim, err := mk()
+		if err != nil {
+			return MultijobVariant{}, err
+		}
+		fw, err := wanify.New(wanify.Config{
+			Cluster: sim, Rates: rates, Seed: p.Seed,
+			Agent: agent.Config{Throttle: true},
+		}, model)
+		if err != nil {
+			return MultijobVariant{}, err
+		}
+		sim.RunUntil(startAt - 1)
+		pred, policy, _ := fw.Enable(wanify.OptimizeOptions{})
+		eng := spark.NewEngine(sim, rates)
+		sched := gda.Tetrium{Label: "tetrium(wanify)", Believed: pred, Info: gda.NewClusterInfo(sim, rates)}
+		res, err := eng.RunJob(spec.job, sched, policy)
+		fw.StopAgents()
+		if err != nil {
+			return MultijobVariant{}, err
+		}
+		v.Rows = append(v.Rows, MultijobJobRow{
+			Job: spec.name, JCTSeconds: res.JCTSeconds,
+			MinBW: res.MinShuffleMbps, WANBytes: res.WANBytes,
+		})
+		if res.JCTSeconds > v.MakespanS {
+			v.MakespanS = res.JCTSeconds // jobs run in separate universes: max, not sum
+		}
+	}
+	return v, nil
+}
+
+// runMultijobVariant runs the whole set concurrently under one sharing
+// policy (oversubscribed when whole is set), optionally with the
+// shared re-gauging controller.
+func runMultijobVariant(p Params, name string, mk func() (substrate.Cluster, error), startAt float64,
+	specs []multijobSpec, share optimize.ShareMode, whole, regauge bool) (MultijobVariant, error) {
+	model, err := sharedModel(p)
+	if err != nil {
+		return MultijobVariant{}, err
+	}
+	sim, err := mk()
+	if err != nil {
+		return MultijobVariant{}, err
+	}
+	cfg := wanify.Config{
+		Cluster: sim, Rates: rates, Seed: p.Seed,
+		Agent: agent.Config{Throttle: true},
+	}
+	if regauge {
+		cfg.Runtime = rebalanceRuntime()
+	}
+	fw, err := wanify.New(cfg, model)
+	if err != nil {
+		return MultijobVariant{}, err
+	}
+	sim.RunUntil(startAt - 1)
+
+	priorities := make([]float64, len(specs))
+	for i, spec := range specs {
+		priorities[i] = spec.priority
+	}
+	var js *spark.JobSet
+	pred, policies, _, err := fw.EnableJobSet(wanify.JobSetOptions{
+		Jobs:       len(specs),
+		Share:      share,
+		Priorities: priorities,
+		Remaining: func() []float64 {
+			if js == nil {
+				// Deploy-time seed, before the runner exists: everything
+				// is still remaining, so weigh by total input bytes.
+				out := make([]float64, len(specs))
+				for i, spec := range specs {
+					out[i] = spec.job.TotalInputBytes()
+				}
+				return out
+			}
+			return js.RemainingBytes()
+		},
+		Oversubscribe: whole,
+	})
+	if err != nil {
+		return MultijobVariant{}, err
+	}
+	defer fw.StopAgents()
+
+	eng := spark.NewEngine(sim, rates)
+	info := gda.NewClusterInfo(sim, rates)
+	var runs []spark.JobRun
+	for i, spec := range specs {
+		runs = append(runs, spark.JobRun{
+			Job:         spec.job,
+			Sched:       gda.Tetrium{Label: "tetrium(wanify)", Believed: pred, Info: info},
+			Policy:      policies[i],
+			StartDelayS: spec.delayS,
+		})
+	}
+	js, err = spark.NewJobSet(eng, runs)
+	if err != nil {
+		return MultijobVariant{}, err
+	}
+	res, err := js.Run()
+	if err != nil {
+		return MultijobVariant{}, err
+	}
+	v := MultijobVariant{Name: name, MakespanS: res.MakespanS}
+	for i, r := range res.Results {
+		v.Rows = append(v.Rows, MultijobJobRow{
+			Job: specs[i].name, JCTSeconds: r.JCTSeconds,
+			MinBW: r.MinShuffleMbps, WANBytes: r.WANBytes,
+		})
+	}
+	if ctl := fw.Controller(); ctl != nil {
+		v.Replans = ctl.Replans()
+		v.RegaugeBytes = ctl.TotalCost().BytesTransferred
+	}
+	return v, nil
+}
+
+// Multijob is the netsim contention scenario: three staggered jobs on
+// the 8-DC testbed under solo / oversubscribed / fair / priority /
+// bytes-remaining deployments.
+func Multijob(p Params) (*MultijobResult, error) {
+	p = p.withDefaults()
+	mk := func() (substrate.Cluster, error) {
+		return netsim.NewSim(netsim.UniformCluster(geo.Testbed(), substrate.T2Medium, p.Seed)), nil
+	}
+	specs, err := multijobJobs(len(geo.Testbed()), p.Scale)
+	if err != nil {
+		return nil, err
+	}
+	res := &MultijobResult{
+		Scenario: "netsim 8-DC testbed",
+		Jobs:     "terasort + tpcds-78 (+30s) + tpcds-95 (+60s, priority 4)",
+	}
+	solo, err := runMultijobSolo(p, mk, queryStart, specs)
+	if err != nil {
+		return nil, err
+	}
+	res.Variants = append(res.Variants, solo)
+	for _, variant := range []struct {
+		name  string
+		share optimize.ShareMode
+		whole bool
+	}{
+		{"whole", optimize.ShareFair, true},
+		{"fair", optimize.ShareFair, false},
+		{"priority", optimize.SharePriority, false},
+		{"remaining", optimize.ShareRemaining, false},
+	} {
+		v, err := runMultijobVariant(p, variant.name, mk, queryStart, specs, variant.share, variant.whole, false)
+		if err != nil {
+			return nil, err
+		}
+		res.Variants = append(res.Variants, v)
+	}
+	return res, nil
+}
+
+// MultijobTrace is the cloud4 scenario: two concurrent jobs launched
+// 40 s before the recorded congestion episode, fair-partitioned, with
+// and without the shared re-gauging controller.
+func MultijobTrace(p Params) (*MultijobResult, error) {
+	p = p.withDefaults()
+	const startAt = 560.0
+	mk := func() (substrate.Cluster, error) {
+		return tracesim.New(tracesim.Config{
+			Trace: tracesim.Cloud4(),
+			Spec:  substrate.T2Medium,
+			Seed:  p.Seed,
+		})
+	}
+	n := tracesim.Cloud4().N()
+	q95, err := workloads.TPCDS(95, workloads.UniformInput(n, 160e9*p.Scale))
+	if err != nil {
+		return nil, err
+	}
+	specs := []multijobSpec{
+		{name: "terasort", job: workloads.TeraSort(workloads.UniformInput(n, 240e9*p.Scale)), delayS: 0, priority: 1},
+		{name: "tpcds-95", job: q95, delayS: 20, priority: 1},
+	}
+	res := &MultijobResult{
+		Scenario: "trace:cloud4 4-DC replay",
+		Jobs:     "terasort + tpcds-95 (+20s), recorded congestion episode at t=[600, 900]s",
+	}
+	solo, err := runMultijobSolo(p, mk, startAt, specs)
+	if err != nil {
+		return nil, err
+	}
+	res.Variants = append(res.Variants, solo)
+	for _, variant := range []struct {
+		name    string
+		regauge bool
+	}{
+		{"static", false},
+		{"regauge", true},
+	} {
+		v, err := runMultijobVariant(p, variant.name, mk, startAt, specs, optimize.ShareFair, false, variant.regauge)
+		if err != nil {
+			return nil, err
+		}
+		res.Variants = append(res.Variants, v)
+	}
+	return res, nil
+}

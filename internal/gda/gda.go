@@ -105,6 +105,13 @@ func (e estimator) estimateDetail(stage spark.Stage, layout []float64, p spark.P
 				continue
 			}
 			bw := e.believed[i][j]
+			// Deliberate 1 Mbps floor: a believed blackout (0 Mbps, or a
+			// stale/garbage negative) must still yield a finite — merely
+			// enormous — transfer-time estimate, so the greedy descent
+			// ranks placements away from the dead link instead of
+			// drowning every candidate in the same +Inf (which would
+			// erase the gradient entirely and freeze the search at its
+			// start). Locked by TestEstimateDetailBlackoutFloor.
 			if bw < 1 {
 				bw = 1
 			}

@@ -1,6 +1,7 @@
 package gda
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -211,5 +212,58 @@ func TestIridiumIgnoresCompute(t *testing.T) {
 	tp := Tetrium{Believed: believed, Info: info}.Place(0, computeHeavy, layout)
 	if tp[0] <= ip[0] {
 		t.Errorf("Tetrium (%.2f on fast DC) should exceed Iridium (%.2f): Iridium ignores compute", tp[0], ip[0])
+	}
+}
+
+// TestEstimateDetailBlackoutFloor locks the estimator's 1 Mbps
+// bandwidth floor as a decision rather than an accident: a believed
+// blackout (0 Mbps on a pair the placement must ship bytes over)
+// still yields finite estimates — huge enough to steer the descent
+// away, never +Inf (which would flatten the objective and freeze the
+// greedy search).
+func TestEstimateDetailBlackoutFloor(t *testing.T) {
+	believed := bwmatrix.NewFilled(4, 900)
+	for i := range believed {
+		believed[i][i] = 0
+	}
+	believed[0][3] = 0  // believed blackout
+	believed[1][3] = -5 // stale/garbage measurement
+	est := estimator{believed: believed, info: testInfo()}
+
+	layout := []float64{40e9, 30e9, 20e9, 10e9}
+	// A placement that routes real bytes over the dead pairs.
+	p := spark.Placement{0.1, 0.1, 0.1, 0.7}
+	secs, loadSum, usd := est.estimateDetail(reduceStage, layout, p)
+	for name, v := range map[string]float64{"secs": secs, "loadSum": loadSum, "usd": usd} {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("%s = %v for a believed-blackout pair, want finite (1 Mbps floor)", name, v)
+		}
+	}
+	if secs <= 0 {
+		t.Fatalf("secs = %v, want positive", secs)
+	}
+	// The floored estimate must still rank the blackout placement far
+	// behind one that avoids the dead links entirely.
+	avoid := spark.Placement{0.4, 0.3, 0.3, 0}
+	fast, _, _ := est.estimateDetail(reduceStage, layout, avoid)
+	if secs < fast*10 {
+		t.Errorf("blackout placement estimated at %.1fs vs %.1fs avoiding it; floor lost the gradient", secs, fast)
+	}
+
+	// And the schedulers consuming the estimate keep producing valid
+	// placements on a believed-blackout matrix.
+	place := Tetrium{Believed: believed, Info: testInfo()}.Place(0, reduceStage, layout)
+	sum := 0.0
+	for _, v := range place {
+		if v < 0 || math.IsNaN(v) {
+			t.Fatalf("tetrium placement %v invalid under blackout beliefs", place)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("tetrium placement %v does not sum to 1", place)
+	}
+	if place[3] > 0.05 {
+		t.Errorf("tetrium still routes %.0f%% of tasks to the DC behind dead links", place[3]*100)
 	}
 }

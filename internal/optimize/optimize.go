@@ -29,6 +29,12 @@ const DefaultM = 8
 // (the worked example in §3.2.1 uses 30).
 const DefaultD = 30.0
 
+// levelEps is the relative float tolerance under which two bandwidth
+// values are the *same* level during relation inference: predictions
+// are tree-ensemble averages, so values meant to be equal can differ by
+// rounding noise many orders of magnitude below any meaningful D.
+const levelEps = 1e-9
+
 // InferDCRelations implements Algorithm 1 (INFER_DC_RELATIONS).
 //
 // Given a runtime bandwidth matrix and the minimum significant
@@ -45,18 +51,28 @@ const DefaultD = 30.0
 func InferDCRelations(bw bwmatrix.Matrix, d float64) [][]int {
 	n := bw.N()
 
-	// bwu = sort(set(bw)) — unique bandwidth levels, ascending.
-	seen := make(map[float64]bool)
+	// bwu = sort(set(bw)) — unique bandwidth levels, ascending. The set
+	// is built with a float tolerance rather than exact equality: two
+	// predictions differing by a rounding artifact (1e-9 Mbps) are one
+	// level, not two. An exact-equality set would keep both, and the
+	// D filter below compares each level against its *immediate* lower
+	// neighbor — so a phantom ε-duplicate sitting D below a legitimate
+	// level makes that level look insignificant and drops it, shifting
+	// every closeness index derived from the survivors.
 	var bwu []float64
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
-			if !seen[bw[i][j]] {
-				seen[bw[i][j]] = true
-				bwu = append(bwu, bw[i][j])
-			}
+			bwu = append(bwu, bw[i][j])
 		}
 	}
 	sort.Float64s(bwu)
+	uniq := bwu[:0]
+	for _, v := range bwu {
+		if len(uniq) == 0 || v-uniq[len(uniq)-1] > levelEps*math.Max(1, math.Abs(v)) {
+			uniq = append(uniq, v)
+		}
+	}
+	bwu = uniq
 
 	// Reverse traversal: drop levels within D of their lower neighbor.
 	for i := len(bwu) - 1; i >= 1; i-- {

@@ -37,6 +37,57 @@ func TestInferDCRelationsPaperExample(t *testing.T) {
 	}
 }
 
+// TestInferDCRelationsFloatNoiseStable locks the dedupe fix: two
+// predicted values differing by a float artifact (1e-9 Mbps) must form
+// ONE bandwidth level, so a noisy copy of the §3.2.1 worked example
+// yields the exact closeness matrix of the clean one. Under the old
+// exact-equality set, the phantom level sat within D of its twin,
+// shifted the reverse-traversal comparisons and could re-index every
+// pair.
+func TestInferDCRelationsFloatNoiseStable(t *testing.T) {
+	clean := InferDCRelations(paperExample(), 30)
+	noisy := paperExample()
+	noisy[1][0] = 380 + 1e-9 // duplicate 380 an artifact apart
+	noisy[2][1] = 120 - 1e-9 // and 120, in the other direction
+	got := InferDCRelations(noisy, 30)
+	for i := range clean {
+		for j := range clean[i] {
+			if got[i][j] != clean[i][j] {
+				t.Errorf("noisy DCrel[%d][%d] = %d, clean = %d", i, j, got[i][j], clean[i][j])
+			}
+		}
+	}
+}
+
+// TestInferDCRelationsPhantomLevel pins the concrete failure mode: with
+// levels {100, 100+ε, 130} and D=30, the ε-duplicate sat exactly under
+// the legitimate 130 level (130 − (100+ε) < D), so the reverse
+// traversal dropped 130 — and then the ε twin — collapsing three levels
+// into one. After tolerance dedupe the comparison is 130 − 100 = D and
+// the significant level survives.
+func TestInferDCRelationsPhantomLevel(t *testing.T) {
+	m := bwmatrix.New(3)
+	m[0] = []float64{1000, 100, 130}
+	m[1] = []float64{100 + 1e-9, 1000, 130}
+	m[2] = []float64{130, 130, 1000}
+	rel := InferDCRelations(m, 30)
+	// Levels must be {100, 130, 1000}: closeness 1 on the diagonal, 2
+	// for the 130 links, 3 for the 100 links.
+	want := [][]int{
+		{1, 3, 2},
+		{3, 1, 2},
+		{2, 2, 1},
+	}
+	for i := range want {
+		for j := range want[i] {
+			if rel[i][j] != want[i][j] {
+				t.Errorf("DCrel[%d][%d] = %d, want %d (phantom ε-level dropped the 130 level)",
+					i, j, rel[i][j], want[i][j])
+			}
+		}
+	}
+}
+
 // TestGlobalOptimizePaperExample verifies Eq. 2–3 against the paper's
 // numbers: sumall = 16, M = 8 yields minCons all ones and maxCons
 // {_, 6, 8; 6, _, 8; 8, 8, _} off-diagonal (the diagonal is 1 per the

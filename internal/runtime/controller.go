@@ -39,6 +39,14 @@
 // The controller is deterministic for a fixed seed and substrate
 // history, and entirely passive when nothing drifts: a stable network
 // produces zero replans (see controller_test.go invariants).
+//
+// When several jobs share the cluster (Deps.Groups), one controller
+// arbitrates for all of them: the live matrix aggregates every job's
+// monitored rates per pair, a trigger re-gauges the cluster once, and
+// the swap hands each job its partition of the new windows
+// (Deps.Partition) in the same substrate event — N jobs never cost N
+// probe sweeps, and no pair's combined windows ever exceed the global
+// plan mid-swap.
 package runtime
 
 import (
@@ -136,6 +144,28 @@ type Deps struct {
 	// Optimize recomputes the global plan from a predicted matrix
 	// (Algorithm 1 + Eq. 2–3, with the deployment's skew/rvec options).
 	Optimize func(pred bwmatrix.Matrix) optimize.Plan
+
+	// --- multi-job arbitration (nil for single-job deployments) ---
+
+	// Groups are per-job agent slices when several jobs share the
+	// cluster under one controller. Agents (above) must then hold the
+	// union of all groups: the controller aggregates monitored rates
+	// and targets *across jobs* per DC pair — the live matrix it
+	// checks the plan against is the cluster's total, exactly the
+	// contended WAN the paper says must be gauged — re-gauges ONCE,
+	// and swaps each job's partitioned windows atomically within the
+	// same substrate event.
+	Groups [][]*agent.Agent
+	// Partition splits a re-gauged global plan into one plan per
+	// group (optimize.PartitionPlan under the deployment's share
+	// weights, re-evaluated at swap time so bytes-remaining sharing
+	// tracks job progress). Required when Groups is set.
+	Partition func(plan optimize.Plan) []optimize.Plan
+	// OnPlanSwap, when non-nil, runs after a replan's windows have
+	// been swapped in (same substrate event) — the multi-job
+	// deployment refreshes its cluster-level throttles here, since
+	// per-job agents no longer own the tc limits.
+	OnPlanSwap func(pred bwmatrix.Matrix, plan optimize.Plan)
 }
 
 // Reason states why a replan fired.
@@ -205,6 +235,9 @@ type Controller struct {
 func Start(deps Deps, cfg Config, pred bwmatrix.Matrix, plan optimize.Plan) *Controller {
 	if deps.Cluster == nil || deps.SnapshotOpts == nil || deps.Predict == nil || deps.Optimize == nil {
 		panic("runtime: controller needs cluster, snapshot, predict and optimize deps")
+	}
+	if len(deps.Groups) > 0 && deps.Partition == nil {
+		panic("runtime: multi-job controller needs a partition hook")
 	}
 	c := &Controller{
 		cfg:    cfg.withDefaults(),
@@ -362,10 +395,26 @@ func (c *Controller) beginRegauge(now float64, reason Reason, drifted int, maxFr
 		plan := c.deps.Optimize(pred)
 		// Atomic swap: every agent receives its chunk of the new plan
 		// within this one substrate event, so no transfer ever observes
-		// a half-old, half-new plan.
-		rows := agent.ChunkPlan(c.deps.Cluster, pred, plan)
-		for _, a := range c.deps.Agents {
-			a.SwapWindow(rows[a.VM()])
+		// a half-old, half-new plan. Multi-job deployments re-gauge once
+		// and swap each job's partition of the shared windows here —
+		// still one event, so no job ever runs against another job's
+		// stale share either.
+		if len(c.deps.Groups) > 0 {
+			parts := c.deps.Partition(plan)
+			for g, group := range c.deps.Groups {
+				rows := agent.ChunkPlan(c.deps.Cluster, pred, parts[g])
+				for _, a := range group {
+					a.SwapWindow(rows[a.VM()])
+				}
+			}
+		} else {
+			rows := agent.ChunkPlan(c.deps.Cluster, pred, plan)
+			for _, a := range c.deps.Agents {
+				a.SwapWindow(rows[a.VM()])
+			}
+		}
+		if c.deps.OnPlanSwap != nil {
+			c.deps.OnPlanSwap(pred, plan)
 		}
 		c.pred = pred.Clone()
 		c.plan = plan

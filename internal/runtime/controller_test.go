@@ -376,3 +376,152 @@ func TestStopMidSnapshotAbandonsProbes(t *testing.T) {
 		a.Stop()
 	}
 }
+
+// deployJobGroups starts one agent per (job, VM), each loaded with its
+// job's chunk of a partitioned plan — the wanify.DeployJobSetAgents
+// shape without the framework.
+func deployJobGroups(sim *netsim.Sim, pred bwmatrix.Matrix, parts []optimize.Plan) [][]*agent.Agent {
+	var groups [][]*agent.Agent
+	for _, part := range parts {
+		rows := agent.ChunkPlan(sim, pred, part)
+		var group []*agent.Agent
+		for dc := 0; dc < sim.NumDCs(); dc++ {
+			for _, vm := range sim.VMsOfDC(dc) {
+				a := agent.New(sim, vm, agent.Config{})
+				a.ApplyPlan(rows[vm])
+				a.Start()
+				group = append(group, a)
+			}
+		}
+		groups = append(groups, group)
+	}
+	return groups
+}
+
+// TestMultiJobRegaugeOnceAndPartition locks the arbitration contract:
+// with two jobs sharing the controller, a trigger re-gauges the
+// cluster ONCE (one snapshot, one optimize), partitions the new plan
+// once, swaps every group in the same event, runs OnPlanSwap — and the
+// per-pair sum of the jobs' connection targets never exceeds the
+// global window afterwards.
+func TestMultiJobRegaugeOnceAndPartition(t *testing.T) {
+	sim := frozenSim(3, 31)
+	pred := accuratePred(sim)
+	plan := optimize.GlobalOptimize(pred, optimize.Options{})
+	shares := optimize.ShareWeights(optimize.ShareFair, 2, nil, nil)
+	groups := deployJobGroups(sim, pred, optimize.PartitionPlan(plan, shares))
+	var union []*agent.Agent
+	for _, g := range groups {
+		union = append(union, g...)
+	}
+
+	var snapshots, optimizes, partitions, swaps int
+	d := deps(sim, union, 31)
+	baseSnap := d.SnapshotOpts
+	d.SnapshotOpts = func() measure.Options {
+		snapshots++
+		return baseSnap()
+	}
+	baseOpt := d.Optimize
+	d.Optimize = func(p bwmatrix.Matrix) optimize.Plan {
+		optimizes++
+		return baseOpt(p)
+	}
+	d.Groups = groups
+	d.Partition = func(p optimize.Plan) []optimize.Plan {
+		partitions++
+		return optimize.PartitionPlan(p, shares)
+	}
+	d.OnPlanSwap = func(bwmatrix.Matrix, optimize.Plan) { swaps++ }
+
+	ctl := rgauge.Start(d, rgauge.Config{
+		Enabled: true, EpochS: 5, StaleAfterS: 30, CooldownS: 10,
+	}, pred, plan)
+	defer ctl.Stop()
+
+	sim.RunFor(80)
+	replans := ctl.Replans()
+	if replans < 1 {
+		t.Fatal("staleness produced no replans")
+	}
+	if snapshots != replans || optimizes != replans || partitions != replans || swaps != replans {
+		t.Errorf("per replan want exactly one snapshot/optimize/partition/swap, got %d/%d/%d/%d over %d replans",
+			snapshots, optimizes, partitions, swaps, replans)
+	}
+
+	// Oversubscription invariant after the swap: summed per-job conns
+	// within the re-gauged global window on every pair.
+	global := ctl.CurrentPlan()
+	n := sim.NumDCs()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			sum := 0
+			for _, g := range groups {
+				for _, a := range g {
+					if a.DC() == i {
+						sum += a.Conns()[j]
+					}
+				}
+			}
+			if sum > global.MaxConns[i][j] {
+				t.Errorf("pair (%d,%d): jobs hold %d conns > global window %d",
+					i, j, sum, global.MaxConns[i][j])
+			}
+		}
+	}
+	for _, g := range groups {
+		for _, a := range g {
+			a.Stop()
+		}
+	}
+}
+
+// TestMultiJobAggregatesLiveAcrossJobs checks the live matrix the
+// controller compares against the plan is the SUM of all jobs' rates
+// per pair: two jobs each moving half a link's traffic must not look
+// like cluster-wide drift.
+func TestMultiJobAggregatesLiveAcrossJobs(t *testing.T) {
+	sim := frozenSim(3, 32)
+	pred := accuratePred(sim)
+	plan := optimize.GlobalOptimize(pred, optimize.Options{})
+	shares := optimize.ShareWeights(optimize.ShareFair, 2, nil, nil)
+	groups := deployJobGroups(sim, pred, optimize.PartitionPlan(plan, shares))
+	var union []*agent.Agent
+	for _, g := range groups {
+		union = append(union, g...)
+	}
+	d := deps(sim, union, 32)
+	d.Groups = groups
+	d.Partition = func(p optimize.Plan) []optimize.Plan {
+		return optimize.PartitionPlan(p, shares)
+	}
+	ctl := rgauge.Start(d, rgauge.Config{Enabled: true, EpochS: 5}, pred, plan)
+	defer ctl.Stop()
+
+	// One long flow per job on the same pair; each is registered with
+	// its own job's source agent.
+	src := sim.FirstVMOfDC(0)
+	for _, g := range groups {
+		f := sim.StartFlow(src, sim.FirstVMOfDC(1), 1, 1e12, nil)
+		for _, a := range g {
+			if a.VM() == src {
+				a.Register(f)
+			}
+		}
+		defer f.Stop()
+	}
+	sim.RunFor(16)
+
+	live := ctl.Live()
+	if live == nil {
+		t.Fatal("no live matrix after controller epochs")
+	}
+	pairRate := sim.PairRate(0, 1)
+	if live[0][1] < pairRate*0.8 || live[0][1] > pairRate*1.2 {
+		t.Errorf("aggregated live[0][1] = %.0f Mbps, want the pair's total ~%.0f (both jobs summed)",
+			live[0][1], pairRate)
+	}
+}

@@ -50,6 +50,7 @@ type RunResult struct {
 type Engine struct {
 	sim   substrate.Cluster
 	rates cost.Rates
+	loads *loadLedger
 
 	// ComputeLoadDuringTransfer is the CPU load set on worker VMs while
 	// shuffles run (serialization/IO work, default 0.3).
@@ -78,6 +79,15 @@ func NewEngine(sim substrate.Cluster, rates cost.Rates) *Engine {
 
 // Cluster exposes the underlying WAN substrate.
 func (e *Engine) Cluster() substrate.Cluster { return e.sim }
+
+// ledger returns the engine's CPU-load ledger, building it on first
+// use so zero-value Engines (tests) keep working.
+func (e *Engine) ledger() *loadLedger {
+	if e.loads == nil {
+		e.loads = newLoadLedger(e.sim)
+	}
+	return e.loads
+}
 
 // ComputeRates returns the aggregate compute rate per DC.
 func (e *Engine) ComputeRates() []float64 {
@@ -143,16 +153,7 @@ func (e *Engine) RunJob(job Job, sched Scheduler, policy ConnPolicy) (RunResult,
 		}
 
 		// Compute phase: the stage finishes when its slowest DC does.
-		computeS := 0.0
-		for j := 0; j < n; j++ {
-			if layout[j] <= 0 {
-				continue
-			}
-			t := layout[j] / 1e9 * stage.SecPerGB / computeRates[j]
-			if t > computeS {
-				computeS = t
-			}
-		}
+		computeS := computeSeconds(stage, layout, computeRates)
 		if e.OverlapFetchCompute {
 			// The transfer window already processed min(transfer,
 			// compute) seconds of work; only the residue remains.
@@ -162,19 +163,14 @@ func (e *Engine) RunJob(job Job, sched Scheduler, policy ConnPolicy) (RunResult,
 			}
 		}
 		if computeS > 0 {
-			for j := 0; j < n; j++ {
-				busy := 0.0
-				if layout[j] > 0 {
-					busy = 0.9
-				}
-				for _, vm := range e.sim.VMsOfDC(j) {
-					e.sim.SetCPULoad(vm, busy)
-				}
-			}
+			// Shift the compute load in and back out through the ledger:
+			// only the load this stage set is restored, so load placed by
+			// anything else sharing the cluster survives the stage
+			// boundary (see loadLedger).
+			deltas := e.computeLoadDeltas(nil, layout)
+			e.ledger().shift(1, deltas)
 			e.sim.RunFor(computeS)
-			for v := 0; v < e.sim.NumVMs(); v++ {
-				e.sim.SetCPULoad(substrate.VMID(v), 0)
-			}
+			e.ledger().shift(-1, deltas)
 		}
 		rep.ComputeS = computeS
 		res.Stages = append(res.Stages, rep)
@@ -192,26 +188,22 @@ func (e *Engine) RunJob(job Job, sched Scheduler, policy ConnPolicy) (RunResult,
 	return res, nil
 }
 
-// executeTransfers starts one flow per (source VM, destination DC) pair
-// share, waits for all to drain, and returns the elapsed time plus the
-// per-DC-pair average achieved rates.
-func (e *Engine) executeTransfers(transfer [][]float64, policy ConnPolicy) (elapsed float64, pairMbps [][]float64, wanBytes float64, err error) {
+// pendingPair tracks one DC pair's transfer within a stage.
+type pendingPair struct {
+	i, j  int
+	bytes float64
+	done  float64 // completion time of the pair's last flow
+	left  int
+}
+
+// launchTransfers starts one flow per (source VM, destination DC) pair
+// share and returns the started flows plus the per-pair bookkeeping.
+// each, when non-nil, runs after every flow completion (after the
+// pair's own accounting) — the JobSet runner counts a stage's
+// outstanding flows through it; the synchronous RunJob path passes
+// nil and waits on the flows instead.
+func (e *Engine) launchTransfers(transfer [][]float64, policy ConnPolicy, each func()) (flows []substrate.Flow, pairs []*pendingPair, wanBytes float64) {
 	n := e.sim.NumDCs()
-	pairMbps = make([][]float64, n)
-	for i := range pairMbps {
-		pairMbps[i] = make([]float64, n)
-	}
-
-	type pendingPair struct {
-		i, j  int
-		bytes float64
-		done  float64 // completion time of the pair's last flow
-		left  int
-	}
-	var flows []substrate.Flow
-	var pairs []*pendingPair
-	start := e.sim.Now()
-
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			b := transfer[i][j]
@@ -236,40 +228,98 @@ func (e *Engine) executeTransfers(transfer [][]float64, policy ConnPolicy) (elap
 					if pair.left == 0 {
 						pair.done = e.sim.Now()
 					}
+					if each != nil {
+						each()
+					}
 				})
 				policy.Register(f)
 				flows = append(flows, f)
 			}
 		}
 	}
-	if len(flows) == 0 {
-		return 0, pairMbps, 0, nil
-	}
+	return flows, pairs, wanBytes
+}
 
-	// Workers burn some CPU feeding the network — all of it when the
-	// engine pipelines compute into the transfer window.
-	load := e.ComputeLoadDuringTransfer
-	if e.OverlapFetchCompute {
-		load = 0.9
+// pairRates converts per-pair completion bookkeeping into the average
+// achieved Mbps per DC pair for a transfer phase that began at start.
+func pairRates(n int, pairs []*pendingPair, start float64) [][]float64 {
+	pairMbps := make([][]float64, n)
+	for i := range pairMbps {
+		pairMbps[i] = make([]float64, n)
 	}
-	for v := 0; v < e.sim.NumVMs(); v++ {
-		e.sim.SetCPULoad(substrate.VMID(v), load)
-	}
-	err = e.sim.AwaitFlows(e.MaxStageTransferS, flows...)
-	for v := 0; v < e.sim.NumVMs(); v++ {
-		e.sim.SetCPULoad(substrate.VMID(v), 0)
-	}
-	if err != nil {
-		return 0, nil, 0, err
-	}
-	elapsed = e.sim.Now() - start
 	for _, pp := range pairs {
 		d := pp.done - start
 		if d > 0 {
 			pairMbps[pp.i][pp.j] = pp.bytes * 8 / 1e6 / d
 		}
 	}
-	return elapsed, pairMbps, wanBytes, nil
+	return pairMbps
+}
+
+// computeSeconds is the stage-compute model shared by RunJob and the
+// JobSet runner: the stage finishes when its slowest DC does.
+func computeSeconds(stage Stage, layout, computeRates []float64) float64 {
+	computeS := 0.0
+	for j := range layout {
+		if layout[j] <= 0 {
+			continue
+		}
+		t := layout[j] / 1e9 * stage.SecPerGB / computeRates[j]
+		if t > computeS {
+			computeS = t
+		}
+	}
+	return computeS
+}
+
+// computeLoadDeltas fills a per-VM load-delta vector for a compute
+// phase: 0.9 on every VM of a DC with work, 0 elsewhere.
+func (e *Engine) computeLoadDeltas(dst []float64, layout []float64) []float64 {
+	if len(dst) != e.sim.NumVMs() {
+		dst = make([]float64, e.sim.NumVMs())
+	}
+	for v := range dst {
+		dst[v] = 0
+	}
+	for j := range layout {
+		if layout[j] > 0 {
+			for _, vm := range e.sim.VMsOfDC(j) {
+				dst[vm] = 0.9
+			}
+		}
+	}
+	return dst
+}
+
+// transferLoad is the per-VM CPU load applied while a transfer phase
+// runs: workers burn some CPU feeding the network — all of it when the
+// engine pipelines compute into the transfer window.
+func (e *Engine) transferLoad() float64 {
+	if e.OverlapFetchCompute {
+		return 0.9
+	}
+	return e.ComputeLoadDuringTransfer
+}
+
+// executeTransfers starts one flow per (source VM, destination DC) pair
+// share, waits for all to drain, and returns the elapsed time plus the
+// per-DC-pair average achieved rates.
+func (e *Engine) executeTransfers(transfer [][]float64, policy ConnPolicy) (elapsed float64, pairMbps [][]float64, wanBytes float64, err error) {
+	n := e.sim.NumDCs()
+	start := e.sim.Now()
+	flows, pairs, wanBytes := e.launchTransfers(transfer, policy, nil)
+	if len(flows) == 0 {
+		return 0, pairRates(n, nil, start), 0, nil
+	}
+
+	deltas := e.ledger().uniform(nil, e.transferLoad())
+	e.ledger().shift(1, deltas)
+	err = e.sim.AwaitFlows(e.MaxStageTransferS, flows...)
+	e.ledger().shift(-1, deltas)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	return e.sim.Now() - start, pairRates(n, pairs, start), wanBytes, nil
 }
 
 // price itemizes the job cost: every cluster VM is held for the full

@@ -1,0 +1,387 @@
+package spark
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/wanify/wanify/internal/substrate"
+)
+
+// JobRun binds one job to the scheduler and connection policy it runs
+// under inside a JobSet. Policies are per-job on purpose: under WANify
+// multi-tenancy each job's agents hold that job's slice of the global
+// plan (optimize.PartitionPlan), so its transfers must consult its own
+// Connections Managers, not a cluster-wide pool.
+type JobRun struct {
+	Job    Job
+	Sched  Scheduler
+	Policy ConnPolicy
+	// StartDelayS delays the job's first stage relative to Run (0 =
+	// the job enters with the set).
+	StartDelayS float64
+}
+
+// JobSetResult is the outcome of a concurrent multi-job execution.
+type JobSetResult struct {
+	// Results holds one RunResult per job, in input order. JCTSeconds
+	// is measured from each job's own (possibly delayed) start.
+	Results []RunResult
+	// MakespanS is the time from Run to the last job's completion.
+	MakespanS float64
+}
+
+// jobPhase is where a running job currently is.
+type jobPhase int8
+
+const (
+	phaseWaiting  jobPhase = iota // start delay not reached
+	phaseTransfer                 // WAN transfers in flight
+	phaseCompute                  // compute timer pending
+	phaseDone
+)
+
+// jobState is one job's event-driven execution state.
+type jobState struct {
+	idx       int
+	run       JobRun
+	layout    []float64
+	stage     int
+	phase     jobPhase
+	startedAt float64
+
+	// Transfer-phase bookkeeping.
+	transferStart float64
+	pairs         []*pendingPair
+	flows         []substrate.Flow
+	flowsLeft     int
+	curTransfer   [][]float64
+	curPlacement  Placement
+
+	// loadDeltas is the job's live CPU-load contribution, held between
+	// a phase's shift-in and shift-out. Per job, because concurrent
+	// jobs' phases overlap in time.
+	loadDeltas []float64
+
+	res RunResult
+}
+
+// JobSet interleaves N jobs' stages over one engine's shared substrate
+// clock — the multi-tenant execution layer. Where RunJob owns the
+// clock (AwaitFlows/RunFor between synchronous phases), a JobSet turns
+// each job into an event-driven state machine: stage transfers complete
+// through flow callbacks, compute phases through substrate timers, and
+// the set advances the clock until every machine reaches its end. The
+// jobs' transfers therefore genuinely contend — flows of different
+// jobs share DC-pair capacity inside the same allocator, and their
+// compute loads compose through the engine's load ledger (each job
+// sees the TCP slowdown the others' busy CPUs cause, and nobody's
+// stage boundary clobbers anybody's load).
+//
+// Build one with NewJobSet, then call Run. RemainingBytes may be
+// polled while Run drives the clock (from substrate callbacks, e.g.
+// the re-gauging controller's bytes-remaining share weighting).
+type JobSet struct {
+	eng    *Engine
+	states []*jobState
+
+	startAt  float64
+	deadline float64 // liveness bound, extended as phases schedule events
+	running  int
+	err      error
+}
+
+// NewJobSet validates the jobs against the engine's cluster and
+// prepares the runner. Policies default to SingleConn when nil.
+func NewJobSet(e *Engine, runs []JobRun) (*JobSet, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("spark: job set needs at least one job")
+	}
+	n := e.sim.NumDCs()
+	s := &JobSet{eng: e}
+	for i, run := range runs {
+		if err := run.Job.Validate(n); err != nil {
+			return nil, err
+		}
+		if run.Sched == nil {
+			return nil, fmt.Errorf("spark: job %q has no scheduler", run.Job.Name)
+		}
+		if run.Policy == nil {
+			run.Policy = SingleConn{}
+		}
+		if run.StartDelayS < 0 {
+			return nil, fmt.Errorf("spark: job %q has negative start delay", run.Job.Name)
+		}
+		s.states = append(s.states, &jobState{
+			idx:    i,
+			run:    run,
+			layout: append([]float64(nil), run.Job.InputBytes...),
+			res: RunResult{
+				Job:            run.Job.Name,
+				Scheduler:      run.Sched.Name(),
+				MinShuffleMbps: math.Inf(1),
+			},
+		})
+	}
+	return s, nil
+}
+
+// RemainingBytes reports each job's current resident bytes (the data
+// its remaining stages still have to process); finished jobs report 0.
+// It is an ordinal signal for capacity sharing (optimize.
+// ShareRemaining), not a WAN-volume prediction — how much of it will
+// actually cross the WAN depends on placements not yet chosen.
+func (s *JobSet) RemainingBytes() []float64 {
+	out := make([]float64, len(s.states))
+	for i, js := range s.states {
+		if js.phase == phaseDone {
+			continue
+		}
+		for _, b := range js.layout {
+			out[i] += b
+		}
+	}
+	return out
+}
+
+// Run executes all jobs concurrently and returns when the last one
+// finishes. The first failing job aborts the whole set, stopping every
+// outstanding transfer.
+func (s *JobSet) Run() (JobSetResult, error) {
+	e := s.eng
+	s.startAt = e.sim.Now()
+	s.running = len(s.states)
+	computeRates := e.ComputeRates()
+
+	for _, js := range s.states {
+		js := js
+		e.sim.After(js.run.StartDelayS, func(now float64) {
+			if s.err != nil || js.phase == phaseDone {
+				return
+			}
+			js.startedAt = now
+			s.startStage(js, computeRates, now)
+		})
+	}
+
+	// Drive the shared clock. Every state transition happens inside
+	// substrate events at exact instants; the tick only bounds how far
+	// the clock runs between liveness checks, so its size does not
+	// affect any recorded time. The deadline is a pure liveness bound:
+	// every phase extends it past its own scheduled completion (the
+	// transfer watchdog or the compute timer), so it trips only if a
+	// scheduled event failed to fire — never on a slow-but-progressing
+	// set, however compute-dominated.
+	const tick = 5.0
+	var maxDelay float64
+	for _, js := range s.states {
+		maxDelay = math.Max(maxDelay, js.run.StartDelayS)
+	}
+	s.extendDeadline(s.startAt + maxDelay + e.MaxStageTransferS)
+	for s.running > 0 && s.err == nil {
+		if e.sim.Now() > s.deadline+tick {
+			s.abort(fmt.Errorf("spark: job set stalled at t=%.0fs with %d jobs unfinished", e.sim.Now(), s.running))
+			break
+		}
+		e.sim.RunFor(tick)
+	}
+	if s.err != nil {
+		return JobSetResult{}, s.err
+	}
+
+	out := JobSetResult{}
+	for _, js := range s.states {
+		out.Results = append(out.Results, js.res)
+		end := js.startedAt + js.res.JCTSeconds
+		if m := end - s.startAt; m > out.MakespanS {
+			out.MakespanS = m
+		}
+	}
+	return out, nil
+}
+
+// extendDeadline pushes the liveness bound to cover an event scheduled
+// for time t.
+func (s *JobSet) extendDeadline(t float64) {
+	if t > s.deadline {
+		s.deadline = t
+	}
+}
+
+// startStage places the current stage and launches its WAN transfers;
+// with nothing to move it proceeds straight to compute.
+func (s *JobSet) startStage(js *jobState, computeRates []float64, now float64) {
+	e := s.eng
+	n := e.sim.NumDCs()
+	if js.stage == len(js.run.Job.Stages) {
+		s.finishJob(js, now)
+		return
+	}
+	stage := js.run.Job.Stages[js.stage]
+	p := js.run.Sched.Place(js.stage, stage, js.layout).Normalize()
+	if len(p) != n {
+		s.abort(fmt.Errorf("spark: scheduler %q returned %d fractions for %d DCs",
+			js.run.Sched.Name(), len(p), n))
+		return
+	}
+	var transfer [][]float64
+	if stage.Kind == MapKind {
+		transfer = MigrationMatrix(js.layout, p)
+	} else {
+		transfer = ShuffleMatrix(js.layout, p)
+	}
+	js.curTransfer = transfer
+	js.curPlacement = p
+	js.transferStart = now
+	js.phase = phaseTransfer
+
+	flows, pairs, wanBytes := e.launchTransfers(transfer, js.run.Policy, func() {
+		js.flowsLeft--
+		if js.flowsLeft == 0 {
+			s.finishTransfers(js, computeRates, e.sim.Now())
+		}
+	})
+	js.flows = flows
+	js.pairs = pairs
+	js.flowsLeft = len(flows)
+	js.res.WANBytes += wanBytes
+
+	if len(flows) == 0 {
+		s.finishTransfers(js, computeRates, now)
+		return
+	}
+	js.loadDeltas = e.ledger().uniform(js.loadDeltas, e.transferLoad())
+	e.ledger().shift(1, js.loadDeltas)
+
+	// Watchdog: a transfer phase that outlives MaxStageTransferS fails
+	// the set, exactly as AwaitFlows does for a single job.
+	s.extendDeadline(now + e.MaxStageTransferS)
+	stageIdx := js.stage
+	e.sim.After(e.MaxStageTransferS, func(float64) {
+		if s.err != nil || js.phase != phaseTransfer || js.stage != stageIdx {
+			return
+		}
+		s.abort(fmt.Errorf("spark: job %q stage %q: transfers not drained after %.1fs of simulated time",
+			js.run.Job.Name, stage.Name, e.MaxStageTransferS))
+	})
+}
+
+// finishTransfers closes a stage's transfer phase (at the exact instant
+// the last flow drained) and begins its compute phase.
+func (s *JobSet) finishTransfers(js *jobState, computeRates []float64, now float64) {
+	e := s.eng
+	n := e.sim.NumDCs()
+	stage := js.run.Job.Stages[js.stage]
+	if len(js.flows) > 0 {
+		e.ledger().shift(-1, js.loadDeltas)
+	}
+	rep := StageReport{
+		Name:      stage.Name,
+		Kind:      stage.Kind,
+		Placement: js.curPlacement,
+		TransferS: now - js.transferStart,
+		PairMbps:  pairRates(n, js.pairs, js.transferStart),
+		PairBytes: js.curTransfer,
+	}
+	for _, pp := range js.pairs {
+		rep.WANBytes += pp.bytes
+	}
+	for i := range rep.PairMbps {
+		for j := range rep.PairMbps[i] {
+			if js.curTransfer[i][j] >= 1<<20 && rep.PairMbps[i][j] > 0 && rep.PairMbps[i][j] < js.res.MinShuffleMbps {
+				js.res.MinShuffleMbps = rep.PairMbps[i][j]
+			}
+		}
+	}
+	js.flows, js.pairs = nil, nil
+
+	// The stage's input is now distributed per the placement.
+	total := 0.0
+	for _, b := range js.layout {
+		total += b
+	}
+	for j := 0; j < n; j++ {
+		js.layout[j] = total * js.curPlacement[j]
+	}
+
+	computeS := computeSeconds(stage, js.layout, computeRates)
+	if e.OverlapFetchCompute {
+		computeS -= rep.TransferS
+		if computeS < 0 {
+			computeS = 0
+		}
+	}
+	rep.ComputeS = computeS
+	if computeS <= 0 {
+		s.endStage(js, rep, computeRates, now)
+		return
+	}
+	js.phase = phaseCompute
+	js.loadDeltas = e.computeLoadDeltas(js.loadDeltas, js.layout)
+	e.ledger().shift(1, js.loadDeltas)
+	s.extendDeadline(now + computeS)
+	e.sim.After(computeS, func(end float64) {
+		if s.err != nil {
+			return
+		}
+		e.ledger().shift(-1, js.loadDeltas)
+		s.endStage(js, rep, computeRates, end)
+	})
+}
+
+// endStage records the stage and moves the job to its next one.
+func (s *JobSet) endStage(js *jobState, rep StageReport, computeRates []float64, now float64) {
+	js.res.Stages = append(js.res.Stages, rep)
+	stage := js.run.Job.Stages[js.stage]
+	for j := range js.layout {
+		js.layout[j] *= stage.Selectivity
+	}
+	js.stage++
+	s.startStage(js, computeRates, now)
+}
+
+// finishJob completes a job's state machine.
+func (s *JobSet) finishJob(js *jobState, now float64) {
+	js.phase = phaseDone
+	js.res.JCTSeconds = now - js.startedAt
+	if math.IsInf(js.res.MinShuffleMbps, 1) {
+		js.res.MinShuffleMbps = 0
+	}
+	js.res.Cost = s.eng.price(js.run.Job, js.res)
+	s.running--
+}
+
+// abort fails the whole set: outstanding flows stop, held loads are
+// released, and Run returns the error.
+func (s *JobSet) abort(err error) {
+	if s.err != nil {
+		return
+	}
+	s.err = err
+	for _, js := range s.states {
+		switch js.phase {
+		case phaseTransfer:
+			for _, f := range js.flows {
+				if !f.Done() {
+					f.Stop()
+				}
+			}
+			if len(js.flows) > 0 {
+				s.eng.ledger().shift(-1, js.loadDeltas)
+			}
+		case phaseCompute:
+			s.eng.ledger().shift(-1, js.loadDeltas)
+		}
+		js.phase = phaseDone
+	}
+	s.running = 0
+}
+
+// RunJobSet is the convenience wrapper: build a JobSet over the engine
+// and run it to completion.
+func (e *Engine) RunJobSet(runs []JobRun) (JobSetResult, error) {
+	s, err := NewJobSet(e, runs)
+	if err != nil {
+		return JobSetResult{}, err
+	}
+	return s.Run()
+}
