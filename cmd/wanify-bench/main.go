@@ -39,6 +39,8 @@ import (
 	"time"
 
 	"github.com/wanify/wanify/internal/experiments"
+	"github.com/wanify/wanify/internal/gda"
+	"github.com/wanify/wanify/internal/ml/rf"
 	"github.com/wanify/wanify/internal/netsim"
 	"github.com/wanify/wanify/internal/predict"
 )
@@ -47,12 +49,16 @@ import (
 // are wall-clock under `workers`-way co-scheduling: when comparing
 // timings across commits, use runs with the same worker count — the
 // committed baseline is generated with -parallel 1 so entries are
-// uncontended. Benchmarks holds the allocator-churn microbenchmark:
-// allocator_churn_ns_per_op (netsim incremental),
-// allocator_churn_reference_ns_per_op (from-scratch reference; the CI
-// guard gates on the incremental/reference ratio, which cancels
-// hardware speed) and allocator_churn_<backend>_ns_per_op for each
-// trace backend.
+// uncontended. Benchmarks holds the hot-path microbenchmarks, each as
+// an optimized/reference pair whose ratio the CI guard gates on
+// (ratios cancel raw hardware speed): allocator_churn_* (netsim
+// incremental vs from-scratch, plus allocator_churn_<backend> per
+// trace backend), scheduler_place_* (delta-evaluated vs reference
+// scheduler search), rf_train_* (scratch-slab/parallel vs reference
+// forest training — the optimized side uses rf.BenchWorkers() workers,
+// so its absolute value depends on core count; the reference is always
+// sequential) and rf_predict_batch_* (fan-out vs sequential batch
+// prediction).
 type benchReport struct {
 	GoVersion    string             `json:"go_version"`
 	GOMAXPROCS   int                `json:"gomaxprocs"`
@@ -189,9 +195,19 @@ func main() {
 		// tracks each substrate's perf trajectory, not just netsim's.
 		// The netsim pair (incremental + from-scratch reference) backs
 		// the CI regression guard's hardware-independent ratio check.
+		// The planning-layer trio (scheduler search, RF training, RF
+		// batch prediction) records each optimized path against its
+		// kept-verbatim reference the same way — the guard gates on
+		// each optimized/reference ratio.
 		report.Benchmarks = map[string]float64{
-			"allocator_churn_ns_per_op":           netsim.ChurnNsPerOp(true, 20000),
-			"allocator_churn_reference_ns_per_op": netsim.ChurnNsPerOp(false, 5000),
+			"allocator_churn_ns_per_op":            netsim.ChurnNsPerOp(true, 20000),
+			"allocator_churn_reference_ns_per_op":  netsim.ChurnNsPerOp(false, 5000),
+			"scheduler_place_ns_per_op":            gda.PlaceNsPerOp(true, 200),
+			"scheduler_place_reference_ns_per_op":  gda.PlaceNsPerOp(false, 50),
+			"rf_train_ns_per_op":                   rf.TrainNsPerOp(true, 10),
+			"rf_train_reference_ns_per_op":         rf.TrainNsPerOp(false, 5),
+			"rf_predict_batch_ns_per_op":           rf.PredictBatchNsPerOp(true, 100),
+			"rf_predict_batch_reference_ns_per_op": rf.PredictBatchNsPerOp(false, 100),
 		}
 		for _, b := range backendList {
 			if b.String() == "netsim" {

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"testing"
 
+	"github.com/wanify/wanify/internal/gda"
+	"github.com/wanify/wanify/internal/ml/rf"
 	"github.com/wanify/wanify/internal/netsim"
 )
 
@@ -53,5 +55,75 @@ func TestAllocatorChurnRegression(t *testing.T) {
 	t.Logf("allocator churn ratio incremental/reference: %.3f (baseline %.3f)", got, baseRatio)
 	if got > baseRatio*1.30 {
 		t.Fatalf("allocator churn regressed: ratio %.3f vs baseline %.3f (>30%%)", got, baseRatio)
+	}
+}
+
+// TestPlanningBenchRegression extends the guard to the planning-layer
+// hot paths: the delta-evaluated scheduler search, forest training and
+// batch prediction each replay their wanify-bench microbenchmark and
+// fail on a >30% regression of the optimized/reference ratio against
+// the committed BENCH_netsim.json. Ratios cancel raw machine speed;
+// the rf_train pair additionally pins its worker count via
+// rf.BenchWorkers() (min(4, GOMAXPROCS)) on both the recording and the
+// guard side, so differing core counts shift the ratio only as far as
+// real parallel speedup does. Armed by WANIFY_BENCH_GUARD=1, like the
+// allocator guard above.
+func TestPlanningBenchRegression(t *testing.T) {
+	if os.Getenv("WANIFY_BENCH_GUARD") == "" {
+		t.Skip("set WANIFY_BENCH_GUARD=1 to arm the benchmark-regression guard")
+	}
+	raw, err := os.ReadFile("../../BENCH_netsim.json")
+	if err != nil {
+		t.Fatalf("reading committed baseline: %v", err)
+	}
+	var report struct {
+		Benchmarks map[string]float64 `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("parsing baseline: %v", err)
+	}
+
+	// The optimized side gets more rounds than the reference: it is
+	// several times faster, so this keeps the two timing windows
+	// comparable without making the guard slow.
+	benches := []struct {
+		key     string
+		measure func(optimized bool) float64
+	}{
+		{"scheduler_place", func(opt bool) float64 {
+			if opt {
+				return gda.PlaceNsPerOp(true, 40)
+			}
+			return gda.PlaceNsPerOp(false, 10)
+		}},
+		{"rf_train", func(opt bool) float64 {
+			if opt {
+				return rf.TrainNsPerOp(true, 4)
+			}
+			return rf.TrainNsPerOp(false, 2)
+		}},
+		{"rf_predict_batch", func(opt bool) float64 { return rf.PredictBatchNsPerOp(opt, 40) }},
+	}
+	for _, b := range benches {
+		b := b
+		t.Run(b.key, func(t *testing.T) {
+			baseOpt := report.Benchmarks[b.key+"_ns_per_op"]
+			baseRef := report.Benchmarks[b.key+"_reference_ns_per_op"]
+			if baseOpt <= 0 || baseRef <= 0 {
+				t.Fatalf("baseline lacks %s[_reference]_ns_per_op (regenerate with wanify-bench)", b.key)
+			}
+			baseRatio := baseOpt / baseRef
+
+			var ratios []float64
+			for i := 0; i < 3; i++ {
+				ratios = append(ratios, b.measure(true)/b.measure(false))
+			}
+			sort.Float64s(ratios)
+			got := ratios[len(ratios)/2]
+			t.Logf("%s ratio optimized/reference: %.3f (baseline %.3f)", b.key, got, baseRatio)
+			if got > baseRatio*1.30 {
+				t.Fatalf("%s regressed: ratio %.3f vs baseline %.3f (>30%%)", b.key, got, baseRatio)
+			}
+		})
 	}
 }

@@ -1,0 +1,68 @@
+package gda
+
+import (
+	"time"
+
+	"github.com/wanify/wanify/internal/bwmatrix"
+	"github.com/wanify/wanify/internal/cost"
+	"github.com/wanify/wanify/internal/geo"
+	"github.com/wanify/wanify/internal/simrand"
+	"github.com/wanify/wanify/internal/spark"
+)
+
+// PlaceNsPerOp times one scheduler-placement round on the 8-region
+// testbed — a Kimchi reduce-stage placement (which embeds the
+// three-start Tetrium descent) plus a Tetrium map-stage placement, the
+// mix the scheduler-comparison experiments hammer. optimized=true runs
+// the pooled delta-evaluating search; false replays the kept-verbatim
+// reference (descendReference). cmd/wanify-bench records both so the
+// CI guard can gate on their hardware-independent ratio, mirroring
+// netsim.ChurnNsPerOp.
+func PlaceNsPerOp(optimized bool, rounds int) float64 {
+	info, believed, layout := benchCluster()
+	mapStage := spark.Stage{Name: "m", Kind: spark.MapKind, SecPerGB: 4, Selectivity: 0.4}
+	reduceStage := spark.Stage{Name: "r", Kind: spark.ReduceKind, SecPerGB: 2, Selectivity: 1}
+	tet := Tetrium{Believed: believed, Info: info}
+	kim := Kimchi{Believed: believed, Info: info}
+
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		if optimized {
+			kim.Place(0, reduceStage, layout)
+			tet.Place(0, mapStage, layout)
+		} else {
+			placeKimchiReference(kim, reduceStage, layout)
+			placeTetriumReference(tet, mapStage, layout)
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(rounds)
+}
+
+// benchCluster is a deterministic 8-DC planning problem: heterogeneous
+// compute, a skewed layout, and a believed matrix with strong and weak
+// links (including one near-blackout pair to exercise the BW floor).
+func benchCluster() (ClusterInfo, bwmatrix.Matrix, []float64) {
+	regions := geo.Testbed()
+	n := len(regions)
+	rates := cost.DefaultRates()
+	info := ClusterInfo{
+		Regions:      regions,
+		ComputeRates: make([]float64, n),
+		EgressPerGB:  make([]float64, n),
+	}
+	rng := simrand.Derive(42, "gda-bench")
+	believed := bwmatrix.New(n)
+	layout := make([]float64, n)
+	for i := 0; i < n; i++ {
+		info.ComputeRates[i] = 1 + float64(rng.IntN(4))
+		info.EgressPerGB[i] = rates.EgressPerGBFor(regions[i])
+		layout[i] = rng.Uniform(1, 40) * 1e9
+		for j := 0; j < n; j++ {
+			if i != j {
+				believed[i][j] = rng.Uniform(40, 1200)
+			}
+		}
+	}
+	believed[0][n-1] = 0.5 // near-blackout link
+	return info, believed, layout
+}

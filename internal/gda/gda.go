@@ -146,49 +146,16 @@ func (e estimator) estimateDetail(stage spark.Stage, layout []float64, p spark.P
 	return tNet + tComp, loadSum, usd
 }
 
-// descend greedily improves a placement under the given objective
-// (lower is better), moving probability mass between DCs in shrinking
-// steps. It is deterministic and terminates after the step underflows.
-func descend(n int, start spark.Placement, objective func(spark.Placement) float64) spark.Placement {
-	p := append(spark.Placement(nil), start.Normalize()...)
-	best := objective(p)
-	step := 0.10
-	for step >= 0.005 {
-		improved := false
-		for {
-			var bestP spark.Placement
-			bestV := best
-			for from := 0; from < n; from++ {
-				if p[from] < step {
-					continue
-				}
-				for to := 0; to < n; to++ {
-					if to == from {
-						continue
-					}
-					cand := append(spark.Placement(nil), p...)
-					cand[from] -= step
-					cand[to] += step
-					if v := objective(cand); v < bestV-1e-9 {
-						bestV = v
-						bestP = cand
-					}
-				}
-			}
-			if bestP == nil {
-				break
-			}
-			p, best = bestP, bestV
-			improved = true
-		}
-		if !improved {
-			step /= 2
-		} else {
-			step /= 2
-		}
-	}
-	return p
-}
+// The descent's step schedule halves unconditionally after each
+// exhausted sweep. An earlier revision tracked an `improved` flag and
+// then halved in both arms of `if !improved` — evidently a
+// restart-at-full-step idea that was never wired up. Restarting at the
+// full step after an improvement would re-search coarse moves from the
+// new point and produce different (occasionally better, always slower)
+// placements, which would invalidate every golden experiment output;
+// we keep the always-halve schedule as the locked decision and dropped
+// the dead flag. The search itself lives in search.go (delta-evaluated)
+// with the original kept as descendReference in reference.go.
 
 // Tetrium minimizes estimated stage completion time (network + compute)
 // over task placements, following Hung et al.'s multi-resource
@@ -210,36 +177,22 @@ func (t Tetrium) Name() string {
 	return "tetrium"
 }
 
-// Place implements spark.Scheduler.
+// Place implements spark.Scheduler. Tetrium optimizes completion time;
+// the search's loadSum term guides the greedy descent off max()
+// plateaus, and the (weaker still) dollar term breaks ties among
+// near-equal placements (Hung et al. break ties toward lower cost) so
+// WAN bytes don't drift up. Three deterministic starts — data locality,
+// uniform, and compute-proportional — because the max() objective has
+// valleys a single-move greedy cannot cross (e.g. shifting work toward
+// a fast DC raises the network max before the compute max falls).
+// The descent itself runs on the pooled delta-evaluating context
+// (search.go), bit-identical to placeTetriumReference.
 func (t Tetrium) Place(_ int, stage spark.Stage, layout []float64) spark.Placement {
-	est := estimator{believed: t.Believed, info: t.Info}
-	obj := func(p spark.Placement) float64 {
-		secs, loadSum, usd := est.estimateDetail(stage, layout, p)
-		// Tetrium optimizes completion time. The loadSum term guides
-		// the greedy search off max() plateaus, and the (weaker still)
-		// dollar term breaks ties among near-equal placements (Hung et
-		// al. break ties toward lower cost) so WAN bytes don't drift up.
-		return secs + 1e-3*loadSum + 0.05*usd
-	}
-	n := t.Info.N()
-	// Three deterministic starts — data locality, uniform, and
-	// compute-proportional — because the max() objective has valleys a
-	// single-move greedy cannot cross (e.g. shifting work toward a fast
-	// DC raises the network max before the compute max falls).
-	starts := []spark.Placement{
-		spark.LocalityPlacement(layout),
-		spark.UniformPlacement(n),
-		spark.Placement(append([]float64(nil), t.Info.ComputeRates...)).Normalize(),
-	}
-	var best spark.Placement
-	bestV := 0.0
-	for i, s := range starts {
-		cand := descend(n, s, obj)
-		if v := obj(cand); i == 0 || v < bestV {
-			best, bestV = cand, v
-		}
-	}
-	return best
+	s := getSearch(estimator{believed: t.Believed, info: t.Info}, stage, layout)
+	best, _, _, _ := s.placeTetrium()
+	out := append(spark.Placement(nil), best...)
+	putSearch(s)
+	return out
 }
 
 // Kimchi minimizes the WAN dollar cost of a stage subject to its
@@ -265,28 +218,30 @@ func (k Kimchi) Name() string {
 	return "kimchi"
 }
 
-// Place implements spark.Scheduler.
-func (k Kimchi) Place(si int, stage spark.Stage, layout []float64) spark.Placement {
+// Place implements spark.Scheduler: the fastest placement first
+// (Tetrium objective), then a descent on dollars with the latency
+// envelope as a penalty wall. Both phases share one pooled search
+// context, and the budget reads the seconds the Tetrium phase already
+// computed for its winner instead of re-estimating it — the reference
+// ran the full three-start descent and then estimated the same
+// placement again (see placeKimchiReference).
+func (k Kimchi) Place(_ int, stage spark.Stage, layout []float64) spark.Placement {
 	slack := k.Slack
 	if slack == 0 {
 		slack = 0.10
 	}
-	est := estimator{believed: k.Believed, info: k.Info}
-	// Fastest placement first (Tetrium objective).
-	fast := Tetrium{Believed: k.Believed, Info: k.Info}.Place(si, stage, layout)
-	tBest, _ := est.estimate(stage, layout, fast)
+	s := getSearch(estimator{believed: k.Believed, info: k.Info}, stage, layout)
+	fast, tBest, _, _ := s.placeTetrium()
 	budget := tBest * (1 + slack)
-
-	// Then descend on dollars with the latency envelope as a penalty
-	// wall.
-	obj := func(p spark.Placement) float64 {
-		secs, usd := est.estimate(stage, layout, p)
+	s.descend(fast, func(secs, _, usd float64) float64 {
 		if secs > budget {
 			return usd + 1e6*(secs-budget)
 		}
 		return usd
-	}
-	return descend(k.Info.N(), fast, obj)
+	})
+	out := append(spark.Placement(nil), s.p...)
+	putSearch(s)
+	return out
 }
 
 // Iridium is the classic WAN-aware placement of Pu et al. [33], the
@@ -318,6 +273,18 @@ func (ir Iridium) Name() string {
 // (total−data_i)·p_i/D_i, U/D being the believed aggregate egress and
 // ingress of site i.
 func (ir Iridium) Place(_ int, stage spark.Stage, layout []float64) spark.Placement {
+	obj, n := ir.objective(stage, layout)
+	a := descendGeneric(n, spark.LocalityPlacement(layout), obj)
+	b := descendGeneric(n, spark.UniformPlacement(n), obj)
+	if obj(a) <= obj(b) {
+		return a
+	}
+	return b
+}
+
+// objective builds Iridium's per-site transfer-time objective over the
+// current layout (shared by Place and the reference path).
+func (ir Iridium) objective(stage spark.Stage, layout []float64) (func(spark.Placement) float64, int) {
 	n := ir.Info.N()
 	up := make([]float64, n)
 	down := make([]float64, n)
@@ -371,12 +338,7 @@ func (ir Iridium) Place(_ int, stage spark.Stage, layout []float64) spark.Placem
 		}
 		return worst + 1e-3*sum
 	}
-	a := descend(n, spark.LocalityPlacement(layout), obj)
-	b := descend(n, spark.UniformPlacement(n), obj)
-	if obj(a) <= obj(b) {
-		return a
-	}
-	return b
+	return obj, n
 }
 
 var (

@@ -1,0 +1,892 @@
+package gda
+
+import (
+	"sync"
+
+	"github.com/wanify/wanify/internal/spark"
+)
+
+// search is the reusable context behind the estimator-based scheduler
+// descents (Tetrium, Kimchi). The reference search re-allocates a
+// candidate Placement and rebuilds the full O(n²) Shuffle/Migration
+// matrix for every single-move candidate at every step level; the
+// context instead keeps per-entry caches of the base placement's
+// estimate and delta-evaluates each (from,to) move:
+//
+//   - Shuffle stages: moving mass from DC `from` to DC `to` changes
+//     only columns `from` and `to` of the transfer matrix
+//     (ShuffleMatrix[i][j] = layout[i]·p[j]) and the two compute
+//     terms, so a candidate recomputes O(n) expensive entries (the
+//     divisions by believed bandwidth) against the cached rest.
+//   - Map stages: migration volumes couple every entry through the
+//     total deficit, so candidates rebuild the matrix — but into
+//     scratch, with zero allocations.
+//
+// Bit-exactness contract (locked by TestPlaceMatchesReference and the
+// experiment goldens): every cached or delta-computed term is produced
+// by exactly the float expressions estimateDetail evaluates, and the
+// secs/loadSum/usd aggregates are reduced over the entries in
+// estimateDetail's canonical row-major order. Zero-valued skipped
+// entries may be added where the reference skips them — x + (+0.0) is
+// an identity on the non-negative partial sums involved — but sums are
+// never delta-updated, because floating-point addition does not
+// associate; the O(n²) cheap re-reduction is the price of returning
+// the identical bits. Base caches refresh once per accepted move, in
+// O(n) for shuffle stages.
+//
+// Contexts are pooled (schedulers are stateless values called from
+// concurrent experiment drivers) and reach zero steady-state
+// allocations after the first Place at a given cluster size.
+type search struct {
+	n      int
+	est    estimator
+	stage  spark.Stage
+	layout []float64
+	total  float64 // sum(layout), accumulated in estimateDetail's order
+
+	bwDen []float64 // n×n flattened: floored believed BW × 1e6 (denominators)
+	rate  []float64 // per-DC compute rate with estimateDetail's 1e-6 floor
+
+	p spark.Placement // current placement (owned buffer)
+
+	transfer [][]float64 // n×n transfer-bytes scratch
+	mscr     spark.MatrixScratch
+
+	tE   []float64 // n×n per-entry network seconds for p (0 on diag / b<=0)
+	uE   []float64 // n×n per-entry egress dollars for p
+	comp []float64 // per-DC compute seconds for p
+
+	secs, loadSum, usd float64 // estimateDetail(p) aggregates
+
+	// Shuffle-candidate scratch: replacement columns `from` and `to`.
+	tF, tT, uF, uT []float64
+
+	// Map-stage state: the base placement's surplus/deficit split
+	// (maintained like the shuffle column caches — two entries per
+	// accepted move) and the per-DC deficit-ratio scratch.
+	mapSur, mapDef, drB []float64
+
+	// Map-stage screening aggregates over the base entry caches. A
+	// migration entry is surplus_i·(deficit_j/totalDeficit)·8/den, so
+	// every entry whose DCs are untouched by a move scales by the one
+	// factor totalDeficit/totalDeficit' — the unchanged block's sums and
+	// max scale with it, giving an O(n) rejection bound (approximate,
+	// margin-guarded, exactly like the shuffle screen).
+	mapRowT, mapColT []float64 // per-row / per-column Σ tE
+	mapRowU, mapColU []float64 // per-row / per-column Σ uE
+	mapTotT, mapTotU float64
+	mapTotalDef      float64
+	mapTop           [6]mapEntry   // largest base entries, for the block max
+	mapRow2, mapCol2 [][2]mapEntry // per-row / per-column two largest entries
+
+	// Screening aggregates (shuffle stages only). The scan over the 2n
+	// single-move candidates is dominated by provably non-improving
+	// moves; the screen rejects most of them in O(n) flops without
+	// divisions. Everything here is APPROXIMATE and used strictly for
+	// rejection behind a wide error margin — any candidate that might
+	// improve still gets the exact canonical evaluation, so the
+	// bit-exact contract is untouched.
+	//
+	// Placement-independent column rates (a shuffle column j's entries
+	// are layout[i]·p[j]·8/den, so sums and maxes scale linearly with
+	// p[j] to within ulps):
+	colRateSum []float64 // Σ_{i≠j} layout[i]·8/den[i][j]
+	colRateMax []float64 // max_{i≠j} layout[i]·8/den[i][j]
+	colUsdSum  []float64 // Σ_{i≠j} layout[i]/1e9·egress[i]
+	compRate   []float64 // total/1e9·SecPerGB/rate[j]
+	// Placement-dependent column aggregates of the cached base entries,
+	// refreshed with the O(n) column updates of applyMove:
+	colSumT []float64 // Σ_i tE[i][j]
+	colMaxT []float64 // max_i tE[i][j]
+	colSumU []float64 // Σ_i uE[i][j]
+	totalT  float64   // Σ colSumT
+	totalU  float64   // Σ colSumU
+	compSum float64   // Σ comp
+
+	starts  [3]spark.Placement // descent start buffers
+	bestBuf spark.Placement    // winning placement across starts
+}
+
+// mapEntry is one ranked base migration entry for the map screen.
+type mapEntry struct {
+	v    float64
+	i, j int
+}
+
+var searchPool = sync.Pool{New: func() any { return new(search) }}
+
+// getSearch leases a context from the pool, sized and primed for the
+// scheduler's believed matrix, stage and layout.
+func getSearch(est estimator, stage spark.Stage, layout []float64) *search {
+	s := searchPool.Get().(*search)
+	s.init(est, stage, layout)
+	return s
+}
+
+func putSearch(s *search) {
+	// Drop the caller's data (layout slice, believed matrix, cluster
+	// info, stage) so an idle pooled context retains only its own
+	// scratch slabs.
+	s.layout = nil
+	s.est = estimator{}
+	s.stage = spark.Stage{}
+	searchPool.Put(s)
+}
+
+// init sizes the scratch slabs and precomputes the placement-invariant
+// terms: the bandwidth denominators (with estimateDetail's 1 Mbps
+// blackout floor folded in) and the floored compute rates.
+func (s *search) init(est estimator, stage spark.Stage, layout []float64) {
+	n := est.info.N()
+	if s.n != n {
+		s.n = n
+		s.bwDen = make([]float64, n*n)
+		s.rate = make([]float64, n)
+		s.p = make(spark.Placement, n)
+		s.tE = make([]float64, n*n)
+		s.uE = make([]float64, n*n)
+		s.comp = make([]float64, n)
+		s.tF = make([]float64, n)
+		s.tT = make([]float64, n)
+		s.uF = make([]float64, n)
+		s.uT = make([]float64, n)
+		for i := range s.starts {
+			s.starts[i] = make(spark.Placement, n)
+		}
+		s.bestBuf = make(spark.Placement, n)
+		s.colRateSum = make([]float64, n)
+		s.colRateMax = make([]float64, n)
+		s.colUsdSum = make([]float64, n)
+		s.compRate = make([]float64, n)
+		s.colSumT = make([]float64, n)
+		s.colMaxT = make([]float64, n)
+		s.colSumU = make([]float64, n)
+		s.mapSur = make([]float64, n)
+		s.mapDef = make([]float64, n)
+		s.drB = make([]float64, n)
+		s.mapRowT = make([]float64, n)
+		s.mapColT = make([]float64, n)
+		s.mapRowU = make([]float64, n)
+		s.mapColU = make([]float64, n)
+		s.mapRow2 = make([][2]mapEntry, n)
+		s.mapCol2 = make([][2]mapEntry, n)
+		s.transfer = nil
+	}
+	s.est, s.stage, s.layout = est, stage, layout
+	total := 0.0
+	for _, b := range layout {
+		total += b
+	}
+	s.total = total
+	for i := 0; i < n; i++ {
+		row := est.believed[i]
+		base := i * n
+		for j := 0; j < n; j++ {
+			bw := row[j]
+			if bw < 1 {
+				bw = 1
+			}
+			s.bwDen[base+j] = bw * 1e6
+		}
+	}
+	for j := 0; j < n; j++ {
+		r := est.info.ComputeRates[j]
+		if r <= 0 {
+			r = 1e-6
+		}
+		s.rate[j] = r
+	}
+	for j := 0; j < n; j++ {
+		sum, max, usum := 0.0, 0.0, 0.0
+		for i := 0; i < n; i++ {
+			if i == j {
+				continue
+			}
+			r := layout[i] * 8 / s.bwDen[i*n+j]
+			sum += r
+			if r > max {
+				max = r
+			}
+			usum += layout[i] / 1e9 * est.info.EgressPerGB[i]
+		}
+		s.colRateSum[j] = sum
+		s.colRateMax[j] = max
+		s.colUsdSum[j] = usum
+		s.compRate[j] = total / 1e9 / s.rate[j] * stage.SecPerGB
+	}
+}
+
+// entryTerms computes one transfer entry's network time and egress
+// dollars — the exact per-entry expressions of estimateDetail.
+func (s *search) entryTerms(i, j int, b float64) (t, u float64) {
+	if i == j || b <= 0 {
+		return 0, 0
+	}
+	return b * 8 / s.bwDen[i*s.n+j], b / 1e9 * s.est.info.EgressPerGB[i]
+}
+
+// splitSD is MigrationMatrix's surplus/deficit split for DC x holding
+// task share px — the builder's exact expressions.
+func (s *search) splitSD(x int, px float64) (sur, def float64) {
+	want := s.total * px
+	if s.layout[x] > want {
+		return s.layout[x] - want, 0
+	}
+	return 0, want - s.layout[x]
+}
+
+// compTerm is estimateDetail's per-DC compute time for task share pj.
+func (s *search) compTerm(pj float64, j int) float64 {
+	share := s.total * pj
+	if share <= 0 {
+		return 0
+	}
+	return share / 1e9 * s.stage.SecPerGB / s.rate[j]
+}
+
+// fillBase populates the per-entry caches and aggregates for the
+// current placement s.p — one full estimate, shared by every candidate
+// of the following sweep.
+func (s *search) fillBase() {
+	n := s.n
+	if s.stage.Kind == spark.MapKind {
+		s.transfer = spark.MigrationMatrixInto(s.transfer, s.layout, s.p, &s.mscr)
+	} else {
+		s.transfer = spark.ShuffleMatrixInto(s.transfer, s.layout, s.p)
+	}
+	for i := 0; i < n; i++ {
+		row := s.transfer[i]
+		base := i * n
+		for j := 0; j < n; j++ {
+			s.tE[base+j], s.uE[base+j] = s.entryTerms(i, j, row[j])
+		}
+	}
+	for j := 0; j < n; j++ {
+		s.comp[j] = s.compTerm(s.p[j], j)
+	}
+	s.secs, s.loadSum, s.usd = s.reduceBase()
+	if s.stage.Kind == spark.MapKind {
+		s.mapTotalDef = 0
+		for i := 0; i < n; i++ {
+			s.mapSur[i], s.mapDef[i] = s.splitSD(i, s.p[i])
+			s.mapTotalDef += s.mapDef[i]
+		}
+		s.mapTotT, s.mapTotU = 0, 0
+		for k := range s.mapTop {
+			s.mapTop[k] = mapEntry{i: -1, j: -1}
+		}
+		for i := 0; i < n; i++ {
+			rowT, rowU := 0.0, 0.0
+			base := i * n
+			s.mapRow2[i] = [2]mapEntry{{i: -1, j: -1}, {i: -1, j: -1}}
+			for j := 0; j < n; j++ {
+				t := s.tE[base+j]
+				rowT += t
+				rowU += s.uE[base+j]
+				if t > s.mapTop[len(s.mapTop)-1].v {
+					// Insertion into the small descending top list.
+					k := len(s.mapTop) - 1
+					for k > 0 && t > s.mapTop[k-1].v {
+						s.mapTop[k] = s.mapTop[k-1]
+						k--
+					}
+					s.mapTop[k] = mapEntry{v: t, i: i, j: j}
+				}
+				if t > s.mapRow2[i][0].v {
+					s.mapRow2[i][1] = s.mapRow2[i][0]
+					s.mapRow2[i][0] = mapEntry{v: t, i: i, j: j}
+				} else if t > s.mapRow2[i][1].v {
+					s.mapRow2[i][1] = mapEntry{v: t, i: i, j: j}
+				}
+			}
+			s.mapRowT[i], s.mapRowU[i] = rowT, rowU
+			s.mapTotT += rowT
+			s.mapTotU += rowU
+		}
+		for j := 0; j < n; j++ {
+			colT, colU := 0.0, 0.0
+			s.mapCol2[j] = [2]mapEntry{{i: -1, j: -1}, {i: -1, j: -1}}
+			for i := 0; i < n; i++ {
+				t := s.tE[i*n+j]
+				colT += t
+				colU += s.uE[i*n+j]
+				if t > s.mapCol2[j][0].v {
+					s.mapCol2[j][1] = s.mapCol2[j][0]
+					s.mapCol2[j][0] = mapEntry{v: t, i: i, j: j}
+				} else if t > s.mapCol2[j][1].v {
+					s.mapCol2[j][1] = mapEntry{v: t, i: i, j: j}
+				}
+			}
+			s.mapColT[j], s.mapColU[j] = colT, colU
+		}
+	} else {
+		for j := 0; j < n; j++ {
+			s.refreshColumn(j)
+		}
+		s.refreshTotals()
+	}
+}
+
+// refreshColumn recomputes the screening aggregates of base column j.
+func (s *search) refreshColumn(j int) {
+	sum, max, usum := 0.0, 0.0, 0.0
+	for i := 0; i < s.n; i++ {
+		t := s.tE[i*s.n+j]
+		sum += t
+		if t > max {
+			max = t
+		}
+		usum += s.uE[i*s.n+j]
+	}
+	s.colSumT[j] = sum
+	s.colMaxT[j] = max
+	s.colSumU[j] = usum
+}
+
+// refreshTotals re-derives the grand screening totals from the column
+// aggregates (O(n); avoids error drift across accepted moves).
+func (s *search) refreshTotals() {
+	s.totalT, s.totalU, s.compSum = 0, 0, 0
+	for j := 0; j < s.n; j++ {
+		s.totalT += s.colSumT[j]
+		s.totalU += s.colSumU[j]
+		s.compSum += s.comp[j]
+	}
+}
+
+// reduceBase folds the cached entries into (secs, loadSum, usd) in
+// estimateDetail's canonical order: network entries row-major, then
+// compute terms by DC.
+func (s *search) reduceBase() (secs, loadSum, usd float64) {
+	tNet := 0.0
+	for k := range s.tE {
+		t := s.tE[k]
+		loadSum += t
+		if t > tNet {
+			tNet = t
+		}
+		usd += s.uE[k]
+	}
+	tComp := 0.0
+	for _, c := range s.comp {
+		loadSum += c
+		if c > tComp {
+			tComp = c
+		}
+	}
+	return tNet + tComp, loadSum, usd
+}
+
+// evalShuffleCand delta-evaluates the move (from→to, pf/pt being the
+// two changed placement entries) for a shuffle stage: O(n) fresh
+// divisions for the two changed transfer columns, then the canonical
+// reduction substituting them over the cached rest.
+func (s *search) evalShuffleCand(from, to int, pf, pt float64) (secs, loadSum, usd float64) {
+	n := s.n
+	for i := 0; i < n; i++ {
+		s.tF[i], s.uF[i] = s.entryTerms(i, from, s.layout[i]*pf)
+		s.tT[i], s.uT[i] = s.entryTerms(i, to, s.layout[i]*pt)
+	}
+	cF := s.compTerm(pf, from)
+	cT := s.compTerm(pt, to)
+
+	tNet := 0.0
+	for i := 0; i < n; i++ {
+		base := i * n
+		for j := 0; j < n; j++ {
+			var t, u float64
+			switch j {
+			case from:
+				t, u = s.tF[i], s.uF[i]
+			case to:
+				t, u = s.tT[i], s.uT[i]
+			default:
+				t, u = s.tE[base+j], s.uE[base+j]
+			}
+			loadSum += t
+			if t > tNet {
+				tNet = t
+			}
+			usd += u
+		}
+	}
+	tComp := 0.0
+	for j := 0; j < n; j++ {
+		c := s.comp[j]
+		switch j {
+		case from:
+			c = cF
+		case to:
+			c = cT
+		}
+		loadSum += c
+		if c > tComp {
+			tComp = c
+		}
+	}
+	return tNet + tComp, loadSum, usd
+}
+
+// evalMapCand evaluates a candidate for a map stage. The migration
+// matrix couples every entry through the total deficit, so there is no
+// column delta — but the nonzero block is only surplus-DCs × deficit-
+// DCs, so the evaluation fuses MigrationMatrix's construction with
+// estimateDetail's fold: surplus/deficit are computed with the matrix
+// builder's exact expressions, whole zero rows/columns are skipped
+// (they contribute nothing in the reference either), the deficit
+// ratios are hoisted per destination (the same division the reference
+// performs per entry, evaluated once), and the unchanged compute terms
+// come from the base cache. The nonzero entries fold in the reference's
+// row-major order, so the result bits match a full rebuild.
+func (s *search) evalMapCand(from, to int, pf, pt float64) (secs, loadSum, usd float64) {
+	n := s.n
+	oldF, oldT := s.p[from], s.p[to]
+	s.p[from], s.p[to] = pf, pt
+
+	tNet := 0.0
+	if s.total > 0 {
+		// Surplus/deficit differ from the maintained base split only at
+		// the two moved DCs; the total deficit still folds over every DC
+		// in index order (surplus DCs contribute an exact 0) so its bits
+		// match the builder's fresh accumulation.
+		surF, defF := s.splitSD(from, pf)
+		surT, defT := s.splitSD(to, pt)
+		var totalDeficit float64
+		for i := 0; i < n; i++ {
+			switch i {
+			case from:
+				totalDeficit += defF
+			case to:
+				totalDeficit += defT
+			default:
+				totalDeficit += s.mapDef[i]
+			}
+		}
+		if totalDeficit > 0 {
+			for j := 0; j < n; j++ {
+				d := s.mapDef[j]
+				switch j {
+				case from:
+					d = defF
+				case to:
+					d = defT
+				}
+				s.drB[j] = d / totalDeficit
+			}
+			for i := 0; i < n; i++ {
+				sur := s.mapSur[i]
+				switch i {
+				case from:
+					sur = surF
+				case to:
+					sur = surT
+				}
+				if sur <= 0 {
+					continue
+				}
+				base := i * n
+				for j := 0; j < n; j++ {
+					if s.drB[j] <= 0 {
+						continue
+					}
+					b := sur * s.drB[j]
+					if b <= 0 {
+						continue
+					}
+					t := b * 8 / s.bwDen[base+j]
+					loadSum += t
+					if t > tNet {
+						tNet = t
+					}
+					usd += b / 1e9 * s.est.info.EgressPerGB[i]
+				}
+			}
+		}
+	}
+	cF := s.compTerm(pf, from)
+	cT := s.compTerm(pt, to)
+	tComp := 0.0
+	for j := 0; j < n; j++ {
+		c := s.comp[j]
+		switch j {
+		case from:
+			c = cF
+		case to:
+			c = cT
+		}
+		loadSum += c
+		if c > tComp {
+			tComp = c
+		}
+	}
+	s.p[from], s.p[to] = oldF, oldT
+	return tNet + tComp, loadSum, usd
+}
+
+// applyMove commits the accepted move into s.p and refreshes the base
+// caches: O(n) column/compute updates for shuffle stages (the
+// recomputed entries land on exactly the winning candidate's bits),
+// nothing for map stages, whose candidates never read the caches.
+func (s *search) applyMove(from, to int, step float64) {
+	s.p[from] -= step
+	s.p[to] += step
+	if s.stage.Kind == spark.MapKind {
+		// Every migration entry changes through the total deficit, so
+		// re-derive the full base (caches + screening aggregates) — the
+		// once-per-accepted-move full estimate.
+		s.fillBase()
+		return
+	}
+	n := s.n
+	pf, pt := s.p[from], s.p[to]
+	for i := 0; i < n; i++ {
+		base := i * n
+		s.tE[base+from], s.uE[base+from] = s.entryTerms(i, from, s.layout[i]*pf)
+		s.tE[base+to], s.uE[base+to] = s.entryTerms(i, to, s.layout[i]*pt)
+	}
+	s.comp[from] = s.compTerm(pf, from)
+	s.comp[to] = s.compTerm(pt, to)
+	s.refreshColumn(from)
+	s.refreshColumn(to)
+	s.refreshTotals()
+}
+
+// screen cheaply decides whether the move (from→to) is provably
+// non-improving, in O(n) flops with no divisions: column sums and
+// maxes of the candidate's two fresh columns are the base column rates
+// scaled by pf/pt (exact up to ulps), the rest comes from the
+// maintained aggregates. The approximation is guarded by an error
+// margin orders of magnitude wider than the float noise, so a true
+// improvement can never be screened out — it merely falls through to
+// the exact canonical evaluation. Rejections are safe by construction:
+// the screen's value understates the candidate's true objective by at
+// most the margin.
+func (s *search) screen(from, to int, pf, pt float64, bestV float64, combine func(secs, loadSum, usd float64) float64) bool {
+	tNet := pf * s.colRateMax[from]
+	if v := pt * s.colRateMax[to]; v > tNet {
+		tNet = v
+	}
+	tComp := pf * s.compRate[from]
+	if v := pt * s.compRate[to]; v > tComp {
+		tComp = v
+	}
+	for j := 0; j < s.n; j++ {
+		if j == from || j == to {
+			continue
+		}
+		if s.colMaxT[j] > tNet {
+			tNet = s.colMaxT[j]
+		}
+		if s.comp[j] > tComp {
+			tComp = s.comp[j]
+		}
+	}
+	load := s.totalT - s.colSumT[from] - s.colSumT[to] +
+		pf*s.colRateSum[from] + pt*s.colRateSum[to] +
+		s.compSum - s.comp[from] - s.comp[to] +
+		pf*s.compRate[from] + pt*s.compRate[to]
+	usd := s.totalU - s.colSumU[from] - s.colSumU[to] +
+		pf*s.colUsdSum[from] + pt*s.colUsdSum[to]
+	if load < 0 {
+		load = 0
+	}
+	if usd < 0 {
+		usd = 0
+	}
+	secs := tNet + tComp
+	v := combine(secs, load, usd)
+	// The margin dominates every error source: ulp-level scale
+	// factorization, arbitrary- vs canonical-order summation, the
+	// cancellation in the total-minus-columns differences (covered by
+	// the absolute term) and the ×1e6 amplification at Kimchi's
+	// latency wall (covered by the 1e-7·secs share, three orders wider
+	// than 1e6 × the relative secs error).
+	margin := 1e-7*(secs+load+usd) + 1e-12*(s.totalT+s.totalU+s.compSum)
+	return v-margin >= bestV-1e-9
+}
+
+// mapScreen is the map-stage counterpart of screen: entries of the
+// candidate whose source and destination DCs are untouched by the move
+// are the base entries scaled by totalDeficit/totalDeficit', so the
+// unchanged block's sums and max bound the candidate's objective from
+// below in O(n) (the changed rows and columns contribute ≥ 0 and are
+// dropped). Approximate, margin-guarded, rejection-only.
+func (s *search) mapScreen(from, to int, pf, pt float64, bestV float64, combine func(secs, loadSum, usd float64) float64) bool {
+	n := s.n
+	surF, defF := s.splitSD(from, pf)
+	surT, defT := s.splitSD(to, pt)
+	totalDefC := s.mapTotalDef - s.mapDef[from] - s.mapDef[to] + defF + defT
+	k := 0.0
+	if totalDefC > 0 && s.mapTotalDef > 0 {
+		if totalDefC < 1e-6*s.mapTotalDef {
+			// Near-total cancellation: the delta-computed denominator is
+			// too noisy to bound the scale factor — never skip here.
+			// (A non-positive totalDefC is different: the candidate
+			// moves nothing, so k=0 under-counts and stays a valid
+			// lower bound.)
+			return false
+		}
+		k = s.mapTotalDef / totalDefC
+	}
+	cornerT := s.tE[from*n+to] + s.tE[to*n+from] + s.tE[from*n+from] + s.tE[to*n+to]
+	cornerU := s.uE[from*n+to] + s.uE[to*n+from] + s.uE[from*n+from] + s.uE[to*n+to]
+	blockT := s.mapTotT - s.mapRowT[from] - s.mapRowT[to] - s.mapColT[from] - s.mapColT[to] + cornerT
+	blockU := s.mapTotU - s.mapRowU[from] - s.mapRowU[to] - s.mapColU[from] - s.mapColU[to] + cornerU
+	if blockT < 0 {
+		blockT = 0
+	}
+	if blockU < 0 {
+		blockU = 0
+	}
+	blockMax := 0.0
+	for _, e := range s.mapTop {
+		if e.i != from && e.i != to && e.j != from && e.j != to {
+			blockMax = e.v
+			break
+		}
+	}
+
+	// The moved DCs' own rows and columns scale entrywise too: for
+	// j∉{from,to}, cand[from][j] = base[from][j]·(sur'/sur)·k, and
+	// likewise columns by deficit ratios — so their sums and maxes join
+	// the bound scaled, instead of being dropped (the corners, which
+	// scale by two ratios at once, stay dropped — they are ≥ 0).
+	rsF, rsT, csF, csT := 0.0, 0.0, 0.0, 0.0
+	if k > 0 {
+		if s.mapSur[from] > 0 {
+			rsF = surF / s.mapSur[from] * k
+		}
+		if s.mapSur[to] > 0 {
+			rsT = surT / s.mapSur[to] * k
+		}
+		if s.mapDef[from] > 0 {
+			csF = defF / s.mapDef[from] * k
+		}
+		if s.mapDef[to] > 0 {
+			csT = defT / s.mapDef[to] * k
+		}
+	}
+	clamp0 := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	netLoad := k*blockT +
+		rsF*clamp0(s.mapRowT[from]-s.tE[from*n+from]-s.tE[from*n+to]) +
+		rsT*clamp0(s.mapRowT[to]-s.tE[to*n+to]-s.tE[to*n+from]) +
+		csF*clamp0(s.mapColT[from]-s.tE[from*n+from]-s.tE[to*n+from]) +
+		csT*clamp0(s.mapColT[to]-s.tE[to*n+to]-s.tE[from*n+to])
+	netUsd := k*blockU +
+		rsF*clamp0(s.mapRowU[from]-s.uE[from*n+from]-s.uE[from*n+to]) +
+		rsT*clamp0(s.mapRowU[to]-s.uE[to*n+to]-s.uE[to*n+from]) +
+		csF*clamp0(s.mapColU[from]-s.uE[from*n+from]-s.uE[to*n+from]) +
+		csT*clamp0(s.mapColU[to]-s.uE[to*n+to]-s.uE[from*n+to])
+	tNet := k * blockMax
+	rowMax := func(two [2]mapEntry, scale float64) {
+		for _, e := range two {
+			if e.i < 0 || e.j == from || e.j == to {
+				continue // corner entries scale by two ratios; dropped
+			}
+			if v := scale * e.v; v > tNet {
+				tNet = v
+			}
+			break
+		}
+	}
+	colMax := func(two [2]mapEntry, scale float64) {
+		for _, e := range two {
+			if e.i < 0 || e.i == from || e.i == to {
+				continue
+			}
+			if v := scale * e.v; v > tNet {
+				tNet = v
+			}
+			break
+		}
+	}
+	rowMax(s.mapRow2[from], rsF)
+	rowMax(s.mapRow2[to], rsT)
+	colMax(s.mapCol2[from], csF)
+	colMax(s.mapCol2[to], csT)
+
+	cF := pf * s.compRate[from]
+	cT := pt * s.compRate[to]
+	tComp, compLoad := 0.0, 0.0
+	for j := 0; j < n; j++ {
+		c := s.comp[j]
+		switch j {
+		case from:
+			c = cF
+		case to:
+			c = cT
+		}
+		compLoad += c
+		if c > tComp {
+			tComp = c
+		}
+	}
+
+	secs := tNet + tComp
+	load := netLoad + compLoad
+	usd := netUsd
+	v := combine(secs, load, usd)
+	margin := 1e-7*(secs+load+usd) + 1e-12*(s.mapTotT+s.mapTotU+compLoad)
+	return v-margin >= bestV-1e-9
+}
+
+// normalizeInto is Placement.Normalize writing into an owned buffer —
+// the same float operations, without the copy allocation.
+func normalizeInto(dst, src spark.Placement) {
+	total := 0.0
+	for _, v := range src {
+		if v > 0 {
+			total += v
+		}
+	}
+	if total <= 0 {
+		u := 1 / float64(len(src))
+		for i := range dst {
+			dst[i] = u
+		}
+		return
+	}
+	for i, v := range src {
+		if v > 0 {
+			dst[i] = v / total
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// descend runs the greedy shrinking-step descent from start under the
+// combined objective, leaving the final placement in s.p (with its
+// estimate aggregates in s.secs/s.loadSum/s.usd) and returning the
+// final objective value. Moves, acceptance rule (strict 1e-9
+// improvement against the best-so-far) and step schedule replicate
+// descendReference exactly.
+func (s *search) descend(start spark.Placement, combine func(secs, loadSum, usd float64) float64) float64 {
+	normalizeInto(s.p, start)
+	s.fillBase()
+	best := combine(s.secs, s.loadSum, s.usd)
+	isMap := s.stage.Kind == spark.MapKind
+	step := 0.10
+	for step >= 0.005 {
+		for {
+			bestV := best
+			bestFrom, bestTo := -1, -1
+			var bestSecs, bestLoad, bestUsd float64
+			for from := 0; from < s.n; from++ {
+				if s.p[from] < step {
+					continue
+				}
+				pf := s.p[from] - step
+				for to := 0; to < s.n; to++ {
+					if to == from {
+						continue
+					}
+					pt := s.p[to] + step
+					var secs, load, usd float64
+					if isMap {
+						if s.mapScreen(from, to, pf, pt, bestV, combine) {
+							continue
+						}
+						secs, load, usd = s.evalMapCand(from, to, pf, pt)
+					} else {
+						if s.screen(from, to, pf, pt, bestV, combine) {
+							continue
+						}
+						secs, load, usd = s.evalShuffleCand(from, to, pf, pt)
+					}
+					if v := combine(secs, load, usd); v < bestV-1e-9 {
+						bestV = v
+						bestFrom, bestTo = from, to
+						bestSecs, bestLoad, bestUsd = secs, load, usd
+					}
+				}
+			}
+			if bestFrom < 0 {
+				break
+			}
+			s.applyMove(bestFrom, bestTo, step)
+			best = bestV
+			s.secs, s.loadSum, s.usd = bestSecs, bestLoad, bestUsd
+		}
+		step /= 2
+	}
+	return best
+}
+
+// tetriumCombine is Tetrium's objective over the estimate aggregates —
+// the exact expression of the reference closure.
+func tetriumCombine(secs, loadSum, usd float64) float64 {
+	return secs + 1e-3*loadSum + 0.05*usd
+}
+
+// placeTetrium runs the three-start Tetrium descent and returns the
+// winning placement in s.bestBuf along with its estimate aggregates.
+// Kimchi reads the seconds for its latency budget directly instead of
+// re-estimating the placement the descent just scored, and both phases
+// share this one context.
+func (s *search) placeTetrium() (best spark.Placement, secs, loadSum, usd float64) {
+	normalizeInto(s.starts[0], s.layout) // data locality
+	u := 1 / float64(s.n)
+	for i := range s.starts[1] {
+		s.starts[1][i] = u // uniform
+	}
+	normalizeInto(s.starts[2], s.est.info.ComputeRates) // compute-proportional
+
+	bestV := 0.0
+	for i := 0; i < 3; i++ {
+		v := s.descend(s.starts[i], tetriumCombine)
+		if i == 0 || v < bestV {
+			bestV = v
+			copy(s.bestBuf, s.p)
+			secs, loadSum, usd = s.secs, s.loadSum, s.usd
+		}
+	}
+	return s.bestBuf, secs, loadSum, usd
+}
+
+// descendGeneric is the allocation-light descent for objectives without
+// estimator structure (Iridium's per-site model): identical moves and
+// acceptance to descendReference, with one reused candidate buffer
+// instead of a fresh slice per evaluation.
+func descendGeneric(n int, start spark.Placement, objective func(spark.Placement) float64) spark.Placement {
+	p := start.Normalize()
+	cand := make(spark.Placement, n)
+	best := objective(p)
+	step := 0.10
+	for step >= 0.005 {
+		for {
+			bestV := best
+			bestFrom, bestTo := -1, -1
+			for from := 0; from < n; from++ {
+				if p[from] < step {
+					continue
+				}
+				for to := 0; to < n; to++ {
+					if to == from {
+						continue
+					}
+					copy(cand, p)
+					cand[from] -= step
+					cand[to] += step
+					if v := objective(cand); v < bestV-1e-9 {
+						bestV = v
+						bestFrom, bestTo = from, to
+					}
+				}
+			}
+			if bestFrom < 0 {
+				break
+			}
+			p[bestFrom] -= step
+			p[bestTo] += step
+			best = bestV
+		}
+		step /= 2
+	}
+	return p
+}

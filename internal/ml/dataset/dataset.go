@@ -52,10 +52,17 @@ type PairFeatures struct {
 
 // Vector flattens the features into the canonical order.
 func (p PairFeatures) Vector() []float64 {
-	return []float64{
+	return p.VectorInto(nil)
+}
+
+// VectorInto appends the canonical feature order into dst[:0] — the
+// allocation-free variant for the per-pair prediction loops, which
+// would otherwise allocate one vector per matrix cell per replan.
+func (p PairFeatures) VectorInto(dst []float64) []float64 {
+	return append(dst[:0],
 		float64(p.N), p.SnapshotMbps, p.MemUtilDst,
 		p.CPULoadSrc, p.RetransSrc, p.DistanceMiles,
-	}
+	)
 }
 
 // SnapshotFeatures builds the per-pair feature matrix for the current

@@ -1,0 +1,98 @@
+package rf
+
+import (
+	"math"
+	"runtime"
+	"time"
+
+	"github.com/wanify/wanify/internal/simrand"
+)
+
+// Microbenchmark entry points for cmd/wanify-bench, mirroring
+// netsim.ChurnNsPerOp: each times the optimized planning-layer path
+// against its kept-verbatim reference so BENCH_netsim.json records the
+// payoff and the CI guard can gate on the optimized/reference ratio
+// (which cancels raw machine speed).
+
+// benchTrainRows sizes the synthetic training set near the experiment
+// suite's real one (6 sizes × 8 sessions × ~n(n-1) pairs ≈ 300 rows).
+const benchTrainRows = 360
+
+// BenchWorkers is the worker count the training benchmark and its CI
+// guard both use: capped at 4 so the ratio recorded on a many-core
+// laptop stays comparable to the 4-vCPU CI runners, and clamped to
+// GOMAXPROCS so single-core environments measure the scheme's
+// sequential overhead honestly rather than goroutine thrash.
+func BenchWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 4 {
+		w = 4
+	}
+	return w
+}
+
+// benchDataset builds a deterministic synthetic regression set shaped
+// like the Table 3 features (cluster size, snapshot BW, memory, CPU,
+// retransmissions, distance) with a nonlinear noisy label.
+func benchDataset(rows int, seed uint64) Dataset {
+	rng := simrand.Derive(seed, "rf-bench")
+	ds := Dataset{X: make([][]float64, rows), Y: make([]float64, rows)}
+	for i := range ds.X {
+		n := float64(2 + rng.IntN(7))
+		snap := rng.Uniform(20, 1500)
+		mem := rng.Float64()
+		cpu := rng.Float64()
+		retr := rng.Uniform(0, 40)
+		dist := rng.Uniform(100, 9000)
+		ds.X[i] = []float64{n, snap, mem, cpu, retr, dist}
+		ds.Y[i] = snap*(0.6+0.3*math.Sin(dist/1500)) - 80*cpu - 40*mem - 2*retr + rng.Norm(0, 25)
+	}
+	return ds
+}
+
+// TrainNsPerOp times one forest fit on the synthetic dataset.
+// optimized=true uses the scratch-slab grower with BenchWorkers()
+// per-tree streams; false replays the kept-verbatim sequential
+// reference (trainReference).
+func TrainNsPerOp(optimized bool, rounds int) float64 {
+	ds := benchDataset(benchTrainRows, 99)
+	cfg := Config{NumTrees: 40, Seed: 7}
+	if optimized {
+		cfg.Workers = BenchWorkers()
+	}
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		var err error
+		if optimized {
+			_, err = Train(ds, cfg)
+		} else {
+			_, err = trainReference(ds, cfg)
+		}
+		if err != nil {
+			panic(err) // synthetic dataset is always valid
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(rounds)
+}
+
+// PredictBatchNsPerOp times one 512-row batch prediction against a
+// 60-tree forest. optimized=true runs the goroutine fan-out
+// (PredictBatchInto with a reused result slab); false the sequential
+// reference loop. Outputs are bit-identical either way.
+func PredictBatchNsPerOp(optimized bool, rounds int) float64 {
+	f, err := Train(benchDataset(benchTrainRows, 99), Config{NumTrees: 60, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	batch := benchDataset(512, 1234).X
+	dst := make([]float64, len(batch))
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		if optimized {
+			f.PredictBatchInto(dst, batch)
+		} else {
+			predictBatchReference(f, batch)
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(rounds)
+}

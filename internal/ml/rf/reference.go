@@ -1,0 +1,183 @@
+package rf
+
+import (
+	"sort"
+
+	"github.com/wanify/wanify/internal/simrand"
+)
+
+// This file keeps the pre-optimization training and batch-prediction
+// code verbatim, the same playbook as netsim's allocateReference: the
+// reference is the bit-exactness oracle (TestTrainMatchesReference
+// locks the scratch-slab grower against it node for node) and the
+// benchmark baseline (BenchmarkRFTrainReference and wanify-bench's
+// rf_train_reference_ns_per_op record what the optimization buys).
+// It is compiled into the package, not the tests, precisely so the
+// benchmarks can time it from cmd/wanify-bench.
+
+// trainReference fits a forest exactly like the original Train: one
+// shared RNG stream consumed tree after tree, with fresh allocations
+// for every bootstrap, sort order and partition.
+func trainReference(ds Dataset, cfg Config) (*Forest, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	nFeat := len(ds.X[0])
+	cfg = cfg.withDefaults(nFeat)
+	f := &Forest{
+		cfg:       cfg,
+		nFeatures: nFeat,
+		rng:       simrand.Derive(cfg.Seed, "rf"),
+		oobSum:    make([]float64, ds.Len()),
+		oobCount:  make([]int, ds.Len()),
+		oobY:      append([]float64(nil), ds.Y...),
+	}
+	f.addTreesReference(ds, cfg.NumTrees)
+	return f, nil
+}
+
+// addTreesReference grows k bootstrap trees on ds and appends them —
+// the original addTrees body.
+func (f *Forest) addTreesReference(ds Dataset, k int) {
+	if f.rng == nil {
+		f.rng = simrand.Derive(f.cfg.Seed, "rf-loaded")
+	}
+	p := f.params()
+	n := ds.Len()
+	for t := 0; t < k; t++ {
+		inBag := make([]bool, n)
+		idx := make([]int, n)
+		for i := range idx {
+			j := f.rng.IntN(n)
+			idx[i] = j
+			inBag[j] = true
+		}
+		tr := growTreeReference(ds.X, ds.Y, idx, p, f.nFeatures, f.rng)
+		f.trees = append(f.trees, tr)
+		if len(f.oobSum) == n {
+			for i := 0; i < n; i++ {
+				if !inBag[i] {
+					f.oobSum[i] += tr.predict(ds.X[i])
+					f.oobCount[i]++
+				}
+			}
+		}
+	}
+}
+
+// growTreeReference builds a regression tree on the given sample
+// indices — the original growTree.
+func growTreeReference(x [][]float64, y []float64, idx []int, p treeParams, nFeat int, rng *simrand.Source) *tree {
+	t := &tree{featGain: make([]float64, nFeat)}
+	t.buildReference(x, y, idx, p, 0, rng)
+	return t
+}
+
+// buildReference grows the subtree for idx and returns its node index —
+// the original build, allocating fresh left/right index slices per node.
+func (t *tree) buildReference(x [][]float64, y []float64, idx []int, p treeParams, depth int, rng *simrand.Source) int32 {
+	self := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{feature: -1, value: meanAt(y, idx)})
+
+	if len(idx) < p.minSplit || (p.maxDepth > 0 && depth >= p.maxDepth) || constantAt(y, idx) {
+		return self
+	}
+
+	feat, thr, gain, ok := bestSplitReference(x, y, idx, p, rng)
+	if !ok {
+		return self
+	}
+
+	var left, right []int
+	for _, i := range idx {
+		if x[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < p.minLeaf || len(right) < p.minLeaf {
+		return self
+	}
+
+	t.featGain[feat] += gain
+	l := t.buildReference(x, y, left, p, depth+1, rng)
+	r := t.buildReference(x, y, right, p, depth+1, rng)
+	t.nodes[self].feature = feat
+	t.nodes[self].threshold = thr
+	t.nodes[self].left = l
+	t.nodes[self].right = r
+	return self
+}
+
+// bestSplitReference searches a random feature subset for the split
+// with maximal SSE reduction — the original bestSplit, with its
+// per-call order allocation and duplicate parent-mean computation.
+func bestSplitReference(x [][]float64, y []float64, idx []int, p treeParams, rng *simrand.Source) (feat int, thr, gain float64, ok bool) {
+	nFeat := len(x[0])
+	candidates := rng.Perm(nFeat)
+	if p.maxFeatures < nFeat {
+		candidates = candidates[:p.maxFeatures]
+	}
+
+	// Parent SSE.
+	parentMean := meanAt(y, idx)
+	parentSSE := 0.0
+	for _, i := range idx {
+		d := y[i] - parentMean
+		parentSSE += d * d
+	}
+
+	order := make([]int, len(idx))
+	bestGain := 0.0
+	for _, f := range candidates {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return x[order[a]][f] < x[order[b]][f] })
+
+		// Prefix scan: evaluate every boundary between distinct values.
+		var sumL, sumSqL float64
+		sumR, sumSqR := 0.0, 0.0
+		for _, i := range order {
+			sumR += y[i]
+			sumSqR += y[i] * y[i]
+		}
+		n := float64(len(order))
+		for k := 0; k < len(order)-1; k++ {
+			yi := y[order[k]]
+			sumL += yi
+			sumSqL += yi * yi
+			sumR -= yi
+			sumSqR -= yi * yi
+			nl := float64(k + 1)
+			nr := n - nl
+			if int(nl) < p.minLeaf || int(nr) < p.minLeaf {
+				continue
+			}
+			v, vNext := x[order[k]][f], x[order[k+1]][f]
+			if v == vNext {
+				continue // cannot split between equal values
+			}
+			sseL := sumSqL - sumL*sumL/nl
+			sseR := sumSqR - sumR*sumR/nr
+			g := parentSSE - sseL - sseR
+			if g > bestGain {
+				bestGain = g
+				feat = f
+				thr = (v + vNext) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thr, bestGain, ok
+}
+
+// predictBatchReference is the original PredictBatch: a sequential
+// row-major loop. Kept as the baseline the parallel fan-out is
+// benchmarked (and bit-compared) against.
+func predictBatchReference(f *Forest, X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = f.Predict(x)
+	}
+	return out
+}

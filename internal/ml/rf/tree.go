@@ -33,42 +33,89 @@ type treeParams struct {
 	maxFeatures int // features sampled per split
 }
 
-// growTree builds a regression tree on the given sample indices.
-func growTree(x [][]float64, y []float64, idx []int, p treeParams, nFeat int, rng *simrand.Source) *tree {
-	t := &tree{featGain: make([]float64, nFeat)}
-	t.build(x, y, idx, p, 0, rng)
+// grower grows CART trees over one dataset with reusable scratch slabs:
+// the sort order, the stable-partition halves and the feature
+// permutation are allocated once and shared by every node of every tree
+// the grower builds, instead of the reference's fresh slices per node.
+// Trees produced by a grower are bit-identical to growTreeReference for
+// the same RNG state: the split search performs the same float
+// operations in the same order, the partition preserves the reference's
+// left-before-right stable ordering, and PermInto draws exactly the
+// randoms Perm would (locked by TestTrainMatchesReference).
+//
+// A grower is single-goroutine state; parallel training gives each
+// worker its own.
+type grower struct {
+	x     [][]float64
+	y     []float64
+	p     treeParams
+	nFeat int
+	rng   *simrand.Source
+
+	order []int // bestSplit sort buffer (len = dataset size)
+	lbuf  []int // stable-partition scratch, left half
+	rbuf  []int // stable-partition scratch, right half
+	perm  []int // feature-subsample buffer (len = nFeat)
+}
+
+// newGrower sizes the scratch for a dataset of len(x) rows.
+func newGrower(x [][]float64, y []float64, p treeParams, nFeat int) *grower {
+	n := len(x)
+	return &grower{
+		x: x, y: y, p: p, nFeat: nFeat,
+		order: make([]int, n),
+		lbuf:  make([]int, n),
+		rbuf:  make([]int, n),
+		perm:  make([]int, nFeat),
+	}
+}
+
+// grow builds one tree on the bootstrap indices idx, consuming
+// randomness from g.rng. idx is scratch: grow reorders it in place
+// while recursing, so the caller must refill it before the next tree.
+func (g *grower) grow(idx []int) *tree {
+	t := &tree{featGain: make([]float64, g.nFeat)}
+	g.build(t, idx, 0)
 	return t
 }
 
-// build grows the subtree for idx and returns its node index.
-func (t *tree) build(x [][]float64, y []float64, idx []int, p treeParams, depth int, rng *simrand.Source) int32 {
+// build grows the subtree over idx and returns its node index.
+func (g *grower) build(t *tree, idx []int, depth int) int32 {
 	self := int32(len(t.nodes))
-	t.nodes = append(t.nodes, node{feature: -1, value: meanAt(y, idx)})
+	mean := meanAt(g.y, idx)
+	t.nodes = append(t.nodes, node{feature: -1, value: mean})
 
-	if len(idx) < p.minSplit || (p.maxDepth > 0 && depth >= p.maxDepth) || constantAt(y, idx) {
+	if len(idx) < g.p.minSplit || (g.p.maxDepth > 0 && depth >= g.p.maxDepth) || constantAt(g.y, idx) {
 		return self
 	}
 
-	feat, thr, gain, ok := bestSplit(x, y, idx, p, rng)
+	feat, thr, gain, ok := g.bestSplit(idx, mean)
 	if !ok {
 		return self
 	}
 
-	var left, right []int
+	// Stable partition into the scratch halves, then back into idx with
+	// the left block first — the same ordering the reference's append
+	// loops produced, so the recursion sees identical index sequences.
+	nl, nr := 0, 0
 	for _, i := range idx {
-		if x[i][feat] <= thr {
-			left = append(left, i)
+		if g.x[i][feat] <= thr {
+			g.lbuf[nl] = i
+			nl++
 		} else {
-			right = append(right, i)
+			g.rbuf[nr] = i
+			nr++
 		}
 	}
-	if len(left) < p.minLeaf || len(right) < p.minLeaf {
+	if nl < g.p.minLeaf || nr < g.p.minLeaf {
 		return self
 	}
+	copy(idx[:nl], g.lbuf[:nl])
+	copy(idx[nl:], g.rbuf[:nr])
 
 	t.featGain[feat] += gain
-	l := t.build(x, y, left, p, depth+1, rng)
-	r := t.build(x, y, right, p, depth+1, rng)
+	l := g.build(t, idx[:nl], depth+1)
+	r := g.build(t, idx[nl:], depth+1)
 	t.nodes[self].feature = feat
 	t.nodes[self].threshold = thr
 	t.nodes[self].left = l
@@ -77,23 +124,23 @@ func (t *tree) build(x [][]float64, y []float64, idx []int, p treeParams, depth 
 }
 
 // bestSplit searches a random feature subset for the split with maximal
-// SSE reduction, requiring minLeaf samples on both sides.
-func bestSplit(x [][]float64, y []float64, idx []int, p treeParams, rng *simrand.Source) (feat int, thr, gain float64, ok bool) {
-	nFeat := len(x[0])
-	candidates := rng.Perm(nFeat)
-	if p.maxFeatures < nFeat {
-		candidates = candidates[:p.maxFeatures]
+// SSE reduction, requiring minLeaf samples on both sides. parentMean is
+// the node mean build already computed (the reference recomputed it).
+func (g *grower) bestSplit(idx []int, parentMean float64) (feat int, thr, gain float64, ok bool) {
+	candidates := g.rng.PermInto(g.perm)
+	if g.p.maxFeatures < g.nFeat {
+		candidates = candidates[:g.p.maxFeatures]
 	}
 
 	// Parent SSE.
-	parentMean := meanAt(y, idx)
 	parentSSE := 0.0
 	for _, i := range idx {
-		d := y[i] - parentMean
+		d := g.y[i] - parentMean
 		parentSSE += d * d
 	}
 
-	order := make([]int, len(idx))
+	x, y := g.x, g.y
+	order := g.order[:len(idx)]
 	bestGain := 0.0
 	for _, f := range candidates {
 		copy(order, idx)
@@ -115,7 +162,7 @@ func bestSplit(x [][]float64, y []float64, idx []int, p treeParams, rng *simrand
 			sumSqR -= yi * yi
 			nl := float64(k + 1)
 			nr := n - nl
-			if int(nl) < p.minLeaf || int(nr) < p.minLeaf {
+			if int(nl) < g.p.minLeaf || int(nr) < g.p.minLeaf {
 				continue
 			}
 			v, vNext := x[order[k]][f], x[order[k+1]][f]
@@ -124,9 +171,9 @@ func bestSplit(x [][]float64, y []float64, idx []int, p treeParams, rng *simrand
 			}
 			sseL := sumSqL - sumL*sumL/nl
 			sseR := sumSqR - sumR*sumR/nr
-			g := parentSSE - sseL - sseR
-			if g > bestGain {
-				bestGain = g
+			gn := parentSSE - sseL - sseR
+			if gn > bestGain {
+				bestGain = gn
 				feat = f
 				thr = (v + vNext) / 2
 				ok = true

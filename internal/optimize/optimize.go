@@ -35,6 +35,44 @@ const DefaultD = 30.0
 // rounding noise many orders of magnitude below any meaningful D.
 const levelEps = 1e-9
 
+// Scratch holds the reusable temporaries of the Into variants below.
+// The runtime re-gauging controller re-plans on the live path every
+// replan, so GlobalOptimize's interior allocations (the diagonal-lifted
+// matrix clone, the level set, the weight and row-max buffers) are
+// caller-poolable. A zero Scratch is ready to use; it grows to the
+// largest cluster seen and is NOT safe for concurrent use.
+type Scratch struct {
+	bw     bwmatrix.Matrix
+	levels []float64
+	maxR   []int
+	ws     []float64
+}
+
+// levelBuf returns a zero-length level buffer with capacity n².
+func (s *Scratch) levelBuf(n int) []float64 {
+	if s == nil {
+		return nil
+	}
+	if cap(s.levels) < n*n {
+		s.levels = make([]float64, 0, n*n)
+	}
+	return s.levels[:0]
+}
+
+// reuseRel returns dst when it is already n×n, else a fresh matrix
+// with one contiguous backing.
+func reuseRel(dst [][]int, n int) [][]int {
+	if len(dst) == n && (n == 0 || len(dst[0]) == n) {
+		return dst
+	}
+	dst = make([][]int, n)
+	backing := make([]int, n*n)
+	for i := range dst {
+		dst[i], backing = backing[:n:n], backing[n:]
+	}
+	return dst
+}
+
 // InferDCRelations implements Algorithm 1 (INFER_DC_RELATIONS).
 //
 // Given a runtime bandwidth matrix and the minimum significant
@@ -49,6 +87,13 @@ const levelEps = 1e-9
 // worked example assigns closeness to every pair; we iterate all pairs
 // (see DESIGN.md §2, "known paper quirks").
 func InferDCRelations(bw bwmatrix.Matrix, d float64) [][]int {
+	return InferDCRelationsInto(nil, bw, d, nil)
+}
+
+// InferDCRelationsInto is InferDCRelations with a caller-owned result
+// matrix (reused when already n×n) and scratch temporaries. Results
+// are identical to InferDCRelations'.
+func InferDCRelationsInto(dst [][]int, bw bwmatrix.Matrix, d float64, s *Scratch) [][]int {
 	n := bw.N()
 
 	// bwu = sort(set(bw)) — unique bandwidth levels, ascending. The set
@@ -59,7 +104,7 @@ func InferDCRelations(bw bwmatrix.Matrix, d float64) [][]int {
 	// neighbor — so a phantom ε-duplicate sitting D below a legitimate
 	// level makes that level look insignificant and drops it, shifting
 	// every closeness index derived from the survivors.
-	var bwu []float64
+	bwu := s.levelBuf(n)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			bwu = append(bwu, bw[i][j])
@@ -82,9 +127,8 @@ func InferDCRelations(bw bwmatrix.Matrix, d float64) [][]int {
 	}
 
 	l := len(bwu)
-	rel := make([][]int, n)
+	rel := reuseRel(dst, n)
 	for i := range rel {
-		rel[i] = make([]int, n)
 		for j := range rel[i] {
 			rel[i][j] = 1
 		}
@@ -162,10 +206,25 @@ func (o Options) withDefaults() Options {
 // value (an intra-DC transfer never crosses the WAN), mirroring the
 // paper's example where diagonal entries hold the highest level.
 func GlobalOptimize(pred bwmatrix.Matrix, opts Options) Plan {
+	var plan Plan
+	GlobalOptimizeInto(&plan, pred, opts, nil)
+	return plan
+}
+
+// GlobalOptimizeInto is GlobalOptimize writing into a caller-owned
+// plan: dst's matrices are reused when they already have the right
+// shape (a zero Plan allocates them once) and s, when non-nil,
+// supplies the interior temporaries. Results are identical to
+// GlobalOptimize's. Ownership rule: the returned plan aliases dst's
+// matrices, so callers that retain plans across replans must pass a
+// fresh dst per call and reuse only the Scratch (the framework does
+// exactly this).
+func GlobalOptimizeInto(dst *Plan, pred bwmatrix.Matrix, opts Options, s *Scratch) {
 	opts = opts.withDefaults()
 	n := pred.N()
 	if n == 0 {
-		return Plan{}
+		*dst = Plan{}
+		return
 	}
 	if opts.SkewWeights != nil && len(opts.SkewWeights) != n {
 		panic(fmt.Sprintf("optimize: %d skew weights for %d DCs", len(opts.SkewWeights), n))
@@ -174,16 +233,36 @@ func GlobalOptimize(pred bwmatrix.Matrix, opts Options) Plan {
 		panic(fmt.Sprintf("optimize: rvec is %dx%d, want %dx%d", opts.RVec.N(), opts.RVec.N(), n, n))
 	}
 
-	bw := pred.Clone()
+	var bw bwmatrix.Matrix
+	if s != nil {
+		if s.bw.N() != n {
+			s.bw = bwmatrix.New(n)
+		}
+		bw = s.bw
+		for i := range pred {
+			copy(bw[i], pred[i])
+		}
+	} else {
+		bw = pred.Clone()
+	}
 	diag := bw.MaxOffDiagonal()*1.5 + 10*opts.D
 	for i := 0; i < n; i++ {
 		bw[i][i] = diag
 	}
-	rel := InferDCRelations(bw, opts.D)
+	rel := InferDCRelationsInto(dst.DCRel, bw, opts.D, s)
 
 	// Eq. 2.
 	sumAll := 0
-	maxR := make([]int, n)
+	var maxR []int
+	if s != nil {
+		if cap(s.maxR) < n {
+			s.maxR = make([]int, n)
+		}
+		maxR = s.maxR[:n]
+		clear(maxR)
+	} else {
+		maxR = make([]int, n)
+	}
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			sumAll += rel[i][j]
@@ -194,14 +273,28 @@ func GlobalOptimize(pred bwmatrix.Matrix, opts Options) Plan {
 	}
 	sumAll -= n // skip closeness index 1 on the diagonal
 
-	ws := normalizedWeights(opts.SkewWeights, n)
+	var ws []float64
+	if s != nil {
+		if cap(s.ws) < n {
+			s.ws = make([]float64, n)
+		}
+		ws = normalizedWeightsInto(s.ws[:n], opts.SkewWeights)
+	} else {
+		ws = normalizedWeightsInto(make([]float64, n), opts.SkewWeights)
+	}
 
+	if dst.MinConns.N() != n {
+		dst.MinConns = bwmatrix.NewConn(n)
+		dst.MaxConns = bwmatrix.NewConn(n)
+		dst.MinBW = bwmatrix.New(n)
+		dst.MaxBW = bwmatrix.New(n)
+	}
 	plan := Plan{
 		DCRel:    rel,
-		MinConns: bwmatrix.NewConn(n),
-		MaxConns: bwmatrix.NewConn(n),
-		MinBW:    bwmatrix.New(n),
-		MaxBW:    bwmatrix.New(n),
+		MinConns: dst.MinConns,
+		MaxConns: dst.MaxConns,
+		MinBW:    dst.MinBW,
+		MaxBW:    dst.MaxBW,
 	}
 	m := float64(opts.M)
 	for i := 0; i < n; i++ {
@@ -239,7 +332,7 @@ func GlobalOptimize(pred bwmatrix.Matrix, opts Options) Plan {
 			}
 		}
 	}
-	return plan
+	*dst = plan
 }
 
 // clampConns rounds a (possibly skew-scaled) connection count to an
@@ -259,10 +352,10 @@ func clampConns(v float64, m int) int {
 	return c
 }
 
-// normalizedWeights returns ws normalized to mean 1 (uniform when nil
-// or degenerate).
-func normalizedWeights(ws []float64, n int) []float64 {
-	out := make([]float64, n)
+// normalizedWeightsInto writes ws normalized to mean 1 into out
+// (uniform when ws is nil or degenerate) and returns it.
+func normalizedWeightsInto(out []float64, ws []float64) []float64 {
+	n := len(out)
 	if ws == nil {
 		for i := range out {
 			out[i] = 1

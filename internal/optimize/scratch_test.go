@@ -1,0 +1,113 @@
+package optimize
+
+import (
+	"testing"
+
+	"github.com/wanify/wanify/internal/bwmatrix"
+	"github.com/wanify/wanify/internal/simrand"
+)
+
+// randomPred builds a prediction matrix with clustered bandwidth
+// levels, exact ties and near-ties around the D threshold — the inputs
+// relation inference is sensitive to.
+func randomPred(n int, seed uint64) bwmatrix.Matrix {
+	rng := simrand.Derive(seed, "opt-scratch")
+	levels := []float64{80, 250, 600, 1100}
+	m := bwmatrix.New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			base := levels[rng.IntN(len(levels))]
+			switch rng.IntN(4) {
+			case 0:
+				m[i][j] = base // exact tie
+			case 1:
+				m[i][j] = base + 1e-9 // sub-epsilon duplicate
+			case 2:
+				m[i][j] = base + DefaultD*0.9 // inside the D filter
+			default:
+				m[i][j] = base + rng.Uniform(-20, 20)
+			}
+		}
+	}
+	return m
+}
+
+// requirePlansEqual compares two plans entry for entry (bit-exact).
+func requirePlansEqual(t *testing.T, a, b Plan, label string) {
+	t.Helper()
+	n := len(a.DCRel)
+	if len(b.DCRel) != n {
+		t.Fatalf("%s: DCRel size %d vs %d", label, n, len(b.DCRel))
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if a.DCRel[i][j] != b.DCRel[i][j] {
+				t.Fatalf("%s: DCRel[%d][%d] %d vs %d", label, i, j, a.DCRel[i][j], b.DCRel[i][j])
+			}
+			if a.MinConns[i][j] != b.MinConns[i][j] || a.MaxConns[i][j] != b.MaxConns[i][j] {
+				t.Fatalf("%s: conns[%d][%d] (%d,%d) vs (%d,%d)", label, i, j,
+					a.MinConns[i][j], a.MaxConns[i][j], b.MinConns[i][j], b.MaxConns[i][j])
+			}
+			if a.MinBW[i][j] != b.MinBW[i][j] || a.MaxBW[i][j] != b.MaxBW[i][j] {
+				t.Fatalf("%s: BW[%d][%d] (%v,%v) vs (%v,%v)", label, i, j,
+					a.MinBW[i][j], a.MaxBW[i][j], b.MinBW[i][j], b.MaxBW[i][j])
+			}
+		}
+	}
+}
+
+// TestGlobalOptimizeIntoMatchesPlain locks the scratch path's outputs
+// against the allocating path across sizes, options and reuse: a dirty
+// reused dst from a different problem must not leak into the result.
+func TestGlobalOptimizeIntoMatchesPlain(t *testing.T) {
+	var s Scratch
+	var reused Plan
+	for n := 2; n <= 8; n++ {
+		for trial := 0; trial < 4; trial++ {
+			pred := randomPred(n, uint64(n*10+trial))
+			opts := Options{}
+			if trial%2 == 1 {
+				ws := make([]float64, n)
+				for i := range ws {
+					ws[i] = float64(i + 1)
+				}
+				opts.SkewWeights = ws
+			}
+			if trial%3 == 2 {
+				opts.RVec = bwmatrix.NewFilled(n, 0.95)
+			}
+			want := GlobalOptimize(pred, opts)
+			GlobalOptimizeInto(&reused, pred, opts, &s)
+			requirePlansEqual(t, reused, want, "into-vs-plain")
+
+			rel := InferDCRelationsInto(nil, pred, DefaultD, &s)
+			relPlain := InferDCRelations(pred, DefaultD)
+			for i := range rel {
+				for j := range rel[i] {
+					if rel[i][j] != relPlain[i][j] {
+						t.Fatalf("n=%d trial=%d: InferDCRelationsInto[%d][%d] %d vs %d",
+							n, trial, i, j, rel[i][j], relPlain[i][j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGlobalOptimizeIntoSteadyStateAllocs checks the replan hot path
+// reaches zero allocations once dst and scratch are warm.
+func TestGlobalOptimizeIntoSteadyStateAllocs(t *testing.T) {
+	pred := randomPred(8, 3)
+	var s Scratch
+	var dst Plan
+	GlobalOptimizeInto(&dst, pred, Options{}, &s) // warm
+	avg := testing.AllocsPerRun(50, func() {
+		GlobalOptimizeInto(&dst, pred, Options{}, &s)
+	})
+	if avg != 0 {
+		t.Fatalf("GlobalOptimizeInto allocates %.1f times per warm call, want 0", avg)
+	}
+}

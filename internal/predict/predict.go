@@ -88,16 +88,43 @@ func (m *Model) PredictPair(pf dataset.PairFeatures) float64 {
 // shaped exactly like the static matrices existing GDA systems consume,
 // which is what makes WANify a drop-in input (§2.3).
 func (m *Model) PredictMatrix(features [][]dataset.PairFeatures) bwmatrix.Matrix {
+	return m.PredictMatrixInto(nil, features)
+}
+
+// PredictMatrixInto is PredictMatrix with a caller-owned result matrix,
+// reused when already n×n (nil allocates): the re-gauging controller
+// predicts a fresh matrix every replan, and the per-pair feature
+// vectors share one stack buffer instead of allocating n(n-1) slices.
+// Entries are bit-identical to PredictMatrix's. The returned matrix is
+// safe for concurrent readers only after this call returns; concurrent
+// PredictMatrixInto calls on one Model need distinct dst matrices.
+func (m *Model) PredictMatrixInto(dst bwmatrix.Matrix, features [][]dataset.PairFeatures) bwmatrix.Matrix {
 	n := len(features)
-	out := bwmatrix.New(n)
+	if dst.N() != n {
+		dst = bwmatrix.New(n)
+	}
+	var vecArr [dataset.NumFeatures]float64
+	vec := vecArr[:0]
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if i != j {
-				out[i][j] = m.PredictPair(features[i][j])
+				vec = features[i][j].VectorInto(vec)
+				dst[i][j] = m.predictVec(vec)
+			} else {
+				dst[i][j] = 0
 			}
 		}
 	}
-	return out
+	return dst
+}
+
+// predictVec is PredictPair over an already-flattened feature vector.
+func (m *Model) predictVec(vec []float64) float64 {
+	v := m.forest.Predict(vec)
+	if v < 0 {
+		v = 0
+	}
+	return v
 }
 
 // PredictDCMatrixByVM predicts per VM pair and sums into a DC-level
@@ -105,7 +132,24 @@ func (m *Model) PredictMatrix(features [][]dataset.PairFeatures) bwmatrix.Matrix
 // the combined BW of a DC"). features is indexed by VM; dcOfVM maps
 // each VM to its DC.
 func (m *Model) PredictDCMatrixByVM(features [][]dataset.PairFeatures, dcOfVM []int, numDCs int) bwmatrix.Matrix {
-	out := bwmatrix.New(numDCs)
+	return m.PredictDCMatrixByVMInto(nil, features, dcOfVM, numDCs)
+}
+
+// PredictDCMatrixByVMInto is PredictDCMatrixByVM with a caller-owned
+// result matrix (reused when already numDCs×numDCs, zeroed before the
+// accumulation) and a shared feature-vector buffer.
+func (m *Model) PredictDCMatrixByVMInto(dst bwmatrix.Matrix, features [][]dataset.PairFeatures, dcOfVM []int, numDCs int) bwmatrix.Matrix {
+	if dst.N() != numDCs {
+		dst = bwmatrix.New(numDCs)
+	} else {
+		for i := range dst {
+			for j := range dst[i] {
+				dst[i][j] = 0
+			}
+		}
+	}
+	var vecArr [dataset.NumFeatures]float64
+	vec := vecArr[:0]
 	for s := range features {
 		for d := range features[s] {
 			if s == d {
@@ -115,10 +159,11 @@ func (m *Model) PredictDCMatrixByVM(features [][]dataset.PairFeatures, dcOfVM []
 			if ds == dd {
 				continue
 			}
-			out[ds][dd] += m.PredictPair(features[s][d])
+			vec = features[s][d].VectorInto(vec)
+			dst[ds][dd] += m.predictVec(vec)
 		}
 	}
-	return out
+	return dst
 }
 
 // Accuracy returns the fraction of rows whose prediction falls within

@@ -76,6 +76,19 @@ func (s *Source) Bool(p float64) bool { return s.rng.Float64() < p }
 // Perm returns a random permutation of [0, n).
 func (s *Source) Perm(n int) []int { return s.rng.Perm(n) }
 
+// PermInto writes a random permutation of [0, n) into dst (which must
+// have length n) and returns it. It consumes exactly the random values
+// Perm would — it is the allocation-free twin of Perm, drawing the same
+// Fisher-Yates swaps — so the two are interchangeable mid-stream
+// without perturbing any downstream draw.
+func (s *Source) PermInto(dst []int) []int {
+	for i := range dst {
+		dst[i] = i
+	}
+	s.rng.Shuffle(len(dst), func(i, j int) { dst[i], dst[j] = dst[j], dst[i] })
+	return dst
+}
+
 // Shuffle shuffles n elements using the provided swap function.
 func (s *Source) Shuffle(n int, swap func(i, j int)) { s.rng.Shuffle(n, swap) }
 

@@ -1,0 +1,73 @@
+package spark
+
+import (
+	"testing"
+
+	"github.com/wanify/wanify/internal/simrand"
+)
+
+// TestMatrixIntoVariantsMatch locks the Into transfer-matrix variants
+// bit-exact against the allocating ones, across shapes and with dirty
+// reused buffers (the scheduler search leans on this equality).
+func TestMatrixIntoVariantsMatch(t *testing.T) {
+	rng := simrand.Derive(17, "spark-into")
+	var dst [][]float64
+	var scr MatrixScratch
+	for n := 1; n <= 8; n++ {
+		for trial := 0; trial < 5; trial++ {
+			layout := make([]float64, n)
+			target := make(Placement, n)
+			for i := range layout {
+				if !rng.Bool(0.2) {
+					layout[i] = rng.Uniform(0, 40) * 1e9
+				}
+				target[i] = rng.Float64()
+			}
+			target = target.Normalize()
+			if trial == 4 {
+				// Degenerate cases: empty layout / all-local target.
+				for i := range layout {
+					layout[i] = 0
+				}
+			}
+
+			want := MigrationMatrix(layout, target)
+			dst = MigrationMatrixInto(dst, layout, target, &scr)
+			requireSameMatrix(t, dst, want, "migration", n, trial)
+
+			wantS := ShuffleMatrix(layout, target)
+			dst = ShuffleMatrixInto(dst, layout, target)
+			requireSameMatrix(t, dst, wantS, "shuffle", n, trial)
+		}
+	}
+}
+
+func requireSameMatrix(t *testing.T, got, want [][]float64, label string, n, trial int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s n=%d trial=%d: %d vs %d rows", label, n, trial, len(got), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("%s n=%d trial=%d: [%d][%d] %v vs %v", label, n, trial, i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestMatrixIntoSteadyStateAllocs checks the Into variants are
+// allocation-free once the buffers are warm.
+func TestMatrixIntoSteadyStateAllocs(t *testing.T) {
+	layout := []float64{4e9, 0, 7e9, 1e9, 2e9, 9e9, 3e9, 5e9}
+	target := Placement{0.2, 0.1, 0.05, 0.15, 0.1, 0.1, 0.2, 0.1}
+	var scr MatrixScratch
+	dst := MigrationMatrixInto(nil, layout, target, &scr)
+	avg := testing.AllocsPerRun(50, func() {
+		dst = MigrationMatrixInto(dst, layout, target, &scr)
+		dst = ShuffleMatrixInto(dst, layout, target)
+	})
+	if avg != 0 {
+		t.Fatalf("Into matrix variants allocate %.1f times per warm call, want 0", avg)
+	}
+}

@@ -75,6 +75,11 @@ type Framework struct {
 	agents     []*agent.Agent
 	controller *rgauge.Controller
 
+	// optScratch backs the optimizer's interior temporaries across
+	// replans (the plan itself is freshly allocated per Optimize call,
+	// since plans outlive the next replan in agents and the controller).
+	optScratch optimize.Scratch
+
 	// Multi-job deployment state (EnableJobSet).
 	jobAgents  [][]*agent.Agent
 	jobSetOpts JobSetOptions
@@ -113,7 +118,7 @@ func (f *Framework) Model() *predict.Model { return f.model }
 // report prices the snapshot.
 func (f *Framework) DetermineRuntimeBW() (bwmatrix.Matrix, measure.Report) {
 	features, rep := dataset.SnapshotFeatures(f.cfg.Cluster, f.rng.Derive("snapshot"))
-	f.predicted = f.model.PredictMatrix(features)
+	f.predicted = f.model.PredictMatrixInto(f.predicted, features)
 	return f.predicted.Clone(), rep
 }
 
@@ -138,12 +143,14 @@ type OptimizeOptions struct {
 // Optimize runs global optimization (Algorithm 1 + Eq. 2–3) on a
 // predicted runtime BW matrix, returning the connection/BW windows.
 func (f *Framework) Optimize(pred bwmatrix.Matrix, opts OptimizeOptions) optimize.Plan {
-	f.plan = optimize.GlobalOptimize(pred, optimize.Options{
+	var plan optimize.Plan
+	optimize.GlobalOptimizeInto(&plan, pred, optimize.Options{
 		M:           f.cfg.MaxConnsPerPair,
 		D:           f.cfg.RelationD,
 		SkewWeights: opts.SkewWeights,
 		RVec:        opts.RVec,
-	})
+	}, &f.optScratch)
+	f.plan = plan
 	return f.plan
 }
 
@@ -240,7 +247,7 @@ func (f *Framework) controllerDeps(opts OptimizeOptions) rgauge.Deps {
 		},
 		Predict: func(snap bwmatrix.Matrix, stats []substrate.VMStats) bwmatrix.Matrix {
 			features := dataset.FeaturesFromSnapshot(f.cfg.Cluster, snap, stats)
-			f.predicted = f.model.PredictMatrix(features)
+			f.predicted = f.model.PredictMatrixInto(f.predicted, features)
 			return f.predicted.Clone()
 		},
 		Optimize: func(pred bwmatrix.Matrix) optimize.Plan {
