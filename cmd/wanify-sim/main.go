@@ -44,6 +44,7 @@ import (
 	"github.com/wanify/wanify/internal/optimize"
 	"github.com/wanify/wanify/internal/predict"
 	"github.com/wanify/wanify/internal/spark"
+	"github.com/wanify/wanify/internal/substrate"
 	"github.com/wanify/wanify/internal/trace"
 	"github.com/wanify/wanify/internal/workloads"
 )
@@ -65,6 +66,9 @@ func main() {
 		backend = flag.String("backend", "netsim", "substrate backend: netsim | trace | trace:<name|file>")
 		modelIn = flag.String("model", "", "load a wanify-train model instead of quick-training (gob)")
 		seed    = flag.Uint64("seed", 1, "simulation seed")
+		killDC  = flag.Int("kill-dc", -1, "kill every VM of this DC at -kill-at (fault injection)")
+		killAt  = flag.Float64("kill-at", 60, "simulated time (s) at which -kill-dc dies")
+		recover = flag.Bool("recover", false, "enable fault recovery: re-replicate lost stage outputs and re-enter the transfer phase instead of aborting")
 	)
 	flag.Parse()
 
@@ -78,6 +82,22 @@ func main() {
 		log.Fatal(err)
 	}
 	n := sim.NumDCs()
+
+	// Fault injection: schedule the DC death before the run starts so
+	// it fires through the substrate's own timer queue.
+	if *killDC >= 0 {
+		if *killDC >= n {
+			log.Fatalf("-kill-dc %d out of range (backend has %d DCs)", *killDC, n)
+		}
+		var schedule substrate.FaultSchedule
+		for _, vm := range sim.VMsOfDC(*killDC) {
+			schedule = append(schedule, substrate.Fault{
+				Kind: substrate.FaultKillVM, VM: vm, At: *killAt,
+			})
+		}
+		schedule.Apply(sim)
+		fmt.Printf("fault schedule: %s\n", schedule)
+	}
 
 	// Input layout.
 	var input []float64
@@ -251,6 +271,9 @@ func main() {
 	}
 	eng := spark.NewEngine(sim, rates)
 	eng.OverlapFetchCompute = *overlap
+	if *recover {
+		eng.Recovery = spark.RecoveryConfig{Enabled: true}
+	}
 	var rec *trace.Recorder
 	if *traceTo != "" {
 		rec = trace.NewRecorder(sim, 1.0)
@@ -309,6 +332,10 @@ func main() {
 		fmt.Printf("WAN bytes total: %.2f GB\n", res.WANBytes/1e9)
 		fmt.Printf("cost: $%.3f (compute $%.3f + network $%.3f + storage $%.4f)\n",
 			res.Cost.Total(), res.Cost.ComputeUSD, res.Cost.NetworkUSD, res.Cost.StorageUSD)
+		if res.LostBytes > 0 || res.Recoveries > 0 {
+			fmt.Printf("fault recovery: %.2f GB lost, %.2f GB re-routed over %d waves (%.1f s recompute)\n",
+				res.LostBytes/1e9, res.RecoveredBytes/1e9, res.Recoveries, res.RecomputeS)
+		}
 	}
 	if fw != nil {
 		if ctl := fw.Controller(); ctl != nil {

@@ -357,6 +357,12 @@ func (a *Agent) History() []EpochRecord { return a.history }
 
 // epoch runs one AIMD step.
 func (a *Agent) epoch(now float64) {
+	if !a.sim.VMAlive(a.vm) {
+		// A dead VM's agent is gone with its host: no AIMD decisions, no
+		// throttle writes, no monitor updates — the controller's
+		// aggregation skips it and evacuation routes around its DC.
+		return
+	}
 	n := a.sim.NumDCs()
 	monitored := make([]float64, n)
 	for j := range a.epochBytes {

@@ -295,6 +295,8 @@ func (f *stubFlow) RemainingBytes() float64   { return 0 }
 func (f *stubFlow) Done() bool                { return f.done }
 func (f *stubFlow) Probe() bool               { return false }
 func (f *stubFlow) Stop()                     { f.done = true }
+func (f *stubFlow) Failed() bool              { return false }
+func (f *stubFlow) OnFail(func())             {}
 
 // TestMinTransferBytesBoundary pins the §3.2.2 skip rule at its exact
 // boundary: a pair that moved one byte less than MinTransferBytes is

@@ -102,6 +102,8 @@ var netsimOnly = map[string]bool{
 	"rebalance-trace": true, // pinned to the bundled cloud4 replay
 	"multijob":        true, // netsim contention scenario (bespoke episode-free testbed mix)
 	"multijob-trace":  true, // pinned to the bundled cloud4 replay
+	"failover":        true, // injects a netsim DC-death fault schedule
+	"chaos":           true, // bespoke 6x2 cluster with randomized netsim faults
 }
 
 // SupportsBackend reports whether an experiment can run on b. The

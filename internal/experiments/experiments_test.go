@@ -21,6 +21,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-model", "ablation-netsim", "multicloud",
 		"rebalance", "rebalance-trace",
 		"multijob", "multijob-trace",
+		"failover", "chaos",
 	}
 	for _, id := range want {
 		if _, ok := Registry[id]; !ok {

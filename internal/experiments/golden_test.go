@@ -22,6 +22,8 @@ const goldenScale = 0.1
 var separateGolden = map[string]bool{
 	"multijob":       true,
 	"multijob-trace": true,
+	"failover":       true,
+	"chaos":          true,
 }
 
 // renderAll runs every registered experiment at the given seed and
@@ -170,6 +172,38 @@ func TestGoldenMultijobOutputs(t *testing.T) {
 	if got != string(want) {
 		dumpGoldenDiff(t, filepath.Base(path), got, string(want))
 		t.Errorf("multijob output diverged from golden file %s;\nfirst divergence near byte %d",
+			path, firstDiff(got, string(want)))
+	}
+}
+
+// TestGoldenFaultOutputs locks the fault-injection drivers (failover,
+// chaos) byte for byte in their own golden file, keeping the
+// pre-existing per-seed goldens untouched. Regenerate deliberately
+// with `go test -run TestGoldenFaultOutputs -update`.
+func TestGoldenFaultOutputs(t *testing.T) {
+	var sb strings.Builder
+	for _, id := range []string{"failover", "chaos"} {
+		res, err := Registry[id](Params{Seed: 1, Scale: goldenScale})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		fmt.Fprintf(&sb, "=== %s ===\n%s\n", id, res)
+	}
+	got := sb.String()
+	path := filepath.Join("testdata", "golden_faults_seed1.txt")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		dumpGoldenDiff(t, filepath.Base(path), got, string(want))
+		t.Errorf("fault-driver output diverged from golden file %s;\nfirst divergence near byte %d",
 			path, firstDiff(got, string(want)))
 	}
 }

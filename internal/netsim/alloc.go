@@ -234,6 +234,9 @@ func (s *Sim) allocate() {
 		memF := a.memF[f.dst]
 		cpuF := cpuFactor(s.vms[f.src].cpuLoad)
 		capF := float64(f.conns) * s.perConnBase[srcDC][dstDC] * fluct * memF * cpuF * s.rampFactor(f)
+		if s.severed(srcDC, dstDC) {
+			capF = 0 // active DC partition: the pair delivers nothing
+		}
 		capRes := a.addRes(resFlowCap, 0, capF)
 
 		a.weights[fi] = float64(f.conns) / s.rttBiasPow[srcDC][dstDC]

@@ -97,6 +97,9 @@ func (s *Sim) allocateReference() (rates []float64, retrans []float64) {
 		memF := memFactor(memScan(f.dst))
 		cpuF := cpuFactor(s.vms[f.src].cpuLoad)
 		capF := float64(f.conns) * s.perConnBase[srcDC][dstDC] * fluct * memF * cpuF * s.rampFactor(f)
+		if s.severed(srcDC, dstDC) {
+			capF = 0
+		}
 		// Per-flow cap resource.
 		capRes := len(resources)
 		resources = append(resources, refResource{kind: resFlowCap, cap: capF})

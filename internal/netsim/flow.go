@@ -30,11 +30,13 @@ type Flow struct {
 	rate          float64 // current allocation, Mbps
 	done          bool
 	stopped       bool
+	failed        bool // terminated by a fault (endpoint death, pair reset)
 
 	startedAt float64 // sim time the flow was created
 	rampS     float64 // slow-start ramp duration (0 = instant)
 
 	onDone func()
+	onFail func()
 
 	sim *Sim
 }
@@ -105,6 +107,19 @@ func (f *Flow) Stop() {
 	f.sim.finishFlow(f)
 }
 
+// Failed reports whether the flow was terminated by a fault.
+func (f *Flow) Failed() bool { return f.failed }
+
+// OnFail registers fn to run when the flow fails. A flow that is
+// already failed (started against a dead endpoint) fires fn
+// immediately. At most one handler is held.
+func (f *Flow) OnFail(fn func()) {
+	f.onFail = fn
+	if f.failed && fn != nil {
+		fn()
+	}
+}
+
 // vm is the internal VM state.
 type vm struct {
 	id   VMID
@@ -114,4 +129,5 @@ type vm struct {
 	cpuLoad      float64 // [0,1], set by the compute engine
 	retransAccum float64 // cumulative retransmission events
 	lastRetrans  float64 // retrans rate per second, from last allocation
+	dead         bool    // killed by a KillVM fault; permanent
 }

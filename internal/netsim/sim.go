@@ -42,6 +42,11 @@ type Sim struct {
 	pairLimits []float64
 	numLimits  int
 
+	// partActive counts the currently-active PartitionDC faults per DC;
+	// while any is nonzero every inter-DC pair involving the DC has
+	// achievable rate zero (see faults.go).
+	partActive []int
+
 	// flows is the active set in arbitrary order: finishFlow swap-
 	// deletes through Flow.idx, so starts and finishes are O(1). The
 	// allocator re-derives start (id) order when it runs; everything
@@ -97,6 +102,7 @@ func NewSim(cfg Config) *Sim {
 	}
 	s.vmConns = make([]int, len(s.vms))
 	s.pairFlows = make([][]*Flow, n*n)
+	s.partActive = make([]int, n)
 	s.pairLimits = make([]float64, n*n)
 	for i := range s.pairLimits {
 		s.pairLimits[i] = math.NaN()
@@ -357,6 +363,19 @@ func (s *Sim) startProbe(src, dst VMID, conns int) *Flow {
 
 func (s *Sim) addFlow(src, dst VMID, conns int, bits float64, onDone func()) *Flow {
 	srcDC, dstDC := s.vms[src].dc, s.vms[dst].dc
+	if s.vms[src].dead || s.vms[dst].dead {
+		// A dead VM accepts no flows: the flow is born failed, never
+		// enters the active set, and fires OnFail as soon as a handler
+		// registers. The id is still consumed so flow identities stay
+		// unique and ascending regardless of faults.
+		f := &Flow{
+			id: s.nextFlowID, src: src, dst: dst, srcDC: srcDC, dstDC: dstDC,
+			conns: conns, remainingBits: bits, sim: s, onDone: onDone,
+			startedAt: s.now, done: true, failed: true,
+		}
+		s.nextFlowID++
+		return f
+	}
 	f := &Flow{
 		id:            s.nextFlowID,
 		src:           src,
@@ -459,8 +478,15 @@ func (s *Sim) finishFlow(f *Flow) {
 		s.interDCFlow--
 	}
 	s.invalidate()
-	if !f.stopped && f.onDone != nil {
-		f.onDone()
+	switch {
+	case f.failed:
+		if f.onFail != nil {
+			f.onFail()
+		}
+	case !f.stopped:
+		if f.onDone != nil {
+			f.onDone()
+		}
 	}
 }
 
@@ -671,10 +697,38 @@ func (s *Sim) AwaitFlows(maxWait float64, flows ...substrate.Flow) error {
 			return nil
 		}
 		if s.now >= deadline {
-			return fmt.Errorf("netsim: flows not drained after %.1fs of simulated time", maxWait)
+			return fmt.Errorf("netsim: flows not drained after %.1fs of simulated time (pending: %s)",
+				maxWait, describePending(s, flows))
 		}
 		s.stepOnce(deadline)
 	}
+}
+
+// describePending names the still-undrained flows for AwaitFlows'
+// timeout error: flow ids with their src/dst DCs, capped so a stuck
+// thousand-flow shuffle stays readable.
+func describePending(s *Sim, flows []substrate.Flow) string {
+	const maxNamed = 8
+	var b []byte
+	named, pending := 0, 0
+	for _, f := range flows {
+		if f.Done() {
+			continue
+		}
+		pending++
+		if named == maxNamed {
+			continue
+		}
+		if named > 0 {
+			b = append(b, ", "...)
+		}
+		b = fmt.Appendf(b, "#%d dc%d->dc%d", f.ID(), s.DCOf(f.Src()), s.DCOf(f.Dst()))
+		named++
+	}
+	if pending > named {
+		b = fmt.Appendf(b, " and %d more", pending-named)
+	}
+	return string(b)
 }
 
 // invalidate marks the rate allocation stale.

@@ -173,16 +173,21 @@ type Reason int8
 
 // Replan reasons.
 const (
-	ReasonDrift Reason = iota // live rates departed from the plan
-	ReasonStale               // the plan aged past StaleAfterS
+	ReasonDrift    Reason = iota // live rates departed from the plan
+	ReasonStale                  // the plan aged past StaleAfterS
+	ReasonEvacuate               // a DC was confirmed dead; plan routes around it
 )
 
 // String names the reason.
 func (r Reason) String() string {
-	if r == ReasonStale {
+	switch r {
+	case ReasonStale:
 		return "stale"
+	case ReasonEvacuate:
+		return "evacuate"
+	default:
+		return "drift"
 	}
-	return "drift"
 }
 
 // Event records one completed replan.
@@ -199,12 +204,19 @@ type Event struct {
 	// trigger (zero for pure staleness replans).
 	DriftedPairs int
 	MaxDriftFrac float64
+	// EvacuatedDCs lists the data centers whose confirmed death fired
+	// this replan (nil for drift/staleness replans).
+	EvacuatedDCs []int
 	// Cost is the measurement bill of the re-gauge snapshot.
 	Cost measure.Report
 }
 
 // String renders the event for reports.
 func (e Event) String() string {
+	if len(e.EvacuatedDCs) > 0 {
+		return fmt.Sprintf("t=%.0fs %s (dcs=%v) applied t=%.0fs",
+			e.TriggeredAt, e.Reason, e.EvacuatedDCs, e.AppliedAt)
+	}
 	return fmt.Sprintf("t=%.0fs %s (pairs=%d maxΔ=%.0f%%) applied t=%.0fs",
 		e.TriggeredAt, e.Reason, e.DriftedPairs, e.MaxDriftFrac*100, e.AppliedAt)
 }
@@ -218,9 +230,10 @@ type Controller struct {
 	plan   optimize.Plan
 	planAt float64 // when the current plan was installed
 
-	live    bwmatrix.Matrix // latest aggregated monitored rates
-	streak  int             // consecutive drifted epochs
-	pending *measure.PendingSnapshot
+	live        bwmatrix.Matrix // latest aggregated monitored rates
+	streak      int             // consecutive drifted epochs
+	pending     *measure.PendingSnapshot
+	deadHandled []bool // per-DC: evacuation replan already fired for it
 
 	events      []Event
 	driftEpochs int
@@ -308,15 +321,52 @@ func (c *Controller) epoch(now float64) {
 	if c.cfg.MaxReplans > 0 && len(c.events) >= c.cfg.MaxReplans {
 		return
 	}
+	// A confirmed-dead DC triggers evacuation: re-gauge, re-optimize
+	// over the surviving topology, and swap the evacuated plan in. It
+	// bypasses hysteresis and cooldown — waiting cannot resurrect a DC —
+	// but still respects MaxReplans (above) and the one-snapshot-at-a-
+	// time guard: a blocked detection simply retries next epoch, and the
+	// DC is marked handled only when its replan actually starts.
+	if evac := c.newlyDead(); len(evac) > 0 {
+		c.beginRegauge(now, ReasonEvacuate, drifted, maxFrac, evac)
+		return
+	}
 	if now-c.planAt < c.cfg.CooldownS {
 		return
 	}
 	switch {
 	case c.streak >= c.cfg.HysteresisEpochs:
-		c.beginRegauge(now, ReasonDrift, drifted, maxFrac)
+		c.beginRegauge(now, ReasonDrift, drifted, maxFrac, nil)
 	case c.cfg.StaleAfterS > 0 && now-c.planAt >= c.cfg.StaleAfterS:
-		c.beginRegauge(now, ReasonStale, drifted, maxFrac)
+		c.beginRegauge(now, ReasonStale, drifted, maxFrac, nil)
 	}
+}
+
+// newlyDead lists DCs with no living VM whose evacuation has not yet
+// been handled.
+func (c *Controller) newlyDead() []int {
+	n := c.deps.Cluster.NumDCs()
+	if c.deadHandled == nil {
+		c.deadHandled = make([]bool, n)
+	}
+	var out []int
+	for dc := 0; dc < n; dc++ {
+		if c.deadHandled[dc] || c.dcAlive(dc) {
+			continue
+		}
+		out = append(out, dc)
+	}
+	return out
+}
+
+// dcAlive reports whether any VM of the DC still accepts flows.
+func (c *Controller) dcAlive(dc int) bool {
+	for _, vm := range c.deps.Cluster.VMsOfDC(dc) {
+		if c.deps.Cluster.VMAlive(vm) {
+			return true
+		}
+	}
+	return false
 }
 
 // aggregate sums the agents' last-epoch WAN-monitor rates, current
@@ -331,6 +381,9 @@ func (c *Controller) aggregate() (live, expected bwmatrix.Matrix, demand [][]int
 		demand[i] = make([]int, n)
 	}
 	for _, a := range c.deps.Agents {
+		if !c.deps.Cluster.VMAlive(a.VM()) {
+			continue // a dead VM's agent reports nothing but stale state
+		}
 		mon := a.MonitoredMbps()
 		if mon == nil {
 			continue // no AIMD epoch yet
@@ -380,8 +433,13 @@ func (c *Controller) drift(live, expected bwmatrix.Matrix, demand [][]int) (pair
 }
 
 // beginRegauge starts the re-gauge snapshot and schedules the plan
-// swap for the moment the probe window closes.
-func (c *Controller) beginRegauge(now float64, reason Reason, drifted int, maxFrac float64) {
+// swap for the moment the probe window closes. evac lists DCs being
+// evacuated by this replan (nil otherwise); they are marked handled
+// here, when the replan actually starts.
+func (c *Controller) beginRegauge(now float64, reason Reason, drifted int, maxFrac float64, evac []int) {
+	for _, dc := range evac {
+		c.deadHandled[dc] = true
+	}
 	opts := c.deps.SnapshotOpts()
 	ps := measure.BeginSnapshot(c.deps.Cluster, opts)
 	c.pending = ps
@@ -392,6 +450,18 @@ func (c *Controller) beginRegauge(now float64, reason Reason, drifted int, maxFr
 		c.pending = nil
 		snap, stats, rep := ps.Collect()
 		pred := c.deps.Predict(snap, stats)
+		// A dead DC carries no traffic whatever the model extrapolates:
+		// zero its rows and columns so optimization runs over the
+		// surviving topology only (the optimizer's bandwidth floor keeps
+		// its descent finite on the zeroed pairs).
+		for dc := 0; dc < pred.N(); dc++ {
+			if c.dcAlive(dc) {
+				continue
+			}
+			for j := 0; j < pred.N(); j++ {
+				pred[dc][j], pred[j][dc] = 0, 0
+			}
+		}
 		plan := c.deps.Optimize(pred)
 		// Atomic swap: every agent receives its chunk of the new plan
 		// within this one substrate event, so no transfer ever observes
@@ -426,6 +496,7 @@ func (c *Controller) beginRegauge(now float64, reason Reason, drifted int, maxFr
 			Reason:       reason,
 			DriftedPairs: drifted,
 			MaxDriftFrac: maxFrac,
+			EvacuatedDCs: evac,
 			Cost:         rep,
 		})
 	})

@@ -377,6 +377,114 @@ func TestStopMidSnapshotAbandonsProbes(t *testing.T) {
 	}
 }
 
+// TestEvacuationBypassesCooldown kills every VM of one DC and checks
+// the controller fires an evacuation replan at the very next epoch —
+// through a cooldown and hysteresis that would block any drift or
+// staleness trigger — zeroes the dead DC out of the prediction, and
+// never fires for the same DC twice.
+func TestEvacuationBypassesCooldown(t *testing.T) {
+	sim := frozenSim(3, 41)
+	pred := accuratePred(sim)
+	agents := deployAgents(sim, tightRows(sim, pred))
+	ctl := rgauge.Start(deps(sim, agents, 41), rgauge.Config{
+		// Cooldown and hysteresis high enough that nothing else can
+		// possibly replan inside this run: any event is the evacuation.
+		Enabled: true, EpochS: 5, CooldownS: 1000, HysteresisEpochs: 100,
+	}, pred, optimize.GlobalOptimize(pred, optimize.Options{}))
+	defer ctl.Stop()
+
+	for _, vm := range sim.VMsOfDC(2) {
+		sim.KillVM(vm, 7)
+	}
+	sim.RunFor(120)
+
+	if got := ctl.Replans(); got != 1 {
+		t.Fatalf("DC death fired %d replans, want exactly 1 (deadHandled must stop re-fires)", got)
+	}
+	ev := ctl.Events()[0]
+	if ev.Reason != rgauge.ReasonEvacuate {
+		t.Errorf("replan reason = %v, want evacuate", ev.Reason)
+	}
+	if !reflect.DeepEqual(ev.EvacuatedDCs, []int{2}) {
+		t.Errorf("EvacuatedDCs = %v, want [2]", ev.EvacuatedDCs)
+	}
+	// Kill at t=7, epochs every 5s: the t=10 epoch must trigger despite
+	// the 1000s cooldown.
+	if ev.TriggeredAt != 10 {
+		t.Errorf("evacuation triggered at t=%v, want the first epoch after death (t=10)", ev.TriggeredAt)
+	}
+	newPred := ctl.CurrentPred()
+	for j := 0; j < sim.NumDCs(); j++ {
+		if newPred[2][j] != 0 || newPred[j][2] != 0 {
+			t.Errorf("evacuated pred keeps bandwidth through dead DC2: pred[2][%d]=%.0f pred[%d][2]=%.0f",
+				j, newPred[2][j], j, newPred[j][2])
+		}
+	}
+}
+
+// TestStaleFiresAtZeroLiveRate pins the satellite invariant: a full DC
+// partition drops every live rate on its pairs to zero, and the
+// staleness clock must keep firing anyway — StaleAfterS compares plan
+// age, not traffic, so a silent network cannot starve re-gauging.
+func TestStaleFiresAtZeroLiveRate(t *testing.T) {
+	sim := frozenSim(3, 42)
+	pred := accuratePred(sim)
+	agents := deployAgents(sim, tightRows(sim, pred))
+	ctl := rgauge.Start(deps(sim, agents, 42), rgauge.Config{
+		// Hysteresis high enough that the (very real) drift signal of a
+		// stalled pair never arms: every replan here is pure staleness.
+		Enabled: true, EpochS: 5, StaleAfterS: 30, CooldownS: 10,
+		HysteresisEpochs: 100,
+	}, pred, optimize.GlobalOptimize(pred, optimize.Options{}))
+	defer ctl.Stop()
+
+	f := steadyFlow(sim, agents, 0, 1, 1e12)
+	defer f.Stop()
+	sim.PartitionDC(1, 2, 1e9) // effectively forever; flows stall at rate 0
+	sim.RunFor(100)
+
+	if live := ctl.Live(); live == nil || live[0][1] != 0 {
+		t.Fatalf("partitioned pair still shows live rate %v (scenario did not stall)", live)
+	}
+	if got := ctl.Replans(); got < 2 {
+		t.Fatalf("staleness fired %d replans over 100s at zero live rate, want >= 2", got)
+	}
+	for _, ev := range ctl.Events() {
+		if ev.Reason != rgauge.ReasonStale {
+			t.Errorf("replan reason = %v, want stale (hysteresis should have blocked drift)", ev.Reason)
+		}
+	}
+}
+
+// TestMaxReplansCapsEvacuation checks the replan budget binds
+// evacuations too: with MaxReplans=1 spent on the first dead DC, a
+// second DC death must not schedule another replan, however justified.
+func TestMaxReplansCapsEvacuation(t *testing.T) {
+	sim := frozenSim(3, 43)
+	pred := accuratePred(sim)
+	agents := deployAgents(sim, tightRows(sim, pred))
+	ctl := rgauge.Start(deps(sim, agents, 43), rgauge.Config{
+		Enabled: true, EpochS: 5, MaxReplans: 1,
+	}, pred, optimize.GlobalOptimize(pred, optimize.Options{}))
+	defer ctl.Stop()
+
+	for _, vm := range sim.VMsOfDC(1) {
+		sim.KillVM(vm, 7)
+	}
+	for _, vm := range sim.VMsOfDC(2) {
+		sim.KillVM(vm, 40)
+	}
+	sim.RunFor(150)
+
+	if got := ctl.Replans(); got != 1 {
+		t.Fatalf("MaxReplans=1 but %d replans fired across two DC deaths", got)
+	}
+	ev := ctl.Events()[0]
+	if ev.Reason != rgauge.ReasonEvacuate || !reflect.DeepEqual(ev.EvacuatedDCs, []int{1}) {
+		t.Errorf("sole replan = %v, want evacuation of DC1", ev)
+	}
+}
+
 // deployJobGroups starts one agent per (job, VM), each loaded with its
 // job's chunk of a partitioned plan — the wanify.DeployJobSetAgents
 // shape without the framework.

@@ -27,9 +27,16 @@ type StageReport struct {
 	Placement Placement
 	TransferS float64 // WAN transfer (migration or shuffle) duration
 	ComputeS  float64 // compute phase duration
-	WANBytes  float64 // bytes moved across DCs
+	WANBytes  float64 // bytes launched across DCs (including recovery waves)
 	PairMbps  [][]float64
 	PairBytes [][]float64
+
+	// Fault-recovery accounting (all zero on fault-free runs).
+	DeliveredBytes float64 // bytes physically delivered by the stage's flows
+	LostBytes      float64 // bytes voided by faults (undelivered or landed on a dead DC)
+	RecoveredBytes float64 // bytes re-routed by recovery waves and layout repair
+	RecomputeS     float64 // extra compute charged for re-executed partitions
+	Recoveries     int     // recovery waves this stage ran
 }
 
 // RunResult is the outcome of one job execution.
@@ -44,6 +51,15 @@ type RunResult struct {
 	// (≥1 MB) WAN transfers of the job.
 	MinShuffleMbps float64
 	Cost           cost.Breakdown
+
+	// Fault-recovery totals over all stages (zero on fault-free runs).
+	LostBytes      float64
+	RecoveredBytes float64
+	RecomputeS     float64
+	Recoveries     int
+	// OutputBytes is the job's final resident data volume — input times
+	// the product of stage selectivities, conserved through recovery.
+	OutputBytes float64
 }
 
 // Engine executes jobs on a simulated geo-distributed cluster.
@@ -65,6 +81,9 @@ type Engine struct {
 	// (which slows sending, the coupling SDTP has to manage). Default
 	// off — plain Spark semantics.
 	OverlapFetchCompute bool
+	// Recovery controls reaction to substrate faults (see
+	// RecoveryConfig). Zero value: disabled, faults fail the run.
+	Recovery RecoveryConfig
 }
 
 // NewEngine builds an engine over a simulator with the given pricing.
@@ -101,8 +120,23 @@ func (e *Engine) ComputeRates() []float64 {
 }
 
 // RunJob executes the job under the given scheduler and connection
-// policy, returning timing, bandwidth and cost observations.
+// policy, returning timing, bandwidth and cost observations. With
+// fault recovery enabled it delegates to the event-driven JobSet path
+// (locked bit-identical for a single job), where the recovery state
+// machine lives; the synchronous path below fails fast when a fault
+// hits one of its flows.
 func (e *Engine) RunJob(job Job, sched Scheduler, policy ConnPolicy) (RunResult, error) {
+	if e.Recovery.Enabled {
+		set, err := NewJobSet(e, []JobRun{{Job: job, Sched: sched, Policy: policy}})
+		if err != nil {
+			return RunResult{}, err
+		}
+		out, err := set.Run()
+		if err != nil {
+			return RunResult{}, err
+		}
+		return out.Results[0], nil
+	}
 	n := e.sim.NumDCs()
 	if err := job.Validate(n); err != nil {
 		return RunResult{}, err
@@ -184,6 +218,9 @@ func (e *Engine) RunJob(job Job, sched Scheduler, policy ConnPolicy) (RunResult,
 	if math.IsInf(res.MinShuffleMbps, 1) {
 		res.MinShuffleMbps = 0
 	}
+	for _, b := range layout {
+		res.OutputBytes += b
+	}
 	res.Cost = e.price(job, res)
 	return res, nil
 }
@@ -194,6 +231,11 @@ type pendingPair struct {
 	bytes float64
 	done  float64 // completion time of the pair's last flow
 	left  int
+
+	// Fault accounting (recovery machinery; zero when no fault hits).
+	delivered         float64 // bytes physically delivered (complete + partial)
+	failedTransferred float64 // the part of delivered carried by failed flows
+	reclaimed         bool    // dead-destination wastage already re-routed
 }
 
 // launchTransfers starts one flow per (source VM, destination DC) pair
@@ -201,8 +243,10 @@ type pendingPair struct {
 // each, when non-nil, runs after every flow completion (after the
 // pair's own accounting) — the JobSet runner counts a stage's
 // outstanding flows through it; the synchronous RunJob path passes
-// nil and waits on the flows instead.
-func (e *Engine) launchTransfers(transfer [][]float64, policy ConnPolicy, each func()) (flows []substrate.Flow, pairs []*pendingPair, wanBytes float64) {
+// nil and waits on the flows instead. recs ties each flow to its pair
+// for the recovery machinery; flows are spread over living VMs only
+// (identical to the full set when no fault has fired).
+func (e *Engine) launchTransfers(transfer [][]float64, policy ConnPolicy, each func()) (flows []substrate.Flow, pairs []*pendingPair, wanBytes float64, recs []*flowRec) {
 	n := e.sim.NumDCs()
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
@@ -213,8 +257,8 @@ func (e *Engine) launchTransfers(transfer [][]float64, policy ConnPolicy, each f
 			wanBytes += b
 			pp := &pendingPair{i: i, j: j, bytes: b}
 			pairs = append(pairs, pp)
-			srcVMs := e.sim.VMsOfDC(i)
-			dstVMs := e.sim.VMsOfDC(j)
+			srcVMs := aliveVMs(e.sim, i)
+			dstVMs := aliveVMs(e.sim, j)
 			// Spread the pair's bytes across source VMs; each source VM
 			// sends to one destination VM (round-robin).
 			share := b / float64(len(srcVMs))
@@ -224,6 +268,7 @@ func (e *Engine) launchTransfers(transfer [][]float64, policy ConnPolicy, each f
 				pp.left++
 				pair := pp
 				f := e.sim.StartFlow(src, dst, conns, share, func() {
+					pair.delivered += share
 					pair.left--
 					if pair.left == 0 {
 						pair.done = e.sim.Now()
@@ -234,10 +279,11 @@ func (e *Engine) launchTransfers(transfer [][]float64, policy ConnPolicy, each f
 				})
 				policy.Register(f)
 				flows = append(flows, f)
+				recs = append(recs, &flowRec{f: f, pp: pp, bytes: share})
 			}
 		}
 	}
-	return flows, pairs, wanBytes
+	return flows, pairs, wanBytes, recs
 }
 
 // pairRates converts per-pair completion bookkeeping into the average
@@ -303,11 +349,14 @@ func (e *Engine) transferLoad() float64 {
 
 // executeTransfers starts one flow per (source VM, destination DC) pair
 // share, waits for all to drain, and returns the elapsed time plus the
-// per-DC-pair average achieved rates.
+// per-DC-pair average achieved rates. On any error — timeout or a
+// fault-failed flow — every outstanding flow is stopped before
+// returning, so a failed synchronous run cannot leak live flows into a
+// substrate shared with other tenants.
 func (e *Engine) executeTransfers(transfer [][]float64, policy ConnPolicy) (elapsed float64, pairMbps [][]float64, wanBytes float64, err error) {
 	n := e.sim.NumDCs()
 	start := e.sim.Now()
-	flows, pairs, wanBytes := e.launchTransfers(transfer, policy, nil)
+	flows, pairs, wanBytes, recs := e.launchTransfers(transfer, policy, nil)
 	if len(flows) == 0 {
 		return 0, pairRates(n, nil, start), 0, nil
 	}
@@ -316,7 +365,21 @@ func (e *Engine) executeTransfers(transfer [][]float64, policy ConnPolicy) (elap
 	e.ledger().shift(1, deltas)
 	err = e.sim.AwaitFlows(e.MaxStageTransferS, flows...)
 	e.ledger().shift(-1, deltas)
+	if err == nil {
+		for _, rec := range recs {
+			if rec.f.Failed() {
+				err = fmt.Errorf("flow #%d dc%d->dc%d failed by a fault (enable Engine.Recovery to survive faults)",
+					rec.f.ID(), rec.pp.i, rec.pp.j)
+				break
+			}
+		}
+	}
 	if err != nil {
+		for _, f := range flows {
+			if !f.Done() {
+				f.Stop()
+			}
+		}
 		return 0, nil, 0, err
 	}
 	return e.sim.Now() - start, pairRates(n, pairs, start), wanBytes, nil

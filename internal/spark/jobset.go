@@ -59,8 +59,19 @@ type jobState struct {
 
 	// loadDeltas is the job's live CPU-load contribution, held between
 	// a phase's shift-in and shift-out. Per job, because concurrent
-	// jobs' phases overlap in time.
+	// jobs' phases overlap in time. loadHeld marks a live contribution
+	// so releases are idempotent (see holdLoad).
 	loadDeltas []float64
+	loadHeld   bool
+
+	// Fault-recovery state (see recovery.go), reset per stage.
+	failedRecs   []*flowRec
+	recovering   bool // a recovery wave is scheduled
+	attempts     int  // waves run this stage
+	stLost       float64
+	stRecovered  float64
+	stRecomputeS float64
+	stWaves      int
 
 	res RunResult
 }
@@ -207,6 +218,18 @@ func (s *JobSet) extendDeadline(t float64) {
 	}
 }
 
+// transferDone builds the flow-completion callback counting a stage's
+// outstanding flows. The stage's transfer phase ends only when no flow
+// is in flight AND no failure is awaiting a recovery wave.
+func (s *JobSet) transferDone(js *jobState, computeRates []float64) func() {
+	return func() {
+		js.flowsLeft--
+		if js.flowsLeft == 0 && !js.recovering && len(js.failedRecs) == 0 {
+			s.finishTransfers(js, computeRates, s.eng.sim.Now())
+		}
+	}
+}
+
 // startStage places the current stage and launches its WAN transfers;
 // with nothing to move it proceeds straight to compute.
 func (s *JobSet) startStage(js *jobState, computeRates []float64, now float64) {
@@ -217,11 +240,25 @@ func (s *JobSet) startStage(js *jobState, computeRates []float64, now float64) {
 		return
 	}
 	stage := js.run.Job.Stages[js.stage]
+	js.failedRecs, js.recovering, js.attempts = nil, false, 0
+	js.stLost, js.stRecovered, js.stRecomputeS, js.stWaves = 0, 0, 0, 0
+	var alive []bool
+	if e.Recovery.Enabled {
+		alive = aliveDCs(e.sim)
+		if countAlive(alive) == 0 {
+			s.abort(fmt.Errorf("spark: job %q: no data center left alive", js.run.Job.Name))
+			return
+		}
+		s.repairLayout(js, alive, computeRates)
+	}
 	p := js.run.Sched.Place(js.stage, stage, js.layout).Normalize()
 	if len(p) != n {
 		s.abort(fmt.Errorf("spark: scheduler %q returned %d fractions for %d DCs",
 			js.run.Sched.Name(), len(p), n))
 		return
+	}
+	if alive != nil {
+		p = maskPlacement(p, alive)
 	}
 	var transfer [][]float64
 	if stage.Kind == MapKind {
@@ -234,12 +271,7 @@ func (s *JobSet) startStage(js *jobState, computeRates []float64, now float64) {
 	js.transferStart = now
 	js.phase = phaseTransfer
 
-	flows, pairs, wanBytes := e.launchTransfers(transfer, js.run.Policy, func() {
-		js.flowsLeft--
-		if js.flowsLeft == 0 {
-			s.finishTransfers(js, computeRates, e.sim.Now())
-		}
-	})
+	flows, pairs, wanBytes, recs := e.launchTransfers(transfer, js.run.Policy, s.transferDone(js, computeRates))
 	js.flows = flows
 	js.pairs = pairs
 	js.flowsLeft = len(flows)
@@ -250,7 +282,7 @@ func (s *JobSet) startStage(js *jobState, computeRates []float64, now float64) {
 		return
 	}
 	js.loadDeltas = e.ledger().uniform(js.loadDeltas, e.transferLoad())
-	e.ledger().shift(1, js.loadDeltas)
+	s.holdLoad(js)
 
 	// Watchdog: a transfer phase that outlives MaxStageTransferS fails
 	// the set, exactly as AwaitFlows does for a single job.
@@ -263,6 +295,10 @@ func (s *JobSet) startStage(js *jobState, computeRates []float64, now float64) {
 		s.abort(fmt.Errorf("spark: job %q stage %q: transfers not drained after %.1fs of simulated time",
 			js.run.Job.Name, stage.Name, e.MaxStageTransferS))
 	})
+	// Arm failure handlers last: a flow born failed (endpoint already
+	// dead) fires its handler synchronously from inside armRecs, which
+	// needs the counters and watchdog above in place.
+	s.armRecs(js, recs, computeRates)
 }
 
 // finishTransfers closes a stage's transfer phase (at the exact instant
@@ -271,20 +307,27 @@ func (s *JobSet) finishTransfers(js *jobState, computeRates []float64, now float
 	e := s.eng
 	n := e.sim.NumDCs()
 	stage := js.run.Job.Stages[js.stage]
-	if len(js.flows) > 0 {
-		e.ledger().shift(-1, js.loadDeltas)
-	}
+	s.releaseLoad(js)
 	rep := StageReport{
-		Name:      stage.Name,
-		Kind:      stage.Kind,
-		Placement: js.curPlacement,
-		TransferS: now - js.transferStart,
-		PairMbps:  pairRates(n, js.pairs, js.transferStart),
-		PairBytes: js.curTransfer,
+		Name:       stage.Name,
+		Kind:       stage.Kind,
+		Placement:  js.curPlacement,
+		TransferS:  now - js.transferStart,
+		PairMbps:   pairRates(n, js.pairs, js.transferStart),
+		PairBytes:  js.curTransfer,
+		LostBytes:  js.stLost,
+		RecomputeS: js.stRecomputeS,
+		Recoveries: js.stWaves,
 	}
+	rep.RecoveredBytes = js.stRecovered
 	for _, pp := range js.pairs {
 		rep.WANBytes += pp.bytes
+		rep.DeliveredBytes += pp.delivered
 	}
+	js.res.LostBytes += js.stLost
+	js.res.RecoveredBytes += js.stRecovered
+	js.res.RecomputeS += js.stRecomputeS
+	js.res.Recoveries += js.stWaves
 	for i := range rep.PairMbps {
 		for j := range rep.PairMbps[i] {
 			if js.curTransfer[i][j] >= 1<<20 && rep.PairMbps[i][j] > 0 && rep.PairMbps[i][j] < js.res.MinShuffleMbps {
@@ -310,6 +353,10 @@ func (s *JobSet) finishTransfers(js *jobState, computeRates []float64, now float
 			computeS = 0
 		}
 	}
+	// Re-executed partitions (recovery with no surviving replica) are
+	// recomputed work: it serializes with the stage's own compute and is
+	// not hidden by fetch/compute overlap.
+	computeS += js.stRecomputeS
 	rep.ComputeS = computeS
 	if computeS <= 0 {
 		s.endStage(js, rep, computeRates, now)
@@ -317,13 +364,13 @@ func (s *JobSet) finishTransfers(js *jobState, computeRates []float64, now float
 	}
 	js.phase = phaseCompute
 	js.loadDeltas = e.computeLoadDeltas(js.loadDeltas, js.layout)
-	e.ledger().shift(1, js.loadDeltas)
+	s.holdLoad(js)
 	s.extendDeadline(now + computeS)
 	e.sim.After(computeS, func(end float64) {
 		if s.err != nil {
 			return
 		}
-		e.ledger().shift(-1, js.loadDeltas)
+		s.releaseLoad(js)
 		s.endStage(js, rep, computeRates, end)
 	})
 }
@@ -346,31 +393,52 @@ func (s *JobSet) finishJob(js *jobState, now float64) {
 	if math.IsInf(js.res.MinShuffleMbps, 1) {
 		js.res.MinShuffleMbps = 0
 	}
+	for _, b := range js.layout {
+		js.res.OutputBytes += b
+	}
 	js.res.Cost = s.eng.price(js.run.Job, js.res)
 	s.running--
 }
 
-// abort fails the whole set: outstanding flows stop, held loads are
-// released, and Run returns the error.
+// holdLoad shifts the job's current loadDeltas into the shared ledger
+// and marks them held; releaseLoad undoes exactly one hold and is a
+// no-op otherwise. The flag is what makes abort safe in transition
+// windows: a compute phase's timer releases its load before endStage
+// runs, but the job's phase field still says phaseCompute while the
+// next startStage executes — an abort raised there (scheduler error)
+// used to release the same load a second time, driving the co-tenant's
+// composed CPU load in the ledger below its true value.
+func (s *JobSet) holdLoad(js *jobState) {
+	s.eng.ledger().shift(1, js.loadDeltas)
+	js.loadHeld = true
+}
+
+func (s *JobSet) releaseLoad(js *jobState) {
+	if !js.loadHeld {
+		return
+	}
+	s.eng.ledger().shift(-1, js.loadDeltas)
+	js.loadHeld = false
+}
+
+// abort fails the whole set: every outstanding flow of every job is
+// stopped and every held load released, whatever phase each job is in,
+// so an aborted set cannot leak flows or CPU load into a co-tenant's
+// allocator state. Pending substrate timers (watchdogs, compute
+// completions, recovery waves) cannot be cancelled, but every one of
+// them checks s.err before acting and so fires inert.
 func (s *JobSet) abort(err error) {
 	if s.err != nil {
 		return
 	}
 	s.err = err
 	for _, js := range s.states {
-		switch js.phase {
-		case phaseTransfer:
-			for _, f := range js.flows {
-				if !f.Done() {
-					f.Stop()
-				}
+		for _, f := range js.flows {
+			if !f.Done() {
+				f.Stop()
 			}
-			if len(js.flows) > 0 {
-				s.eng.ledger().shift(-1, js.loadDeltas)
-			}
-		case phaseCompute:
-			s.eng.ledger().shift(-1, js.loadDeltas)
 		}
+		s.releaseLoad(js)
 		js.phase = phaseDone
 	}
 	s.running = 0

@@ -1,0 +1,77 @@
+package substrate
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FaultKind names an injectable fault.
+type FaultKind string
+
+// The fault kinds a schedule may contain, mirroring the Cluster fault
+// methods.
+const (
+	FaultKillVM      FaultKind = "kill-vm"
+	FaultPartitionDC FaultKind = "partition-dc"
+	FaultResetPair   FaultKind = "reset-pair"
+)
+
+// Fault is one scheduled fault. Which fields are meaningful depends on
+// Kind: KillVM uses VM and At; PartitionDC uses DC, At and Until;
+// ResetPair uses SrcDC, DstDC and At. The struct is plain data (JSON-
+// marshalable) so a failing chaos schedule can be dumped verbatim as a
+// repro artifact.
+type Fault struct {
+	Kind  FaultKind `json:"kind"`
+	VM    VMID      `json:"vm,omitempty"`
+	DC    int       `json:"dc,omitempty"`
+	SrcDC int       `json:"srcDC,omitempty"`
+	DstDC int       `json:"dstDC,omitempty"`
+	At    float64   `json:"at"`
+	Until float64   `json:"until,omitempty"`
+}
+
+// String renders one fault for reports.
+func (f Fault) String() string {
+	switch f.Kind {
+	case FaultKillVM:
+		return fmt.Sprintf("kill vm%d@t=%.0fs", f.VM, f.At)
+	case FaultPartitionDC:
+		return fmt.Sprintf("partition dc%d t=[%.0f,%.0f]s", f.DC, f.At, f.Until)
+	case FaultResetPair:
+		return fmt.Sprintf("reset %d->%d@t=%.0fs", f.SrcDC, f.DstDC, f.At)
+	default:
+		return string(f.Kind)
+	}
+}
+
+// FaultSchedule is an ordered set of faults to inject into one run.
+type FaultSchedule []Fault
+
+// Apply installs every fault on the cluster. Faults arm through the
+// substrate's own timers, so an Apply before RunFor/RunUntil keeps the
+// run deterministic.
+func (s FaultSchedule) Apply(c Cluster) {
+	for _, f := range s {
+		switch f.Kind {
+		case FaultKillVM:
+			c.KillVM(f.VM, f.At)
+		case FaultPartitionDC:
+			c.PartitionDC(f.DC, f.At, f.Until)
+		case FaultResetPair:
+			c.ResetPair(f.SrcDC, f.DstDC, f.At)
+		}
+	}
+}
+
+// String renders the schedule as one comma-joined line.
+func (s FaultSchedule) String() string {
+	if len(s) == 0 {
+		return "none"
+	}
+	parts := make([]string, len(s))
+	for i, f := range s {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, ", ")
+}

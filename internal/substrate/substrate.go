@@ -120,6 +120,16 @@ type Flow interface {
 	// Stop terminates the flow immediately (probe tear-down or
 	// cancelled transfer). Remaining bytes are not delivered.
 	Stop()
+	// Failed reports whether the flow was terminated by a fault (an
+	// endpoint died or the pair was reset) rather than completing or
+	// being stopped by its owner. A failed flow is Done, its onDone
+	// callback never fires, and its remaining bytes were not delivered.
+	Failed() bool
+	// OnFail registers fn to run when the flow fails. Registering on an
+	// already-failed flow fires fn immediately (a flow started against
+	// a dead endpoint fails at start). At most one handler is held; a
+	// later registration replaces the earlier one.
+	OnFail(fn func())
 }
 
 // Cluster is a WAN substrate: a set of VMs spread over geo-distributed
@@ -185,6 +195,37 @@ type Cluster interface {
 	// in that case). It stops at the exact completion instant of the
 	// last flow.
 	AwaitFlows(maxWait float64, flows ...Flow) error
+
+	// --- faults ---
+	//
+	// Faults are injected, not emergent: the schedule is part of the
+	// experiment configuration, empty by default, and every fault takes
+	// effect through the substrate's own timer queue — so runs remain
+	// deterministic per seed and fault-free runs are byte-identical to
+	// builds that predate the fault model.
+
+	// KillVM schedules the VM to die at absolute substrate time t (or
+	// immediately when t <= Now). A dead VM stops accepting flows —
+	// StartFlow/StartProbe against it return an already-failed flow —
+	// and every active flow touching it fails at the instant of death.
+	// Death is permanent.
+	KillVM(id VMID, t float64)
+	// PartitionDC severs a DC from the rest of the cluster during
+	// [from, until): every inter-DC pair involving dc has achievable
+	// rate zero while the partition holds. Flows on affected pairs are
+	// not failed — they stall at rate 0 and resume when the partition
+	// heals (TCP survives a transient partition; a peer that should
+	// give up instead uses KillVM or ResetPair). Overlapping partitions
+	// compose: a pair is severed while any partition covers it.
+	PartitionDC(dc int, from, until float64)
+	// ResetPair aborts every flow active on the (srcDC, dstDC) pair at
+	// absolute time t — the mid-transfer connection-reset fault. The
+	// affected flows fail; flows started on the pair afterwards are
+	// unaffected.
+	ResetPair(srcDC, dstDC int, t float64)
+	// VMAlive reports whether the VM is accepting flows (true until a
+	// KillVM fault fires for it).
+	VMAlive(id VMID) bool
 
 	// --- clock and timers ---
 

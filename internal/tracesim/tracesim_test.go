@@ -206,6 +206,43 @@ func TestReplayEpisodeBites(t *testing.T) {
 	f.Stop()
 }
 
+// TestReplayFaults checks the fault model holds on the trace backend:
+// a partition keeps the pair at zero rate ACROSS sample boundaries
+// (the replay's SetPerConnCap updates must not resurrect a severed
+// pair), flows stall rather than fail, and a VM kill fails its flows
+// exactly as on netsim.
+func TestReplayFaults(t *testing.T) {
+	s, err := New(Config{Trace: tinyTrace(true), Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stalled := s.StartFlow(s.FirstVMOfDC(0), s.FirstVMOfDC(1), 2, 50e9, nil)
+	s.PartitionDC(1, 5, 95)
+	s.RunFor(30) // crosses the t=10 and t=20 sample boundaries mid-partition
+	if got := stalled.Rate(); got != 0 {
+		t.Fatalf("rate %.1f during partition after sample boundaries, want 0", got)
+	}
+	if stalled.Done() || stalled.Failed() {
+		t.Fatal("partition failed the flow on the trace backend")
+	}
+	s.RunFor(70) // partition heals at t=95
+	if stalled.Rate() <= 0 {
+		t.Error("flow did not resume after the partition healed")
+	}
+
+	failed := 0
+	victim := s.StartFlow(s.FirstVMOfDC(2), s.FirstVMOfDC(0), 1, 50e9, nil)
+	victim.OnFail(func() { failed++ })
+	s.KillVM(s.FirstVMOfDC(2), s.Now()+5)
+	s.RunFor(10)
+	if !victim.Failed() || failed != 1 {
+		t.Errorf("victim failed=%v onFail=%d after trace-backend kill", victim.Failed(), failed)
+	}
+	if s.VMAlive(s.FirstVMOfDC(2)) {
+		t.Error("killed VM reported alive")
+	}
+}
+
 // TestBundledTraces checks both embedded traces parse and have the
 // documented shapes.
 func TestBundledTraces(t *testing.T) {
