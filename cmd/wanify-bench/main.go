@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -58,7 +59,10 @@ import (
 // forest training — the optimized side uses rf.BenchWorkers() workers,
 // so its absolute value depends on core count; the reference is always
 // sequential) and rf_predict_batch_* (fan-out vs sequential batch
-// prediction).
+// prediction). The fleet_alloc_<n>dc_* keys are the scale-tiered
+// allocator curves (-fleet-tiers): per-flow cost of a full sharded
+// refill, the unsharded single-group baseline, the bottleneck-group
+// count, and the worker-pool speedup at each fleet size.
 type benchReport struct {
 	GoVersion    string             `json:"go_version"`
 	GOMAXPROCS   int                `json:"gomaxprocs"`
@@ -89,6 +93,7 @@ func main() {
 		modelIn  = flag.String("model", "", "load a wanify-train model instead of training (gob)")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "scenario drivers to run concurrently (1 = sequential, <=0 = GOMAXPROCS)")
 		benchOut = flag.String("bench-out", "BENCH_netsim.json", "write a JSON timing report here ('' to disable)")
+		tiers    = flag.String("fleet-tiers", "10,100,500", "comma-separated fleet DC counts for the scale-tiered allocator benchmark ('' to disable)")
 	)
 	flag.Parse()
 
@@ -208,6 +213,23 @@ func main() {
 			"rf_train_reference_ns_per_op":         rf.TrainNsPerOp(false, 5),
 			"rf_predict_batch_ns_per_op":           rf.PredictBatchNsPerOp(true, 100),
 			"rf_predict_batch_reference_ns_per_op": rf.PredictBatchNsPerOp(false, 100),
+		}
+		// Scale-tiered fleet curves: full-refill cost per flow as the
+		// topology grows, against the unsharded single-group baseline.
+		if *tiers != "" {
+			for _, ts := range strings.Split(*tiers, ",") {
+				dcs, err := strconv.Atoi(strings.TrimSpace(ts))
+				if err != nil || dcs < 2 {
+					fmt.Fprintf(os.Stderr, "bad -fleet-tiers entry %q (want DC counts like 10,100,500)\n", ts)
+					os.Exit(2)
+				}
+				st := netsim.FleetAllocNsPerFlow(dcs, 200)
+				key := fmt.Sprintf("fleet_alloc_%ddc", dcs)
+				report.Benchmarks[key+"_ns_per_flow"] = st.NsPerFlow
+				report.Benchmarks[key+"_unsharded_ns_per_flow"] = st.UnshardedNsPerFlow
+				report.Benchmarks[key+"_groups"] = float64(st.Groups)
+				report.Benchmarks[key+"_parallel_speedup"] = st.ParallelSpeedup()
+			}
 		}
 		for _, b := range backendList {
 			if b.String() == "netsim" {

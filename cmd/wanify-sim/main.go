@@ -9,6 +9,7 @@
 //	wanify-sim -job terasort -backend trace:cloud4
 //	wanify-sim -job terasort -conns wanify -model model.gob
 //	wanify-sim -job terasort -conns wanify -jobs 3 -share remaining
+//	wanify-sim -topo fleet:100x4 -sched tetrium -believe oracle -conns uniform
 //
 // Schedulers: locality (vanilla Spark), iridium (Pu et al.'s classic
 // per-site placement), tetrium, kimchi. For the WAN-aware schedulers,
@@ -25,6 +26,12 @@
 // pipelines compute into the transfer window (SDTP-style). -backend
 // selects the substrate (netsim, trace, trace:<name|file>); -model
 // reuses a wanify-train model so the online run skips retraining.
+// -topo fleet:<dcs>x<vms> swaps the testbed for a synthetic fleet
+// topology (geo.Fleet via netsim.FleetCluster) at any scale tier; on
+// a fleet, pair -sched tetrium/kimchi with -believe oracle (the
+// simulator's true single-connection caps — fleet runs skip model
+// training and measurement probing, which do not scale to hundreds of
+// DCs) and -conns single or uniform.
 package main
 
 import (
@@ -41,6 +48,7 @@ import (
 	"github.com/wanify/wanify/internal/experiments"
 	"github.com/wanify/wanify/internal/gda"
 	"github.com/wanify/wanify/internal/measure"
+	"github.com/wanify/wanify/internal/netsim"
 	"github.com/wanify/wanify/internal/optimize"
 	"github.com/wanify/wanify/internal/predict"
 	"github.com/wanify/wanify/internal/spark"
@@ -56,7 +64,7 @@ func main() {
 		mb      = flag.Float64("mb", 600, "input size in MB (wordcount)")
 		skew    = flag.Bool("skew", false, "skew input onto 4 hot DCs (§5.8.1)")
 		sched   = flag.String("sched", "locality", "locality | iridium | tetrium | kimchi")
-		believe = flag.String("believe", "predicted", "static | simultaneous | predicted (for tetrium/kimchi)")
+		believe = flag.String("believe", "predicted", "static | simultaneous | predicted | oracle (for tetrium/kimchi; oracle = netsim true caps)")
 		conns   = flag.String("conns", "single", "single | uniform | wanify")
 		jobs    = flag.Int("jobs", 1, "run N copies of the job concurrently over one cluster (multi-tenant)")
 		shareS  = flag.String("share", "fair", "with -jobs N and -conns wanify: split the global plan's windows across jobs by fair | priority | remaining (priority: job 0 ranks highest)")
@@ -64,6 +72,7 @@ func main() {
 		overlap = flag.Bool("overlap", false, "pipeline compute into the transfer window (SDTP-style)")
 		traceTo = flag.String("trace", "", "write a per-pair rate time series (CSV) to this file")
 		backend = flag.String("backend", "netsim", "substrate backend: netsim | trace | trace:<name|file>")
+		topo    = flag.String("topo", "testbed", "cluster topology: testbed | fleet:<dcs>x<vms> (synthetic fleet, netsim only)")
 		modelIn = flag.String("model", "", "load a wanify-train model instead of quick-training (gob)")
 		seed    = flag.Uint64("seed", 1, "simulation seed")
 		killDC  = flag.Int("kill-dc", -1, "kill every VM of this DC at -kill-at (fault injection)")
@@ -77,9 +86,21 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sim, err := be.NewTestbed(be.NumDCs(), *seed)
-	if err != nil {
-		log.Fatal(err)
+	var sim substrate.Cluster
+	if *topo == "testbed" || *topo == "" {
+		sim, err = be.NewTestbed(be.NumDCs(), *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		var dcs, vms int
+		if _, err := fmt.Sscanf(*topo, "fleet:%dx%d", &dcs, &vms); err != nil || dcs < 2 || vms < 1 {
+			log.Fatalf("bad -topo %q (want testbed or fleet:<dcs>x<vms>, e.g. fleet:100x4)", *topo)
+		}
+		if *backend != "netsim" {
+			log.Fatalf("-topo fleet requires the netsim backend, not %q", *backend)
+		}
+		sim = netsim.NewSim(netsim.FleetCluster(dcs, vms, substrate.T2Medium, *seed))
 	}
 	n := sim.NumDCs()
 
@@ -137,6 +158,9 @@ func main() {
 	// WANify framework (trained on demand) when needed.
 	var fw *wanify.Framework
 	needsModel := *conns == "wanify" || (*sched != "locality" && *believe == "predicted")
+	if needsModel && !(*topo == "testbed" || *topo == "") {
+		log.Fatal("-topo fleet does not support model-backed runs (training and runtime probing do not scale to fleet sizes): use -believe oracle|static|simultaneous and -conns single|uniform")
+	}
 	if needsModel {
 		var model *predict.Model
 		if *modelIn != "" {
@@ -175,6 +199,19 @@ func main() {
 			believed, _ = measure.StaticSimultaneous(sim, measure.StableOptions())
 		case "predicted":
 			believed, _ = fw.DetermineRuntimeBW()
+		case "oracle":
+			ns, ok := sim.(*netsim.Sim)
+			if !ok {
+				log.Fatal("-believe oracle reads the simulator's true caps and needs the netsim backend")
+			}
+			believed = bwmatrix.New(n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if i != j {
+						believed[i][j] = ns.PerConnCapMbps(i, j)
+					}
+				}
+			}
 		default:
 			log.Fatalf("unknown belief %q", *believe)
 		}

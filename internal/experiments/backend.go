@@ -104,6 +104,7 @@ var netsimOnly = map[string]bool{
 	"multijob-trace":  true, // pinned to the bundled cloud4 replay
 	"failover":        true, // injects a netsim DC-death fault schedule
 	"chaos":           true, // bespoke 6x2 cluster with randomized netsim faults
+	"fleet":           true, // synthetic 100-DC fleet topology (geo.Fleet)
 }
 
 // SupportsBackend reports whether an experiment can run on b. The

@@ -2,11 +2,13 @@ package experiments
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"sort"
 	"testing"
 
 	"github.com/wanify/wanify/internal/gda"
+	"github.com/wanify/wanify/internal/geo"
 	"github.com/wanify/wanify/internal/ml/rf"
 	"github.com/wanify/wanify/internal/netsim"
 )
@@ -125,5 +127,62 @@ func TestPlanningBenchRegression(t *testing.T) {
 				t.Fatalf("%s regressed: ratio %.3f vs baseline %.3f (>30%%)", b.key, got, baseRatio)
 			}
 		})
+	}
+}
+
+// TestFleetScaleBenchRegression extends the guard to the scale-tiered
+// allocator curves: at each fleet tier recorded in BENCH_netsim.json
+// it replays the full-refill benchmark and fails if the
+// sharded/unsharded per-flow ratio regressed more than 30% against
+// the committed baseline (plus a small absolute slack, see below). As
+// everywhere in the guard, the ratio cancels raw machine speed; it
+// moves only when sharding itself stops paying (groups collapsing
+// into one, per-group filling getting slower relative to the global
+// loop). Armed by WANIFY_BENCH_GUARD=1.
+func TestFleetScaleBenchRegression(t *testing.T) {
+	if os.Getenv("WANIFY_BENCH_GUARD") == "" {
+		t.Skip("set WANIFY_BENCH_GUARD=1 to arm the benchmark-regression guard")
+	}
+	raw, err := os.ReadFile("../../BENCH_netsim.json")
+	if err != nil {
+		t.Fatalf("reading committed baseline: %v", err)
+	}
+	var report struct {
+		Benchmarks map[string]float64 `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("parsing baseline: %v", err)
+	}
+	armed := 0
+	for _, dcs := range geo.FleetTiers {
+		key := fmt.Sprintf("fleet_alloc_%ddc", dcs)
+		baseSharded := report.Benchmarks[key+"_ns_per_flow"]
+		baseUnsharded := report.Benchmarks[key+"_unsharded_ns_per_flow"]
+		if baseSharded <= 0 || baseUnsharded <= 0 {
+			continue // tier not in the committed baseline
+		}
+		armed++
+		baseRatio := baseSharded / baseUnsharded
+
+		var ratios []float64
+		for i := 0; i < 3; i++ {
+			st := netsim.FleetAllocNsPerFlow(dcs, 200)
+			ratios = append(ratios, st.NsPerFlow/st.UnshardedNsPerFlow)
+		}
+		sort.Float64s(ratios)
+		got := ratios[len(ratios)/2]
+		t.Logf("%s sharded/unsharded ratio: %.4f (baseline %.4f)", key, got, baseRatio)
+		// At the big tiers the ratio is minuscule (sharding wins ~50x+),
+		// so a purely multiplicative band would trip on timing noise in
+		// the tiny numerator; the absolute slack term only matters there,
+		// where a wobble between 40x and 56x is not a regression. What
+		// the guard exists to catch — the win collapsing toward 1 — blows
+		// through both terms.
+		if got > baseRatio*1.30+0.01 {
+			t.Fatalf("%s regressed: sharded/unsharded ratio %.4f vs baseline %.4f (>30%%)", key, got, baseRatio)
+		}
+	}
+	if armed == 0 {
+		t.Fatal("baseline lacks fleet_alloc_<n>dc_* entries (regenerate with wanify-bench)")
 	}
 }

@@ -21,7 +21,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-model", "ablation-netsim", "multicloud",
 		"rebalance", "rebalance-trace",
 		"multijob", "multijob-trace",
-		"failover", "chaos",
+		"failover", "chaos", "fleet",
 	}
 	for _, id := range want {
 		if _, ok := Registry[id]; !ok {

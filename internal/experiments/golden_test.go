@@ -24,6 +24,7 @@ var separateGolden = map[string]bool{
 	"multijob-trace": true,
 	"failover":       true,
 	"chaos":          true,
+	"fleet":          true,
 }
 
 // renderAll runs every registered experiment at the given seed and
@@ -204,6 +205,35 @@ func TestGoldenFaultOutputs(t *testing.T) {
 	if got != string(want) {
 		dumpGoldenDiff(t, filepath.Base(path), got, string(want))
 		t.Errorf("fault-driver output diverged from golden file %s;\nfirst divergence near byte %d",
+			path, firstDiff(got, string(want)))
+	}
+}
+
+// TestGoldenFleetOutputs locks the fleet-scale driver byte for byte in
+// its own golden file: 100 DCs, staggered regional jobs, the sharded
+// allocator decomposing the flow set into many bottleneck groups.
+// Regenerate deliberately with `go test -run TestGoldenFleetOutputs
+// -update`.
+func TestGoldenFleetOutputs(t *testing.T) {
+	res, err := Registry["fleet"](Params{Seed: 1, Scale: goldenScale})
+	if err != nil {
+		t.Fatalf("fleet: %v", err)
+	}
+	got := fmt.Sprintf("=== fleet ===\n%s\n", res)
+	path := filepath.Join("testdata", "golden_fleet_seed1.txt")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		dumpGoldenDiff(t, filepath.Base(path), got, string(want))
+		t.Errorf("fleet-driver output diverged from golden file %s;\nfirst divergence near byte %d",
 			path, firstDiff(got, string(want)))
 	}
 }

@@ -30,9 +30,21 @@ import (
 // entries may be added where the reference skips them — x + (+0.0) is
 // an identity on the non-negative partial sums involved — but sums are
 // never delta-updated, because floating-point addition does not
-// associate; the O(n²) cheap re-reduction is the price of returning
-// the identical bits. Base caches refresh once per accepted move, in
-// O(n) for shuffle stages.
+// associate; the cheap re-reduction is the price of returning the
+// identical bits. Base caches refresh once per accepted move, in O(n)
+// for shuffle stages.
+//
+// Sparsity: fleet-shaped problems place a job's data on a handful of
+// DCs out of hundreds, so the transfer matrices are mostly zero rows
+// (a shuffle row i is layout[i]·p[j]; a migration row is nonzero only
+// for surplus DCs, and surplus requires layout > 0). The shuffle hot
+// paths therefore iterate nzRows — the source DCs with layout[i] > 0 —
+// instead of all n rows: skipped entries are exact +0.0 contributions,
+// so sums, maxes and cached columns are bit-identical to the dense
+// sweep, while candidate evaluation drops from O(n²) to O(nz·n).
+// Zero-layout rows of the tE/uE slabs are never written or read by the
+// shuffle paths (map-stage fillBase rewrites every row before map
+// screening reads arbitrary corners).
 //
 // Contexts are pooled (schedulers are stateless values called from
 // concurrent experiment drivers) and reach zero steady-state
@@ -43,6 +55,7 @@ type search struct {
 	stage  spark.Stage
 	layout []float64
 	total  float64 // sum(layout), accumulated in estimateDetail's order
+	nzRows []int   // source DCs with layout[i] > 0, ascending
 
 	bwDen []float64 // n×n flattened: floored believed BW × 1e6 (denominators)
 	rate  []float64 // per-DC compute rate with estimateDetail's 1e-6 floor
@@ -174,11 +187,19 @@ func (s *search) init(est estimator, stage spark.Stage, layout []float64) {
 	}
 	s.est, s.stage, s.layout = est, stage, layout
 	total := 0.0
-	for _, b := range layout {
+	s.nzRows = s.nzRows[:0]
+	for i, b := range layout {
 		total += b
+		if b > 0 {
+			s.nzRows = append(s.nzRows, i)
+		}
 	}
 	s.total = total
-	for i := 0; i < n; i++ {
+	// Denominators are only ever divided into with a positive numerator,
+	// which requires layout[i] > 0 (shuffle entries are layout[i]·p[j],
+	// migration entries need surplus, surplus needs layout); zero rows
+	// are left stale and unread.
+	for _, i := range s.nzRows {
 		row := est.believed[i]
 		base := i * n
 		for j := 0; j < n; j++ {
@@ -198,7 +219,7 @@ func (s *search) init(est estimator, stage spark.Stage, layout []float64) {
 	}
 	for j := 0; j < n; j++ {
 		sum, max, usum := 0.0, 0.0, 0.0
-		for i := 0; i < n; i++ {
+		for _, i := range s.nzRows {
 			if i == j {
 				continue
 			}
@@ -250,15 +271,27 @@ func (s *search) compTerm(pj float64, j int) float64 {
 func (s *search) fillBase() {
 	n := s.n
 	if s.stage.Kind == spark.MapKind {
+		// Migration entries couple through the total deficit; build the
+		// full matrix and rewrite every tE/uE row (zero rows included —
+		// mapScreen reads arbitrary corner entries, so no row may be
+		// left stale here).
 		s.transfer = spark.MigrationMatrixInto(s.transfer, s.layout, s.p, &s.mscr)
+		for i := 0; i < n; i++ {
+			row := s.transfer[i]
+			base := i * n
+			for j := 0; j < n; j++ {
+				s.tE[base+j], s.uE[base+j] = s.entryTerms(i, j, row[j])
+			}
+		}
 	} else {
-		s.transfer = spark.ShuffleMatrixInto(s.transfer, s.layout, s.p)
-	}
-	for i := 0; i < n; i++ {
-		row := s.transfer[i]
-		base := i * n
-		for j := 0; j < n; j++ {
-			s.tE[base+j], s.uE[base+j] = s.entryTerms(i, j, row[j])
+		// A shuffle entry is layout[i]·p[j] — ShuffleMatrixInto's exact
+		// expression, computed inline so zero rows need no matrix build
+		// and the nonzero rows need no n² intermediate.
+		for _, i := range s.nzRows {
+			base := i * n
+			for j := 0; j < n; j++ {
+				s.tE[base+j], s.uE[base+j] = s.entryTerms(i, j, s.layout[i]*s.p[j])
+			}
 		}
 	}
 	for j := 0; j < n; j++ {
@@ -327,10 +360,12 @@ func (s *search) fillBase() {
 	}
 }
 
-// refreshColumn recomputes the screening aggregates of base column j.
+// refreshColumn recomputes the screening aggregates of base column j
+// (shuffle stages only, so the zero layout rows — exact zero entries —
+// can be skipped).
 func (s *search) refreshColumn(j int) {
 	sum, max, usum := 0.0, 0.0, 0.0
-	for i := 0; i < s.n; i++ {
+	for _, i := range s.nzRows {
 		t := s.tE[i*s.n+j]
 		sum += t
 		if t > max {
@@ -359,13 +394,16 @@ func (s *search) refreshTotals() {
 // compute terms by DC.
 func (s *search) reduceBase() (secs, loadSum, usd float64) {
 	tNet := 0.0
-	for k := range s.tE {
-		t := s.tE[k]
-		loadSum += t
-		if t > tNet {
-			tNet = t
+	for _, i := range s.nzRows {
+		base := i * s.n
+		for j := 0; j < s.n; j++ {
+			t := s.tE[base+j]
+			loadSum += t
+			if t > tNet {
+				tNet = t
+			}
+			usd += s.uE[base+j]
 		}
-		usd += s.uE[k]
 	}
 	tComp := 0.0
 	for _, c := range s.comp {
@@ -383,7 +421,7 @@ func (s *search) reduceBase() (secs, loadSum, usd float64) {
 // reduction substituting them over the cached rest.
 func (s *search) evalShuffleCand(from, to int, pf, pt float64) (secs, loadSum, usd float64) {
 	n := s.n
-	for i := 0; i < n; i++ {
+	for _, i := range s.nzRows {
 		s.tF[i], s.uF[i] = s.entryTerms(i, from, s.layout[i]*pf)
 		s.tT[i], s.uT[i] = s.entryTerms(i, to, s.layout[i]*pt)
 	}
@@ -391,7 +429,7 @@ func (s *search) evalShuffleCand(from, to int, pf, pt float64) (secs, loadSum, u
 	cT := s.compTerm(pt, to)
 
 	tNet := 0.0
-	for i := 0; i < n; i++ {
+	for _, i := range s.nzRows {
 		base := i * n
 		for j := 0; j < n; j++ {
 			var t, u float64
@@ -539,7 +577,7 @@ func (s *search) applyMove(from, to int, step float64) {
 	}
 	n := s.n
 	pf, pt := s.p[from], s.p[to]
-	for i := 0; i < n; i++ {
+	for _, i := range s.nzRows {
 		base := i * n
 		s.tE[base+from], s.uE[base+from] = s.entryTerms(i, from, s.layout[i]*pf)
 		s.tE[base+to], s.uE[base+to] = s.entryTerms(i, to, s.layout[i]*pt)

@@ -1,0 +1,124 @@
+package geo
+
+import (
+	"fmt"
+
+	"github.com/wanify/wanify/internal/simrand"
+)
+
+// Synthetic fleet topologies: deterministic continent → metro → DC
+// hierarchies far larger than the paper's 8-region testbed, for
+// exercising scale behavior (sharded allocation, sparse planning) on
+// clusters of tens to hundreds of data centers.
+//
+// A fleet is generated from real cloud metro anchors: DCs are
+// apportioned to metros by footprint weight and placed with a small
+// seeded jitter around the metro (distinct facilities in one metro
+// area, tens to ~150 km apart). Everything downstream — RTT, per-
+// connection bandwidth, distance features — derives from the generated
+// coordinates through the same geo physics the testbed uses, so fleet
+// clusters need no hand-tuned matrices. Generation is a pure function
+// of (n, seed).
+
+// metro is a fleet anchor: a real cloud metro with a footprint weight
+// controlling how many of the fleet's DCs land there.
+type metro struct {
+	name      string
+	code      string
+	continent string
+	lat, lon  float64
+	weight    int
+}
+
+// fleetMetros lists the anchors grouped by continent, heaviest
+// footprints (North America, Europe) first within each group. Order is
+// part of the deterministic output: reordering changes generated
+// fleets.
+var fleetMetros = []metro{
+	{"Virginia", "na-virginia", "NA", 38.95, -77.45, 3},
+	{"Oregon", "na-oregon", "NA", 45.60, -122.60, 2},
+	{"California", "na-california", "NA", 37.35, -121.96, 2},
+	{"Ohio", "na-ohio", "NA", 40.00, -82.90, 2},
+	{"Montreal", "na-montreal", "NA", 45.50, -73.57, 1},
+	{"Texas", "na-texas", "NA", 32.80, -96.80, 1},
+	{"Ireland", "eu-ireland", "EU", 53.35, -6.26, 3},
+	{"Frankfurt", "eu-frankfurt", "EU", 50.11, 8.68, 3},
+	{"London", "eu-london", "EU", 51.51, -0.13, 2},
+	{"Paris", "eu-paris", "EU", 48.86, 2.35, 1},
+	{"Stockholm", "eu-stockholm", "EU", 59.33, 18.07, 1},
+	{"Milan", "eu-milan", "EU", 45.46, 9.19, 1},
+	{"Mumbai", "ap-mumbai", "AP", 19.08, 72.88, 2},
+	{"Singapore", "ap-singapore", "AP", 1.35, 103.82, 2},
+	{"Tokyo", "ap-tokyo", "AP", 35.68, 139.69, 2},
+	{"Seoul", "ap-seoul", "AP", 37.57, 126.98, 1},
+	{"Hong Kong", "ap-hongkong", "AP", 22.32, 114.17, 1},
+	{"Jakarta", "ap-jakarta", "AP", -6.21, 106.85, 1},
+	{"São Paulo", "sa-saopaulo", "SA", -23.55, -46.63, 2},
+	{"Santiago", "sa-santiago", "SA", -33.45, -70.67, 1},
+	{"Sydney", "oc-sydney", "OC", -33.87, 151.21, 2},
+	{"Melbourne", "oc-melbourne", "OC", -37.81, 144.96, 1},
+	{"Bahrain", "me-bahrain", "ME", 26.07, 50.55, 1},
+	{"Tel Aviv", "me-telaviv", "ME", 32.08, 34.78, 1},
+	{"Cape Town", "af-capetown", "AF", -33.92, 18.42, 1},
+}
+
+// Fleet generates a synthetic n-DC topology. DCs are apportioned to
+// metros proportionally to footprint weight (largest-remainder
+// rounding, so small fleets still land in the heavyweight metros) and
+// jittered around their anchor with the seeded stream "geo-fleet".
+// The same (n, seed) always yields the same fleet; codes are unique
+// ("fleet-na-virginia-2"). It panics if n < 1.
+func Fleet(n int, seed uint64) []Region {
+	if n < 1 {
+		panic(fmt.Sprintf("geo: fleet size %d out of range", n))
+	}
+	totalW := 0
+	for _, m := range fleetMetros {
+		totalW += m.weight
+	}
+	// Apportion by weight: floor shares first, then hand out the
+	// remainder by descending fractional part (ties to list order).
+	counts := make([]int, len(fleetMetros))
+	fracs := make([]float64, len(fleetMetros))
+	assigned := 0
+	for i, m := range fleetMetros {
+		exact := float64(n) * float64(m.weight) / float64(totalW)
+		counts[i] = int(exact)
+		fracs[i] = exact - float64(counts[i])
+		assigned += counts[i]
+	}
+	for assigned < n {
+		best := -1
+		for i := range fleetMetros {
+			if best < 0 || fracs[i] > fracs[best] {
+				best = i
+			}
+		}
+		counts[best]++
+		fracs[best] = -1
+		assigned++
+	}
+
+	rng := simrand.Derive(seed, "geo-fleet")
+	regions := make([]Region, 0, n)
+	for i, m := range fleetMetros {
+		for k := 0; k < counts[i]; k++ {
+			// Jitter within the metro area: up to ~0.7° (~75 km) each
+			// way, so same-metro DCs are distinct but close.
+			lat := m.lat + rng.Uniform(-0.7, 0.7)
+			lon := m.lon + rng.Uniform(-0.7, 0.7)
+			regions = append(regions, Region{
+				Name:     fmt.Sprintf("%s %d", m.name, k+1),
+				Code:     fmt.Sprintf("fleet-%s-%d", m.code, k+1),
+				Provider: "fleet",
+				Lat:      lat,
+				Lon:      lon,
+			})
+		}
+	}
+	return regions
+}
+
+// FleetTiers are the canonical fleet sizes used by scale-tiered
+// benchmarks and the fleet experiment driver.
+var FleetTiers = []int{10, 100, 500}

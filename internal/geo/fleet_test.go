@@ -1,0 +1,89 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFleetDeterministic(t *testing.T) {
+	a := Fleet(100, 7)
+	b := Fleet(100, 7)
+	if len(a) != 100 || len(b) != 100 {
+		t.Fatalf("fleet sizes %d/%d, want 100", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fleet not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := Fleet(100, 8)
+	same := 0
+	for i := range a {
+		if a[i].Lat == c[i].Lat && a[i].Lon == c[i].Lon {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical coordinates")
+	}
+}
+
+func TestFleetShape(t *testing.T) {
+	for _, n := range FleetTiers {
+		fleet := Fleet(n, 1)
+		if len(fleet) != n {
+			t.Fatalf("Fleet(%d) returned %d regions", n, len(fleet))
+		}
+		codes := make(map[string]bool, n)
+		for _, r := range fleet {
+			if codes[r.Code] {
+				t.Fatalf("duplicate code %q in %d-DC fleet", r.Code, n)
+			}
+			codes[r.Code] = true
+			if math.Abs(r.Lat) > 90 || math.Abs(r.Lon) > 180+1 {
+				t.Fatalf("region %q has out-of-range coordinates (%v, %v)", r.Code, r.Lat, r.Lon)
+			}
+		}
+	}
+}
+
+// TestFleetSpread checks the apportionment: small fleets land in the
+// heavyweight metros, and every metro participates once the fleet is
+// large enough.
+func TestFleetSpread(t *testing.T) {
+	small := Fleet(10, 3)
+	hasVirginia, hasIreland := false, false
+	for _, r := range small {
+		switch r.Code {
+		case "fleet-na-virginia-1":
+			hasVirginia = true
+		case "fleet-eu-ireland-1":
+			hasIreland = true
+		}
+	}
+	if !hasVirginia || !hasIreland {
+		t.Fatalf("10-DC fleet missing heavyweight metros (virginia=%v ireland=%v)", hasVirginia, hasIreland)
+	}
+
+	large := Fleet(500, 3)
+	prefixes := make(map[string]int)
+	for _, r := range large {
+		// Trim the trailing "-<k>" ordinal to count DCs per metro.
+		code := r.Code
+		for i := len(code) - 1; i >= 0; i-- {
+			if code[i] == '-' {
+				code = code[:i]
+				break
+			}
+		}
+		prefixes[code]++
+	}
+	if len(prefixes) != len(fleetMetros) {
+		t.Fatalf("500-DC fleet uses %d metros, want all %d", len(prefixes), len(fleetMetros))
+	}
+	// Geo distances between distinct metros must be meaningful (the
+	// whole point of geo-derived RTT/BW).
+	if d := DistanceKm(large[0], large[len(large)-1]); d < 1000 {
+		t.Fatalf("first/last fleet DCs only %v km apart; expected cross-continent distance", d)
+	}
+}

@@ -3,6 +3,8 @@ package netsim
 import (
 	"math"
 	"slices"
+	"sync"
+	"sync/atomic"
 )
 
 // The rate allocator distributes WAN capacity among active flows by
@@ -24,25 +26,36 @@ import (
 // weight until some resource saturates; flows crossing a saturated
 // resource freeze; repeat until all flows freeze.
 //
-// # Incremental architecture
+// # Sharded incremental architecture
 //
 // The allocator is the simulator's hot path: the evaluation drivers
 // invalidate it on every flow start/finish, connection resize, ramp
 // step and fluctuation tick, often with hundreds of concurrent shuffle
-// flows in play. Three layers keep a recomputation amortized-cheap
-// while producing bit-identical rates to the original from-scratch
-// implementation (kept as allocateReference for tests and benchmarks):
+// flows in play. Four layers keep a recomputation amortized-cheap
+// while producing bit-identical rates to the from-scratch oracle
+// (allocateReference, kept for tests and benchmarks):
 //
 //  1. Incremental indexes. Per-VM terminating-connection counts
 //     (Sim.vmConns) and per-DC-pair flow lists (Sim.pairFlows) are
 //     maintained as flows start/finish/resize, so congestion factors
 //     and memory utilization — previously an O(flows) rescan per flow,
 //     making each allocation O(flows²) — are O(1) lookups.
-//  2. Slab reuse. The resource table, membership lists, weights, rates
-//     and freeze bitmaps live in allocScratch and are recycled across
-//     invocations; a steady-state allocation performs no heap
-//     allocation at all.
-//  3. Incremental weight sums in the filling loop. Each resource's
+//  2. Bottleneck groups (churn.go). The live flows partition into
+//     connected components over shared resources; each group is
+//     water-filled independently. Filling is a pure function of
+//     group-local state, so groups run sequentially or concurrently on
+//     a worker pool (Config.Workers) with bit-identical results at any
+//     worker count, and scoped invalidation refills only the groups an
+//     event touched — clean groups keep their rates and
+//     retransmission attributions verbatim.
+//  3. Slab reuse. Each worker owns a fillScratch: resource tables,
+//     membership lists, weights, rates and freeze bitmaps are recycled
+//     across invocations, so a steady-state allocation performs no
+//     heap allocation at all. Resources exist only for the VMs and
+//     pairs a group actually uses — idle VMs and pairs cost nothing,
+//     which is what keeps a 500-DC topology with sparse traffic from
+//     paying for 250k pair slots per allocation.
+//  4. Incremental weight sums in the filling loop. Each resource's
 //     unfrozen-weight sum is cached and recomputed only after one of
 //     its member flows froze in the previous round (the recompute
 //     rescans that resource's members in original order, which keeps
@@ -50,11 +63,13 @@ import (
 //     Unfrozen flows are also kept in a compacted order-preserving
 //     list, so late rounds stop paying for flows frozen early.
 //
-// Determinism: every floating-point operation happens in the same
-// order as the from-scratch allocator, with flows visited in start
-// (id) order, so rates are reproducible bit for bit — allocation
-// results do not depend on how the unordered Sim.flows slab happens to
-// be permuted by swap-deletes.
+// Determinism: within a group, every floating-point operation happens
+// in the same order as the from-scratch reference, with flows visited
+// in start (id) order; across groups no state is shared, so neither
+// group execution order nor the worker count can perturb a result.
+// The merge is trivially deterministic — each group writes rates for
+// its own flows and retransmission attributions for its own VMs, and
+// the partition guarantees those sets are disjoint.
 
 // resKind distinguishes allocator resource types (for retransmission
 // attribution).
@@ -71,16 +86,22 @@ const (
 // as saturated in the progressive-filling loop.
 const allocEps = 1e-9
 
-// allocScratch is the allocator's reusable working state (layer 2 of
-// the architecture above). Resources are stored struct-of-arrays;
-// nRes tracks the live prefix so slabs shrink without freeing.
-type allocScratch struct {
-	order []*Flow // active flows in start (id) order
+// fillScratch is one worker's reusable filling state (layer 3 of the
+// architecture above). Resources are stored struct-of-arrays; nRes
+// tracks the live prefix so slabs shrink without freeing. A scratch is
+// owned by exactly one worker for the duration of an allocation; the
+// sequential path uses scratch 0.
+type fillScratch struct {
+	// Group VM table: local ordinal per VM (epoch-stamped), member VMs
+	// in first-appearance order, and their receiver memory factors.
+	vmLocal []int32
+	vmEpoch []uint32
+	epoch   uint32
+	vms     []VMID
+	memF    []float64
 
-	cong []float64 // per-VM effective-capacity factor this round
-	memF []float64 // per-VM receiver memory factor this round
-
-	// Resource slabs, parallel arrays of length >= nRes.
+	// Resource slabs, parallel arrays of length >= nRes. VM resources
+	// occupy indices 2l (egress) and 2l+1 (ingress) for local VM l.
 	nRes     int
 	kind     []resKind
 	resVM    []VMID
@@ -93,9 +114,9 @@ type allocScratch struct {
 	liveRes  []int     // resources that still have unfrozen members
 
 	// pairRes maps pairKey -> pair-limit resource index for the current
-	// build (-1 when not yet materialized); touched lists the keys to
-	// reset afterwards so the map stays O(pairs actually limited).
-	pairRes []int
+	// group (-1 when not materialized); touched lists the keys to reset
+	// afterwards. Sized numDCs² lazily, only when limits exist.
+	pairRes []int32
 	touched []int
 
 	weights []float64
@@ -105,15 +126,27 @@ type allocScratch struct {
 	active  []int // unfrozen flow indices, compacted, in id order
 }
 
-func (a *allocScratch) init(numDCs int) {
-	a.pairRes = make([]int, numDCs*numDCs)
-	for i := range a.pairRes {
-		a.pairRes[i] = -1
+// localVM returns the group-local ordinal of v, adding it to the group
+// VM table on first sight.
+func (a *fillScratch) localVM(v VMID) int32 {
+	if len(a.vmEpoch) <= int(v) {
+		grown := make([]uint32, int(v)+1)
+		copy(grown, a.vmEpoch)
+		a.vmEpoch = grown
+		l := make([]int32, int(v)+1)
+		copy(l, a.vmLocal)
+		a.vmLocal = l
 	}
+	if a.vmEpoch[v] != a.epoch {
+		a.vmEpoch[v] = a.epoch
+		a.vmLocal[v] = int32(len(a.vms))
+		a.vms = append(a.vms, v)
+	}
+	return a.vmLocal[v]
 }
 
 // addRes appends a resource to the slab, recycling member storage.
-func (a *allocScratch) addRes(k resKind, vm VMID, capMbps float64) int {
+func (a *fillScratch) addRes(k resKind, vm VMID, capMbps float64) int {
 	i := a.nRes
 	if i == len(a.kind) {
 		a.kind = append(a.kind, 0)
@@ -138,7 +171,7 @@ func (a *allocScratch) addRes(k resKind, vm VMID, capMbps float64) int {
 }
 
 // growFlows sizes the per-flow slabs for nf flows.
-func (a *allocScratch) growFlows(nf int) {
+func (a *fillScratch) growFlows(nf int) {
 	if cap(a.weights) < nf {
 		a.weights = make([]float64, nf)
 		a.rates = make([]float64, nf)
@@ -154,17 +187,16 @@ func (a *allocScratch) growFlows(nf int) {
 }
 
 // flowsOrdered returns the active flows in start (id) order, reusing
-// the scratch slice. Sim.flows is permuted by swap-deletes; the
+// the cached slice. Sim.flows is permuted by swap-deletes; the
 // allocator's float arithmetic must not depend on that permutation.
 // The sorted view is kept until the flow set changes, so invalidations
 // that touch no flows (fluct ticks, CPU/tc changes) skip the sort.
 func (s *Sim) flowsOrdered() []*Flow {
-	a := &s.scratch
-	if !s.flowSetChanged && len(a.order) == len(s.flows) {
-		return a.order
+	if !s.flowSetChanged && len(s.orderBuf) == len(s.flows) {
+		return s.orderBuf
 	}
-	a.order = append(a.order[:0], s.flows...)
-	slices.SortFunc(a.order, func(x, y *Flow) int {
+	s.orderBuf = append(s.orderBuf[:0], s.flows...)
+	slices.SortFunc(s.orderBuf, func(x, y *Flow) int {
 		switch {
 		case x.id < y.id:
 			return -1
@@ -175,7 +207,7 @@ func (s *Sim) flowsOrdered() []*Flow {
 		}
 	})
 	s.flowSetChanged = false
-	return a.order
+	return s.orderBuf
 }
 
 // ensureAllocated recomputes flow rates if anything changed.
@@ -187,51 +219,220 @@ func (s *Sim) ensureAllocated() {
 	s.allocate()
 }
 
+// scratchFor returns worker w's fillScratch, growing the pool.
+func (s *Sim) scratchFor(w int) *fillScratch {
+	for len(s.scratches) <= w {
+		s.scratches = append(s.scratches, &fillScratch{})
+	}
+	return s.scratches[w]
+}
+
+// allocate recomputes flow rates: partition the live flows into
+// bottleneck groups, decide which groups an event since the last
+// allocation touched, and water-fill exactly those, concurrently when
+// Config.Workers allows.
 func (s *Sim) allocate() {
 	order := s.flowsOrdered()
 	nf := len(order)
+	g := &s.groups
 	if nf == 0 {
 		for _, v := range s.vms {
 			v.lastRetrans = 0
 		}
+		g.dirtyRoots = g.dirtyRoots[:0]
+		g.dirtyAll = false
+		g.rootEpoch++ // no VM stays stamped: everything is ungrouped
+		s.lastGroups, s.lastRefilled = 0, 0
 		return
 	}
-	a := &s.scratch
 
-	// Congestion factor per VM: effective capacity degrades once the
-	// total connection count passes the knee. vmConns is maintained
-	// incrementally, so this is O(VMs), not O(flows).
-	if cap(a.cong) < len(s.vms) {
-		a.cong = make([]float64, len(s.vms))
-		a.memF = make([]float64, len(s.vms))
+	// Partition the live flow set into bottleneck groups.
+	g.beginEpoch(len(s.vms))
+	for _, f := range order {
+		g.union(f.src, f.dst)
 	}
-	a.cong = a.cong[:len(s.vms)]
-	a.memF = a.memF[:len(s.vms)]
-	for i := range s.vms {
-		over := float64(s.vmConns[i] - s.cfg.CongestionKnee)
+	g.linkLimitedPairs(s, order)
+
+	// Assign group ordinals by first appearance in id order and count
+	// members.
+	if cap(g.flowOrd) < nf {
+		g.flowOrd = make([]int32, nf)
+	}
+	g.flowOrd = g.flowOrd[:nf]
+	g.roots = g.roots[:0]
+	g.counts = g.counts[:0]
+	for fi, f := range order {
+		r := g.find(f.src)
+		var ord int32
+		if g.ordEpoch[r] != g.epoch {
+			g.ordEpoch[r] = g.epoch
+			ord = int32(len(g.roots))
+			g.ordOf[r] = ord
+			g.roots = append(g.roots, r)
+			g.counts = append(g.counts, 0)
+		} else {
+			ord = g.ordOf[r]
+		}
+		g.flowOrd[fi] = ord
+		g.counts[ord]++
+	}
+	ng := len(g.roots)
+
+	// Decide which groups to refill: those touched by a recorded event
+	// (via their last-allocation root) or containing a VM that was not
+	// grouped last time (its flows are new).
+	if cap(g.needFill) < ng {
+		g.needFill = make([]bool, ng)
+	}
+	g.needFill = g.needFill[:ng]
+	for i := range g.needFill {
+		g.needFill[i] = g.dirtyAll
+	}
+	if !g.dirtyAll {
+		for _, r := range g.dirtyRoots {
+			g.rootDirty[r] = true
+		}
+		for fi, f := range order {
+			ord := g.flowOrd[fi]
+			if g.needFill[ord] {
+				continue
+			}
+			if g.vmDirty(f.src) || g.vmDirty(f.dst) {
+				g.needFill[ord] = true
+			}
+		}
+		for _, r := range g.dirtyRoots {
+			g.rootDirty[r] = false
+		}
+	}
+	g.dirtyRoots = g.dirtyRoots[:0]
+	g.dirtyAll = false
+
+	// Bucket flows by group, preserving id order within each group.
+	if cap(g.offsets) < ng+1 {
+		g.offsets = make([]int32, ng+1)
+		g.cursor = make([]int32, ng+1)
+	}
+	g.offsets = g.offsets[:ng+1]
+	g.cursor = g.cursor[:ng]
+	off := int32(0)
+	for ord := 0; ord < ng; ord++ {
+		g.offsets[ord] = off
+		g.cursor[ord] = off
+		off += g.counts[ord]
+	}
+	g.offsets[ng] = off
+	if cap(g.bucketed) < nf {
+		g.bucketed = make([]*Flow, nf)
+	}
+	g.bucketed = g.bucketed[:nf]
+	for fi, f := range order {
+		ord := g.flowOrd[fi]
+		g.bucketed[g.cursor[ord]] = f
+		g.cursor[ord]++
+	}
+	g.dirtyG = g.dirtyG[:0]
+	for ord := 0; ord < ng; ord++ {
+		if g.needFill[ord] {
+			g.dirtyG = append(g.dirtyG, int32(ord))
+		}
+	}
+
+	// Fill the dirty groups. Each group writes only its own flows'
+	// rates and its own VMs' retransmission attributions, so the
+	// worker assignment cannot influence results.
+	if nw := min(s.workers, len(g.dirtyG)); nw > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			ws := s.scratchFor(w)
+			wg.Add(1)
+			go func(ws *fillScratch) {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(g.dirtyG) {
+						return
+					}
+					ord := g.dirtyG[i]
+					ws.fillGroup(s, g.bucketed[g.offsets[ord]:g.offsets[ord+1]])
+				}
+			}(ws)
+		}
+		wg.Wait()
+	} else {
+		ws := s.scratchFor(0)
+		for _, ord := range g.dirtyG {
+			ws.fillGroup(s, g.bucketed[g.offsets[ord]:g.offsets[ord+1]])
+		}
+	}
+
+	// Stamp the new grouping for the next round of scoped dirt.
+	g.rootEpoch++
+	for _, f := range order {
+		for _, v := range [2]VMID{f.src, f.dst} {
+			if g.vmRootEpoch[v] != g.rootEpoch {
+				g.vmRootEpoch[v] = g.rootEpoch
+				g.vmRoot[v] = g.find(v)
+			}
+		}
+	}
+	s.lastGroups, s.lastRefilled = ng, len(g.dirtyG)
+}
+
+// vmDirty reports whether v's group must be refilled: v was not part
+// of the last allocation's grouping, or its then-group was dirtied.
+func (g *groupIndex) vmDirty(v VMID) bool {
+	if g.vmRootEpoch[v] != g.rootEpoch {
+		return true
+	}
+	return g.rootDirty[g.vmRoot[v]]
+}
+
+// fillGroup water-fills one bottleneck group: flows is the group's
+// member flows in start (id) order. It writes each flow's rate and the
+// retransmission attribution of every VM the group touches, and no
+// other simulator state. It reads only immutable-within-allocation
+// state from s, so concurrent calls on disjoint groups are safe.
+func (a *fillScratch) fillGroup(s *Sim, flows []*Flow) {
+	nf := len(flows)
+	a.epoch++
+	a.vms = a.vms[:0]
+
+	// Group VM table in first-appearance order. Values (congestion
+	// factor, memory factor) depend only on the VM's own state, so the
+	// table order is free — only per-resource arithmetic must match
+	// the reference, and it does, member lists being in flow order.
+	for _, f := range flows {
+		a.localVM(f.src)
+		a.localVM(f.dst)
+	}
+	a.nRes = 0
+	if cap(a.memF) < len(a.vms) {
+		a.memF = make([]float64, len(a.vms))
+	}
+	a.memF = a.memF[:len(a.vms)]
+	for l, v := range a.vms {
+		over := float64(s.vmConns[v] - s.cfg.CongestionKnee)
 		if over < 0 {
 			over = 0
 		}
-		a.cong[i] = 1 / (1 + s.cfg.CongestionSlope*over)
-		a.memF[i] = memFactor(s.memUtil(VMID(i)))
+		cong := 1 / (1 + s.cfg.CongestionSlope*over)
+		spec := &s.vms[v].spec
+		a.addRes(resEgress, v, spec.EgressMbps*cong)
+		a.addRes(resIngress, v, spec.IngressMbps*cong)
+		a.memF[l] = memFactor(s.memUtil(v))
 	}
 
-	// Build the resource table into the recycled slabs: per-VM egress
-	// (index 2i) and ingress (2i+1), then per-flow caps and lazily
-	// materialized pair limits, in flow order.
-	a.nRes = 0
-	for i, v := range s.vms {
-		a.addRes(resEgress, v.id, v.spec.EgressMbps*a.cong[i])
-		a.addRes(resIngress, v.id, v.spec.IngressMbps*a.cong[i])
-	}
+	// Per-flow caps and lazily materialized pair limits, in flow order.
 	a.growFlows(nf)
-	for fi, f := range order {
+	for fi, f := range flows {
 		srcDC, dstDC := f.srcDC, f.dstDC
 		fluct := 1.0
 		if p := s.fluct[srcDC][dstDC]; p != nil {
 			fluct = p.factor()
 		}
-		memF := a.memF[f.dst]
+		memF := a.memF[a.vmLocal[f.dst]]
 		cpuF := cpuFactor(s.vms[f.src].cpuLoad)
 		capF := float64(f.conns) * s.perConnBase[srcDC][dstDC] * fluct * memF * cpuF * s.rampFactor(f)
 		if s.severed(srcDC, dstDC) {
@@ -241,16 +442,22 @@ func (s *Sim) allocate() {
 
 		a.weights[fi] = float64(f.conns) / s.rttBiasPow[srcDC][dstDC]
 
-		rs := append(a.flowRes[fi][:0], 2*int(f.src), 2*int(f.dst)+1, capRes)
+		rs := append(a.flowRes[fi][:0], int(2*a.vmLocal[f.src]), int(2*a.vmLocal[f.dst]+1), capRes)
 		if limit := s.pairLimitAt(srcDC, dstDC); !math.IsNaN(limit) {
+			if n := len(s.regions) * len(s.regions); len(a.pairRes) < n {
+				a.pairRes = make([]int32, n)
+				for i := range a.pairRes {
+					a.pairRes[i] = -1
+				}
+			}
 			k := s.pairKey(srcDC, dstDC)
 			ri := a.pairRes[k]
 			if ri < 0 {
-				ri = a.addRes(resPairLimit, 0, limit)
+				ri = int32(a.addRes(resPairLimit, 0, limit))
 				a.pairRes[k] = ri
 				a.touched = append(a.touched, k)
 			}
-			rs = append(rs, ri)
+			rs = append(rs, int(ri))
 		}
 		a.flowRes[fi] = rs
 	}
@@ -258,7 +465,7 @@ func (s *Sim) allocate() {
 		a.pairRes[k] = -1
 	}
 	a.touched = a.touched[:0]
-	for fi := range order {
+	for fi := range flows {
 		for _, ri := range a.flowRes[fi] {
 			a.members[ri] = append(a.members[ri], fi)
 		}
@@ -353,25 +560,22 @@ func (s *Sim) allocate() {
 		}
 		a.active = unfrozen
 	}
-	for fi, f := range order {
+	for fi, f := range flows {
 		f.rate = a.rates[fi]
 	}
 
 	// Retransmission rates: attribute overload pressure at each VM
 	// resource to that VM, proportional to how much demand (per-flow
 	// caps) exceeds effective capacity.
-	for _, v := range s.vms {
-		v.lastRetrans = 0
+	for _, v := range a.vms {
+		s.vms[v].lastRetrans = 0
 	}
-	for ri := 0; ri < a.nRes; ri++ {
-		if a.kind[ri] != resEgress && a.kind[ri] != resIngress {
-			continue
-		}
+	for ri := 0; ri < 2*len(a.vms); ri++ {
 		demand := 0.0
 		conns := 0
 		for _, fi := range a.members[ri] {
 			demand += a.resCap[a.flowRes[fi][2]] // the flow's own cap resource
-			conns += order[fi].conns
+			conns += flows[fi].conns
 		}
 		if a.resCap[ri] <= 0 {
 			continue

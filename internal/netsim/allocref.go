@@ -5,13 +5,22 @@ import (
 	"slices"
 )
 
-// allocateReference is the original from-scratch allocator, preserved
-// verbatim in behavior: it rebuilds the whole resource graph on every
-// call, rescans the flow list for per-VM connection totals (O(flows)
-// per flow, O(flows²) per allocation) and recomputes every resource's
-// unfrozen weight sum each filling round. It exists as the oracle for
-// the incremental allocator — equivalence tests require bit-identical
-// rates — and as the baseline for BenchmarkAllocatorChurn.
+// allocateReference is the from-scratch allocator, preserved as the
+// oracle for the incremental sharded allocator — equivalence tests
+// require bit-identical rates — and as the baseline for
+// BenchmarkAllocatorChurn. It rebuilds everything on every call: the
+// bottleneck-group partition is re-derived with a throwaway union-find,
+// per-VM connection totals come from O(flows) rescans of the flow list
+// (O(flows²) per allocation), and every resource's unfrozen weight sum
+// is recomputed each filling round.
+//
+// Groups are water-filled one after another, exactly as the production
+// path defines the allocation: each group's progressive filling sees
+// only its own resources, so its float sequence is a pure function of
+// group-local state. (Before the sharded allocator, filling ran one
+// global round loop over all flows; on a single-group flow set — every
+// dense paper-scale workload — the two formulations execute the same
+// arithmetic, which is what kept the historical goldens byte-stable.)
 //
 // It does not mutate simulator state: rates[i] is the rate of the i-th
 // active flow in start (id) order, retrans[v] the per-VM
@@ -36,6 +45,8 @@ func (s *Sim) allocateReference() (rates []float64, retrans []float64) {
 	}
 
 	// Congestion factor per VM, from a full rescan of the flow list.
+	// A VM's flows all live in its own group, so the global scan equals
+	// a group-local one.
 	congFactor := make([]float64, len(s.vms))
 	totalConns := make([]int, len(s.vms))
 	for _, f := range order {
@@ -50,6 +61,68 @@ func (s *Sim) allocateReference() (rates []float64, retrans []float64) {
 		congFactor[i] = 1 / (1 + s.cfg.CongestionSlope*over)
 	}
 
+	// Bottleneck groups: connected components over VMs joined by flows,
+	// plus links between flows sharing a rate-limited DC pair — the
+	// same partition rule the production allocator applies (churn.go).
+	parent := make([]int, len(s.vms))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(v int) int {
+		if parent[v] != v {
+			parent[v] = find(parent[v])
+		}
+		return parent[v]
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for _, f := range order {
+		union(int(f.src), int(f.dst))
+	}
+	if s.numLimits > 0 {
+		pairFirst := make(map[int]int)
+		for _, f := range order {
+			if math.IsNaN(s.pairLimitAt(f.srcDC, f.dstDC)) {
+				continue
+			}
+			k := s.pairKey(f.srcDC, f.dstDC)
+			if v, ok := pairFirst[k]; ok {
+				union(int(f.src), v)
+			} else {
+				pairFirst[k] = int(f.src)
+			}
+		}
+	}
+	groupIdx := make(map[int]int)
+	var groups [][]int // per group: member flow indices, ascending
+	for fi, f := range order {
+		r := find(int(f.src))
+		gi, ok := groupIdx[r]
+		if !ok {
+			gi = len(groups)
+			groupIdx[r] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], fi)
+	}
+
+	rates = make([]float64, nf)
+	for _, members := range groups {
+		s.refFillGroup(order, members, congFactor, rates, retrans)
+	}
+	return rates, retrans
+}
+
+// refFillGroup water-fills one bottleneck group the original way:
+// every weight sum recomputed every round, per-flow host factors from
+// full rescans. members lists the group's flow indices into order,
+// ascending (id order).
+func (s *Sim) refFillGroup(order []*Flow, members []int, congFactor []float64, rates, retrans []float64) {
 	// connsScan/memScan rescan the flow list per call, exactly like the
 	// original connsAt/memUtil did.
 	connsScan := func(id VMID) int {
@@ -68,27 +141,38 @@ func (s *Sim) allocateReference() (rates []float64, retrans []float64) {
 		return math.Min(1, base+buf)
 	}
 
-	// Build resources.
+	// Build resources: egress/ingress per group VM (first-appearance
+	// order), then per-flow caps and lazily materialized pair limits in
+	// flow order.
 	type refResource struct {
 		kind    resKind
 		vm      VMID
 		cap     float64
-		members []int
+		members []int // local flow ordinals
 	}
 	var resources []refResource
-	egressIdx := make([]int, len(s.vms))
-	ingressIdx := make([]int, len(s.vms))
-	for i, v := range s.vms {
-		egressIdx[i] = len(resources)
-		resources = append(resources, refResource{kind: resEgress, vm: v.id, cap: v.spec.EgressMbps * congFactor[i]})
-		ingressIdx[i] = len(resources)
-		resources = append(resources, refResource{kind: resIngress, vm: v.id, cap: v.spec.IngressMbps * congFactor[i]})
+	egressIdx := make(map[VMID]int)
+	ingressIdx := make(map[VMID]int)
+	addVM := func(v VMID) {
+		if _, ok := egressIdx[v]; ok {
+			return
+		}
+		egressIdx[v] = len(resources)
+		resources = append(resources, refResource{kind: resEgress, vm: v, cap: s.vms[v].spec.EgressMbps * congFactor[v]})
+		ingressIdx[v] = len(resources)
+		resources = append(resources, refResource{kind: resIngress, vm: v, cap: s.vms[v].spec.IngressMbps * congFactor[v]})
+	}
+	for _, fi := range members {
+		addVM(order[fi].src)
+		addVM(order[fi].dst)
 	}
 	pairIdx := make(map[[2]int]int)
 
-	weights := make([]float64, nf)
-	flowRes := make([][]int, nf) // resource indices per flow
-	for fi, f := range order {
+	ng := len(members)
+	weights := make([]float64, ng)
+	flowRes := make([][]int, ng) // resource indices per local flow
+	for li, fi := range members {
+		f := order[fi]
 		srcDC, dstDC := f.srcDC, f.dstDC
 		fluct := 1.0
 		if p := s.fluct[srcDC][dstDC]; p != nil {
@@ -108,7 +192,7 @@ func (s *Sim) allocateReference() (rates []float64, retrans []float64) {
 		if rtt <= 0 {
 			rtt = 1e-3
 		}
-		weights[fi] = float64(f.conns) / math.Pow(rtt, s.cfg.RTTBiasExp)
+		weights[li] = float64(f.conns) / math.Pow(rtt, s.cfg.RTTBiasExp)
 
 		rs := []int{egressIdx[f.src], ingressIdx[f.dst], capRes}
 		if limit := s.pairLimitAt(srcDC, dstDC); !math.IsNaN(limit) {
@@ -120,30 +204,30 @@ func (s *Sim) allocateReference() (rates []float64, retrans []float64) {
 			}
 			rs = append(rs, idx)
 		}
-		flowRes[fi] = rs
+		flowRes[li] = rs
 	}
-	for fi, rs := range flowRes {
+	for li, rs := range flowRes {
 		for _, r := range rs {
-			resources[r].members = append(resources[r].members, fi)
+			resources[r].members = append(resources[r].members, li)
 		}
 	}
 
 	// Progressive filling, recomputing every weight sum every round.
-	rates = make([]float64, nf)
-	frozen := make([]bool, nf)
+	groupRates := make([]float64, ng)
+	frozen := make([]bool, ng)
 	avail := make([]float64, len(resources))
 	for i := range resources {
 		avail[i] = resources[i].cap
 	}
-	remaining := nf
+	remaining := ng
 	const eps = 1e-9
 	for remaining > 0 {
 		theta := math.Inf(1)
 		for ri := range resources {
 			sumW := 0.0
-			for _, fi := range resources[ri].members {
-				if !frozen[fi] {
-					sumW += weights[fi]
+			for _, li := range resources[ri].members {
+				if !frozen[li] {
+					sumW += weights[li]
 				}
 			}
 			if sumW > 0 {
@@ -158,13 +242,13 @@ func (s *Sim) allocateReference() (rates []float64, retrans []float64) {
 		if theta < 0 {
 			theta = 0
 		}
-		for fi := range rates {
-			if frozen[fi] {
+		for li := range groupRates {
+			if frozen[li] {
 				continue
 			}
-			inc := theta * weights[fi]
-			rates[fi] += inc
-			for _, ri := range flowRes[fi] {
+			inc := theta * weights[li]
+			groupRates[li] += inc
+			for _, ri := range flowRes[li] {
 				avail[ri] -= inc
 			}
 		}
@@ -173,22 +257,25 @@ func (s *Sim) allocateReference() (rates []float64, retrans []float64) {
 			if avail[ri] > eps*math.Max(1, resources[ri].cap) {
 				continue
 			}
-			for _, fi := range resources[ri].members {
-				if !frozen[fi] {
-					frozen[fi] = true
+			for _, li := range resources[ri].members {
+				if !frozen[li] {
+					frozen[li] = true
 					remaining--
 					frozeAny = true
 				}
 			}
 		}
 		if !frozeAny {
-			for fi := range frozen {
-				if !frozen[fi] {
-					frozen[fi] = true
+			for li := range frozen {
+				if !frozen[li] {
+					frozen[li] = true
 					remaining--
 				}
 			}
 		}
+	}
+	for li, fi := range members {
+		rates[fi] = groupRates[li]
 	}
 
 	// Retransmission attribution.
@@ -199,9 +286,9 @@ func (s *Sim) allocateReference() (rates []float64, retrans []float64) {
 		}
 		demand := 0.0
 		conns := 0
-		for _, fi := range r.members {
-			demand += resources[flowRes[fi][2]].cap
-			conns += order[fi].conns
+		for _, li := range r.members {
+			demand += resources[flowRes[li][2]].cap
+			conns += order[members[li]].conns
 		}
 		if r.cap <= 0 {
 			continue
@@ -211,5 +298,4 @@ func (s *Sim) allocateReference() (rates []float64, retrans []float64) {
 			retrans[r.vm] += 2.0 * pressure * float64(conns)
 		}
 	}
-	return rates, retrans
 }

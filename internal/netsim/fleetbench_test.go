@@ -1,0 +1,90 @@
+package netsim
+
+import (
+	"math"
+	"slices"
+	"testing"
+)
+
+// TestFleetAllocStatsShape checks the scale-tier benchmark's
+// structural output without gating on wall-clock: cluster shape, flow
+// count, group decomposition, and that every timer actually ran.
+func TestFleetAllocStatsShape(t *testing.T) {
+	st := FleetAllocNsPerFlow(10, 2)
+	if st.DCs != 10 || st.VMsPerDC != fleetBenchVMs {
+		t.Fatalf("tier shape %dx%d, want 10x%d", st.DCs, st.VMsPerDC, fleetBenchVMs)
+	}
+	// 5 DC blocks x (fleetBenchVMs x 2 directions) flows.
+	if want := 5 * fleetBenchVMs * 2; st.Flows != want {
+		t.Fatalf("flows = %d, want %d", st.Flows, want)
+	}
+	// The VM chaining splits each block into two 4-VM cycles.
+	if st.Groups != 10 {
+		t.Fatalf("groups = %d, want 10", st.Groups)
+	}
+	if st.NsPerFlow <= 0 || st.SequentialNsPerFlow <= 0 || st.UnshardedNsPerFlow <= 0 {
+		t.Fatalf("non-positive timings: %+v", st)
+	}
+	if st.ParallelSpeedup() <= 0 || st.ShardedSpeedup() <= 0 {
+		t.Fatalf("non-positive speedups: par=%v shard=%v", st.ParallelSpeedup(), st.ShardedSpeedup())
+	}
+}
+
+// TestUnshardedFillMatchesReference locks the claim the scale-tier
+// benchmark's baseline rests on: running the reference filler over the
+// whole flow set as a single group — the pre-sharding global round
+// loop — answers the same allocation as the group-decomposed
+// reference. Independent components never constrain each other's
+// theta, so the global formulation only changes how a flow's rate is
+// split across filling rounds; the comparison is to a relative 1e-9
+// (the round boundaries differ, so the float accumulation order does
+// too — this is the divergence that makes the per-group formulation
+// the semantic definition and the global loop only a baseline).
+func TestUnshardedFillMatchesReference(t *testing.T) {
+	s, nFlows := fleetBenchSim(20, 0)
+
+	wantRates, wantRetrans := s.allocateReference()
+
+	order := make([]*Flow, len(s.flows))
+	copy(order, s.flows)
+	slices.SortFunc(order, func(x, y *Flow) int { return int(x.id - y.id) })
+	congFactor := make([]float64, len(s.vms))
+	totalConns := make([]int, len(s.vms))
+	for _, f := range order {
+		totalConns[f.src] += f.conns
+		totalConns[f.dst] += f.conns
+	}
+	for i := range s.vms {
+		over := float64(totalConns[i] - s.cfg.CongestionKnee)
+		if over < 0 {
+			over = 0
+		}
+		congFactor[i] = 1 / (1 + s.cfg.CongestionSlope*over)
+	}
+	members := make([]int, nFlows)
+	for i := range members {
+		members[i] = i
+	}
+	gotRates := make([]float64, nFlows)
+	gotRetrans := make([]float64, len(s.vms))
+	s.refFillGroup(order, members, congFactor, gotRates, gotRetrans)
+
+	close := func(a, b float64) bool {
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		m := math.Max(math.Abs(a), math.Abs(b))
+		return d <= 1e-9*math.Max(1, m)
+	}
+	for i := range wantRates {
+		if !close(gotRates[i], wantRates[i]) {
+			t.Fatalf("flow %d: unsharded rate %v != reference %v", i, gotRates[i], wantRates[i])
+		}
+	}
+	for v := range wantRetrans {
+		if !close(gotRetrans[v], wantRetrans[v]) {
+			t.Fatalf("vm %d: unsharded retrans %v != reference %v", v, gotRetrans[v], wantRetrans[v])
+		}
+	}
+}

@@ -67,7 +67,7 @@ func (f *Flow) SetConns(n int) {
 		delta := n - f.conns
 		f.sim.vmConns[f.src] += delta
 		f.sim.vmConns[f.dst] += delta
-		f.sim.invalidate()
+		f.sim.dirtyFlow(f)
 	}
 	f.conns = n
 }

@@ -66,8 +66,17 @@ type Sim struct {
 	fluctEvery float64 // seconds between fluctuation steps
 
 	allocDirty     bool
-	flowSetChanged bool // active-flow membership changed since last flowsOrdered
-	scratch        allocScratch
+	flowSetChanged bool    // active-flow membership changed since last flowsOrdered
+	orderBuf       []*Flow // cached start-order view of flows
+
+	// Bottleneck-group machinery (churn.go, alloc.go): the group index,
+	// the per-worker filling scratches, and the shape of the last
+	// allocation for AllocGroups.
+	groups       groupIndex
+	scratches    []*fillScratch
+	workers      int
+	lastGroups   int
+	lastRefilled int
 
 	rng *simrand.Source
 }
@@ -86,8 +95,10 @@ func NewSim(cfg Config) *Sim {
 		regions:    append([]geo.Region(nil), cfg.Regions...),
 		fluctEvery: 1.0,
 		allocDirty: true,
+		workers:    max(cfg.Workers, 1),
 		rng:        simrand.Derive(cfg.Seed, "netsim"),
 	}
+	s.groups.dirtyAll = true
 	n := len(cfg.Regions)
 	s.vmsOfDC = make([][]VMID, n)
 	for dc, specs := range cfg.VMs {
@@ -139,7 +150,6 @@ func NewSim(cfg Config) *Sim {
 			}
 		}
 	}
-	s.scratch.init(n)
 	if !cfg.Frozen {
 		s.scheduleFluct()
 	}
@@ -219,9 +229,10 @@ func (s *Sim) SetCPULoad(id VMID, load float64) {
 	}
 	s.vms[id].cpuLoad = load
 	// CPU load only enters the allocation through flows that send from
-	// or terminate at this VM; with none attached, current rates stand.
+	// or terminate at this VM; with none attached, current rates stand,
+	// and with some, only this VM's bottleneck group is refilled.
 	if s.vmConns[id] > 0 {
-		s.invalidate()
+		s.dirtyVM(id)
 	}
 }
 
@@ -263,7 +274,7 @@ func (s *Sim) SetPairLimit(srcDC, dstDC int, mbps float64) {
 	}
 	s.pairLimits[k] = mbps
 	if len(s.pairFlows[k]) > 0 {
-		s.invalidate()
+		s.dirtyPair(k)
 	}
 }
 
@@ -273,11 +284,13 @@ func (s *Sim) ClearPairLimit(srcDC, dstDC int) {
 	if math.IsNaN(s.pairLimits[k]) {
 		return
 	}
+	// Dirty before clearing: the limit's flows may span several groups
+	// only while the shared resource still links them.
+	if len(s.pairFlows[k]) > 0 {
+		s.dirtyPair(k)
+	}
 	s.pairLimits[k] = math.NaN()
 	s.numLimits--
-	if len(s.pairFlows[k]) > 0 {
-		s.invalidate()
-	}
 }
 
 // ClearAllPairLimits removes every pair rate limit.
@@ -287,10 +300,10 @@ func (s *Sim) ClearAllPairLimits() {
 	}
 	for k := range s.pairLimits {
 		if !math.IsNaN(s.pairLimits[k]) {
-			s.pairLimits[k] = math.NaN()
 			if len(s.pairFlows[k]) > 0 {
-				s.invalidate()
+				s.dirtyPair(k)
 			}
+			s.pairLimits[k] = math.NaN()
 		}
 	}
 	s.numLimits = 0
@@ -315,8 +328,8 @@ func (s *Sim) SetPerConnCap(srcDC, dstDC int, mbps float64) {
 		return
 	}
 	s.perConnBase[srcDC][dstDC] = mbps
-	if len(s.pairFlows[s.pairKey(srcDC, dstDC)]) > 0 {
-		s.invalidate()
+	if k := s.pairKey(srcDC, dstDC); len(s.pairFlows[k]) > 0 {
+		s.dirtyPair(k)
 	}
 }
 
@@ -400,7 +413,7 @@ func (s *Sim) addFlow(src, dst VMID, conns int, bits float64, onDone func()) *Fl
 		for _, frac := range []float64{1.0 / 3, 2.0 / 3, 1} {
 			s.at(s.now+f.rampS*frac, func(float64) {
 				if !f.done {
-					s.invalidate()
+					s.dirtyFlow(f)
 				}
 			})
 		}
@@ -416,7 +429,7 @@ func (s *Sim) addFlow(src, dst VMID, conns int, bits float64, onDone func()) *Fl
 	if srcDC != dstDC {
 		s.interDCFlow++
 	}
-	s.invalidate()
+	s.dirtyFlow(f)
 	return f
 }
 
@@ -453,6 +466,9 @@ func (s *Sim) finishFlow(f *Flow) {
 	}
 	f.done = true
 	f.rate = 0
+	// Dirty while the flow's endpoints still carry their last-allocation
+	// grouping; the whole former group refills (a finish can split it).
+	s.dirtyFlow(f)
 	last := len(s.flows) - 1
 	moved := s.flows[last]
 	s.flows[f.idx] = moved
@@ -463,6 +479,14 @@ func (s *Sim) finishFlow(f *Flow) {
 
 	s.vmConns[f.src] -= f.conns
 	s.vmConns[f.dst] -= f.conns
+	// A VM with no remaining flows joins no bottleneck group, so no
+	// refill would reset its attribution; zero it at departure.
+	if s.vmConns[f.src] == 0 {
+		s.vms[f.src].lastRetrans = 0
+	}
+	if s.vmConns[f.dst] == 0 {
+		s.vms[f.dst].lastRetrans = 0
+	}
 	k := s.pairKey(f.srcDC, f.dstDC)
 	pf := s.pairFlows[k]
 	for i, g := range pf {
@@ -477,7 +501,6 @@ func (s *Sim) finishFlow(f *Flow) {
 	if f.srcDC != f.dstDC {
 		s.interDCFlow--
 	}
-	s.invalidate()
 	switch {
 	case f.failed:
 		if f.onFail != nil {
@@ -730,9 +753,6 @@ func describePending(s *Sim, flows []substrate.Flow) string {
 	}
 	return string(b)
 }
-
-// invalidate marks the rate allocation stale.
-func (s *Sim) invalidate() { s.allocDirty = true }
 
 // RTTOf returns the modelled RTT between two DCs as a time.Duration.
 func (s *Sim) RTTOf(i, j int) time.Duration {
