@@ -173,12 +173,16 @@ func main() {
 		report.Backends = append(report.Backends, b.String())
 	}
 	failed := 0
+	var admitNanos []int64 // serve control-plane admission latencies, across seeds
 	for k := 0; k < *seeds; k++ {
 		params := experiments.Params{Seed: *seed + uint64(k), Scale: *scale, Model: model}
 		report.Seeds = append(report.Seeds, params.Seed)
 		runs := experiments.RunScenarios(scenarios, params, workers)
 		for _, r := range runs {
 			entry := benchEntry{ID: r.ID, Seed: r.Seed, Seconds: r.Seconds}
+			if sr, ok := r.Result.(experiments.ServeLoadResult); ok {
+				admitNanos = append(admitNanos, sr.AdmitNanos...)
+			}
 			if r.Err != nil {
 				entry.Error = r.Err.Error()
 				fmt.Fprintf(os.Stderr, "%s (seed %d): %v\n", r.ID, r.Seed, r.Err)
@@ -213,6 +217,15 @@ func main() {
 			"rf_train_reference_ns_per_op":         rf.TrainNsPerOp(false, 5),
 			"rf_predict_batch_ns_per_op":           rf.PredictBatchNsPerOp(true, 100),
 			"rf_predict_batch_reference_ns_per_op": rf.PredictBatchNsPerOp(false, 100),
+		}
+		// Control-plane admission→plan latency, from the serve driver's
+		// >1000 scripted submissions (absent unless the serve experiment
+		// ran). The CI guard gates the p50/allocator-churn ratio, which
+		// cancels raw machine speed like every other guard pair.
+		if len(admitNanos) > 0 {
+			p50, p99 := experiments.ServeLoadResult{AdmitNanos: admitNanos}.AdmitPercentiles()
+			report.Benchmarks["serve_admit_p50_ns"] = p50
+			report.Benchmarks["serve_admit_p99_ns"] = p99
 		}
 		// Scale-tiered fleet curves: full-refill cost per flow as the
 		// topology grows, against the unsharded single-group baseline.

@@ -1,0 +1,257 @@
+package wanify
+
+// Dynamic multi-job deployments: the Framework re-entrancy layer the
+// serving control plane (internal/serve) runs on. Where EnableJobSet
+// deploys a FIXED roster of N jobs and runs them to completion, a
+// dynamic deployment opens a fixed number of job SLOTS over one global
+// plan and lets jobs attach and detach while everything runs:
+//
+//   - AdmitJob claims a free slot, re-partitions the current global
+//     plan across the now-occupied slots, atomically narrows every
+//     running job's windows to its new share (agent.SwapWindow — the
+//     same primitive the re-gauging controller swaps with), and deploys
+//     fresh agents for the newcomer.
+//   - ReleaseJob stops a finished job's agents, frees its slot, and
+//     widens the survivors' windows back out in the same way.
+//   - The shared runtime controller keeps arbitrating throughout:
+//     admission and release reswizzle its roster (Controller.SetGroups)
+//     at the instant they happen, and a re-gauge snapshot in flight
+//     simply applies against the post-churn roster.
+//
+// Slot identity is stable: a job keeps its slot index for its whole
+// life, so connection policies and the controller's per-group swap
+// state never shift under a running job. Free slots carry share weight
+// zero — optimize.PartitionPlan hands them zero-connection windows and
+// nobody deploys agents for them.
+//
+// Share policy is ShareFair or SharePriority (per-job weight given at
+// AdmitJob). ShareRemaining is a roster-wide progress signal that the
+// fixed-roster path polls from its JobSet; a churning roster has no
+// single set to poll, so dynamic deployments reject it.
+
+import (
+	"fmt"
+
+	"github.com/wanify/wanify/internal/agent"
+	"github.com/wanify/wanify/internal/bwmatrix"
+	"github.com/wanify/wanify/internal/measure"
+	"github.com/wanify/wanify/internal/optimize"
+	"github.com/wanify/wanify/internal/predict"
+	rgauge "github.com/wanify/wanify/internal/runtime"
+	"github.com/wanify/wanify/internal/spark"
+)
+
+// DynamicJobSetOptions configures a dynamic multi-job deployment.
+type DynamicJobSetOptions struct {
+	// Slots is the maximum number of concurrently admitted jobs.
+	Slots int
+	// Share selects how occupied slots split the global plan:
+	// ShareFair (default) or SharePriority (weights from AdmitJob).
+	Share optimize.ShareMode
+	// Optimize carries the §3.3 heterogeneity inputs of the shared
+	// global optimization.
+	Optimize OptimizeOptions
+}
+
+// dynamicState tracks slot occupancy of a dynamic deployment.
+type dynamicState struct {
+	opts DynamicJobSetOptions
+	used []bool
+	prio []float64
+}
+
+// EnableDynamicJobSet gauges the cluster once (snapshot → predict →
+// optimize) and opens a dynamic multi-job deployment with all slots
+// free. When Config.Runtime is enabled the shared arbitration
+// controller starts immediately — over an empty roster, which it
+// tolerates: epochs aggregate nothing until the first AdmitJob attaches
+// agents. Returns the predicted matrix and the measurement bill.
+func (f *Framework) EnableDynamicJobSet(o DynamicJobSetOptions) (bwmatrix.Matrix, measure.Report, error) {
+	if o.Slots < 1 {
+		return nil, measure.Report{}, fmt.Errorf("wanify: dynamic job set needs at least one slot, got %d", o.Slots)
+	}
+	if o.Share == optimize.ShareRemaining {
+		return nil, measure.Report{}, fmt.Errorf("wanify: dynamic job sets support fair or priority sharing only")
+	}
+	f.StopAgents()
+	pred, rep := f.DetermineRuntimeBW()
+	plan := f.Optimize(pred, o.Optimize)
+	f.deployed = pred.Clone()
+	f.dyn = &dynamicState{
+		opts: o,
+		used: make([]bool, o.Slots),
+		prio: make([]float64, o.Slots),
+	}
+	f.jobAgents = make([][]*agent.Agent, o.Slots)
+	if f.cfg.Agent.Throttle {
+		f.applyGlobalThrottles(plan)
+	}
+	if f.cfg.Runtime.Enabled {
+		f.startDynamicController()
+	}
+	return pred, rep, nil
+}
+
+// DynamicSlots reports (occupied, total) slots of a dynamic deployment,
+// (0, 0) when none is enabled.
+func (f *Framework) DynamicSlots() (used, total int) {
+	if f.dyn == nil {
+		return 0, 0
+	}
+	for _, u := range f.dyn.used {
+		if u {
+			used++
+		}
+	}
+	return used, len(f.dyn.used)
+}
+
+// dynamicWeights evaluates the per-slot share weights: zero for free
+// slots, the admit-time priority (fair: 1) for occupied ones.
+func (f *Framework) dynamicWeights() []float64 {
+	w := make([]float64, len(f.dyn.used))
+	for i, used := range f.dyn.used {
+		if !used {
+			continue
+		}
+		if f.dyn.opts.Share == optimize.SharePriority && f.dyn.prio[i] > 0 {
+			w[i] = f.dyn.prio[i]
+		} else {
+			w[i] = 1
+		}
+	}
+	return w
+}
+
+// partitionDynamic splits a global plan across the slots per the
+// deployment's current occupancy.
+func (f *Framework) partitionDynamic(plan optimize.Plan) []optimize.Plan {
+	return optimize.PartitionPlan(plan, f.dynamicWeights())
+}
+
+// startDynamicController launches the shared arbitration controller
+// over the (initially empty) slot roster.
+func (f *Framework) startDynamicController() {
+	deps := f.controllerDeps(f.dyn.opts.Optimize)
+	deps.Groups = f.jobAgents
+	deps.Partition = f.partitionDynamic
+	if f.cfg.Agent.Throttle {
+		deps.OnPlanSwap = func(_ bwmatrix.Matrix, plan optimize.Plan) {
+			f.applyGlobalThrottles(plan)
+		}
+	}
+	f.controller = rgauge.Start(deps, f.cfg.Runtime, f.deployed, f.plan)
+}
+
+// currentBelief returns the prediction/plan pair the deployment is
+// currently running: the controller's when one arbitrates (it owns the
+// replan history), the enable-time pair otherwise.
+func (f *Framework) currentBelief() (bwmatrix.Matrix, optimize.Plan) {
+	if f.controller != nil {
+		return f.controller.CurrentPred(), f.controller.CurrentPlan()
+	}
+	return f.deployed, f.plan
+}
+
+// AdmitJob claims a free slot for a new job with the given priority
+// weight (ignored under ShareFair), re-partitions the current plan
+// across the occupied slots — every running job's windows narrow to
+// their new share within this call — and deploys the newcomer's agents.
+// It returns the slot index and the connection policy the job's
+// transfers must use. Errors when no slot is free (the caller queues).
+func (f *Framework) AdmitJob(priority float64) (int, spark.ConnPolicy, error) {
+	if f.dyn == nil {
+		return 0, nil, fmt.Errorf("wanify: AdmitJob without EnableDynamicJobSet")
+	}
+	slot := -1
+	for i, used := range f.dyn.used {
+		if !used {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		return 0, nil, fmt.Errorf("wanify: all %d job slots occupied", len(f.dyn.used))
+	}
+	f.dyn.used[slot] = true
+	f.dyn.prio[slot] = priority
+	f.rebalanceDynamic(slot)
+	return slot, spark.NewAgentConn(f.jobAgents[slot]), nil
+}
+
+// ReleaseJob frees a slot — the job finished or was canceled — stopping
+// its agents and widening the surviving jobs' windows back out to their
+// new shares.
+func (f *Framework) ReleaseJob(slot int) error {
+	if f.dyn == nil {
+		return fmt.Errorf("wanify: ReleaseJob without EnableDynamicJobSet")
+	}
+	if slot < 0 || slot >= len(f.dyn.used) || !f.dyn.used[slot] {
+		return fmt.Errorf("wanify: release of unoccupied slot %d", slot)
+	}
+	for _, a := range f.jobAgents[slot] {
+		a.Stop()
+	}
+	f.jobAgents[slot] = nil
+	f.dyn.used[slot] = false
+	f.dyn.prio[slot] = 0
+	f.rebalanceDynamic(-1)
+	return nil
+}
+
+// rebalanceDynamic re-partitions the current plan across occupied slots
+// after an occupancy change, swapping new windows into every running
+// job and — when newSlot is a fresh admission — deploying its agents.
+func (f *Framework) rebalanceDynamic(newSlot int) {
+	pred, plan := f.currentBelief()
+	parts := f.partitionDynamic(plan)
+	sim := f.cfg.Cluster
+	agentCfg := f.cfg.Agent
+	agentCfg.Throttle = false
+	for g := range parts {
+		if !f.dyn.used[g] {
+			continue
+		}
+		rows := agent.ChunkPlan(sim, pred, parts[g])
+		if g == newSlot {
+			var group []*agent.Agent
+			for dc := 0; dc < sim.NumDCs(); dc++ {
+				for _, vm := range sim.VMsOfDC(dc) {
+					a := agent.New(sim, vm, agentCfg)
+					a.ApplyPlan(rows[vm])
+					a.Start()
+					group = append(group, a)
+				}
+			}
+			f.jobAgents[g] = group
+		} else {
+			for _, a := range f.jobAgents[g] {
+				a.SwapWindow(rows[a.VM()])
+			}
+		}
+	}
+	f.syncControllerGroups()
+}
+
+// syncControllerGroups reswizzles the controller's roster to the
+// current slot occupancy.
+func (f *Framework) syncControllerGroups() {
+	if f.controller == nil {
+		return
+	}
+	var union []*agent.Agent
+	for _, group := range f.jobAgents {
+		union = append(union, group...)
+	}
+	f.controller.SetGroups(union, f.jobAgents)
+}
+
+// SetModel swaps the framework's prediction model — the serving layer's
+// model-cache refresh hook. The new model takes effect at the next
+// prediction (a controller re-gauge or DetermineRuntimeBW); windows
+// already deployed are untouched until then. Nil is ignored.
+func (f *Framework) SetModel(m *predict.Model) {
+	if m != nil {
+		f.model = m
+	}
+}

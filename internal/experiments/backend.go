@@ -105,6 +105,7 @@ var netsimOnly = map[string]bool{
 	"failover":        true, // injects a netsim DC-death fault schedule
 	"chaos":           true, // bespoke 6x2 cluster with randomized netsim faults
 	"fleet":           true, // synthetic 100-DC fleet topology (geo.Fleet)
+	"serve":           true, // control-plane load test (scripted netsim arrivals)
 }
 
 // SupportsBackend reports whether an experiment can run on b. The

@@ -130,6 +130,61 @@ func TestPlanningBenchRegression(t *testing.T) {
 	}
 }
 
+// TestServeBenchRegression extends the guard to the control plane's
+// admission→plan latency: it replays the serve load test (the same
+// 1100-submission script wanify-bench runs) and fails if the p50
+// admission critical path regressed more than 30% relative to the
+// allocator-churn microbenchmark — the ratio cancels raw machine
+// speed, so the gate trips on a genuinely slower admission path (slot
+// claim + window re-partition + agent deployment), not a slower
+// runner. The p99 gets a wider 60% band: a tail percentile of one
+// scripted run is inherently noisier than a median. Armed by
+// WANIFY_BENCH_GUARD=1, like every guard above.
+func TestServeBenchRegression(t *testing.T) {
+	if os.Getenv("WANIFY_BENCH_GUARD") == "" {
+		t.Skip("set WANIFY_BENCH_GUARD=1 to arm the benchmark-regression guard")
+	}
+	raw, err := os.ReadFile("../../BENCH_netsim.json")
+	if err != nil {
+		t.Fatalf("reading committed baseline: %v", err)
+	}
+	var report struct {
+		Benchmarks map[string]float64 `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("parsing baseline: %v", err)
+	}
+	baseP50 := report.Benchmarks["serve_admit_p50_ns"]
+	baseP99 := report.Benchmarks["serve_admit_p99_ns"]
+	baseChurn := report.Benchmarks["allocator_churn_ns_per_op"]
+	if baseP50 <= 0 || baseP99 <= 0 || baseChurn <= 0 {
+		t.Fatal("baseline lacks serve_admit_p50/p99_ns or allocator_churn_ns_per_op (regenerate with wanify-bench -run all)")
+	}
+
+	churn := netsim.ChurnNsPerOp(true, 5000)
+	var p50s, p99s []float64
+	for i := 0; i < 3; i++ {
+		res, err := ServeLoad(Params{Seed: 1, Scale: 0.1})
+		if err != nil {
+			t.Fatalf("serve load: %v", err)
+		}
+		p50, p99 := res.AdmitPercentiles()
+		p50s = append(p50s, p50/churn)
+		p99s = append(p99s, p99/churn)
+	}
+	sort.Float64s(p50s)
+	sort.Float64s(p99s)
+	gotP50, gotP99 := p50s[len(p50s)/2], p99s[len(p99s)/2]
+	t.Logf("serve admit/churn ratios: p50 %.2f (baseline %.2f), p99 %.2f (baseline %.2f)",
+		gotP50, baseP50/baseChurn, gotP99, baseP99/baseChurn)
+	if gotP50 > baseP50/baseChurn*1.30 {
+		t.Fatalf("serve admission p50 regressed: ratio %.2f vs baseline %.2f (>30%%)", gotP50, baseP50/baseChurn)
+	}
+	if gotP99 > baseP99/baseChurn*1.60 {
+		t.Fatalf("serve admission p99 regressed: ratio %.2f vs baseline %.2f (>60%%)", gotP99, baseP99/baseChurn)
+	}
+}
+
 // TestFleetScaleBenchRegression extends the guard to the scale-tiered
 // allocator curves: at each fleet tier recorded in BENCH_netsim.json
 // it replays the full-refill benchmark and fails if the

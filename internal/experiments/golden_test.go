@@ -25,6 +25,7 @@ var separateGolden = map[string]bool{
 	"failover":       true,
 	"chaos":          true,
 	"fleet":          true,
+	"serve":          true,
 }
 
 // renderAll runs every registered experiment at the given seed and
@@ -234,6 +235,36 @@ func TestGoldenFleetOutputs(t *testing.T) {
 	if got != string(want) {
 		dumpGoldenDiff(t, filepath.Base(path), got, string(want))
 		t.Errorf("fleet-driver output diverged from golden file %s;\nfirst divergence near byte %d",
+			path, firstDiff(got, string(want)))
+	}
+}
+
+// TestGoldenServeOutputs locks the control-plane load test byte for
+// byte in its own golden file: 1100 scripted submissions through the
+// Plane's admission machinery, with queue overflow, quota rejections,
+// cancels, model refreshes, and the shared re-gauging controller all
+// on one substrate timeline. Regenerate deliberately with
+// `go test -run TestGoldenServeOutputs -update`.
+func TestGoldenServeOutputs(t *testing.T) {
+	res, err := Registry["serve"](Params{Seed: 1, Scale: goldenScale})
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	got := fmt.Sprintf("=== serve ===\n%s\n", res)
+	path := filepath.Join("testdata", "golden_serve_seed1.txt")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		dumpGoldenDiff(t, filepath.Base(path), got, string(want))
+		t.Errorf("serve-driver output diverged from golden file %s;\nfirst divergence near byte %d",
 			path, firstDiff(got, string(want)))
 	}
 }

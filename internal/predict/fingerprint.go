@@ -1,0 +1,88 @@
+package predict
+
+import (
+	"math"
+
+	"github.com/wanify/wanify/internal/ml/dataset"
+)
+
+// Snapshot fingerprinting: the cache key of the serving layer's model
+// cache (internal/serve.ModelCache). A fingerprint condenses one
+// cluster snapshot — the same [][]dataset.PairFeatures the model
+// predicts from — into a stable 64-bit key. Two snapshots of the same
+// cluster under the same network regime hash to the same key, so a
+// control plane serving thousands of job admissions trains one model
+// per regime instead of one per admission; a materially different
+// snapshot (topology change, a link's bandwidth regime shifting)
+// hashes elsewhere and forces a retrain.
+//
+// Stability across the measurement wobble the paper's 1-second
+// snapshots carry comes from quantization, not tolerance comparison:
+// every feature is bucketed before hashing (bandwidth to QuantMbps
+// buckets, utilizations to 0.1, retransmissions to 1/s), so any two
+// snapshots whose features land in the same buckets produce
+// bit-identical keys — no "almost equal" fuzziness, which would break
+// the byte-identical-replay discipline the golden tests rely on.
+
+// DefaultQuantMbps is the default bandwidth bucket width. It sits at
+// half the paper's 100 Mbps significance threshold: snapshots whose
+// pairwise bandwidths differ by less than what the paper calls
+// significant usually share a key, while a genuine regime shift (a
+// diurnal swing, a congestion episode) moves at least one pair by
+// several buckets.
+const DefaultQuantMbps = 50.0
+
+// Utilization and retransmission bucket widths (fixed: their scales
+// are dimensionless or event-rate and do not vary by deployment).
+const (
+	quantUtil    = 0.1
+	quantRetrans = 1.0
+)
+
+// Fingerprint hashes a snapshot feature matrix into the model-cache
+// key. quantMbps is the bandwidth bucket width (<= 0 selects
+// DefaultQuantMbps). The hash is FNV-1a over the bucketed features in
+// row-major order, seeded with the cluster size, so it is deterministic
+// across processes and Go versions (no map iteration, no float bits —
+// only integer buckets enter the hash).
+func Fingerprint(features [][]dataset.PairFeatures, quantMbps float64) uint64 {
+	if quantMbps <= 0 {
+		quantMbps = DefaultQuantMbps
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v int64) {
+		u := uint64(v)
+		for i := 0; i < 8; i++ {
+			h ^= u & 0xff
+			h *= prime64
+			u >>= 8
+		}
+	}
+	mix(int64(len(features)))
+	for i := range features {
+		for j := range features[i] {
+			if i == j {
+				continue
+			}
+			f := features[i][j]
+			mix(int64(f.N))
+			mix(bucket(f.SnapshotMbps, quantMbps))
+			mix(bucket(f.MemUtilDst, quantUtil))
+			mix(bucket(f.CPULoadSrc, quantUtil))
+			mix(bucket(f.RetransSrc, quantRetrans))
+			// Distance is topology, not weather: bucket at one mile so
+			// any topology change (and nothing else) moves it.
+			mix(bucket(f.DistanceMiles, 1))
+		}
+	}
+	return h
+}
+
+// bucket maps a feature value onto its quantization bucket index.
+func bucket(v, step float64) int64 {
+	return int64(math.Floor(v / step))
+}

@@ -1,0 +1,79 @@
+package predict
+
+import (
+	"testing"
+
+	"github.com/wanify/wanify/internal/ml/dataset"
+)
+
+// fpFeatures builds a small feature matrix with every off-diagonal
+// pair set to the same values.
+func fpFeatures(n int, mbps float64) [][]dataset.PairFeatures {
+	out := make([][]dataset.PairFeatures, n)
+	for i := range out {
+		out[i] = make([]dataset.PairFeatures, n)
+		for j := range out[i] {
+			if i == j {
+				continue
+			}
+			out[i][j] = dataset.PairFeatures{
+				N:             n,
+				SnapshotMbps:  mbps,
+				MemUtilDst:    0.42,
+				CPULoadSrc:    0.31,
+				RetransSrc:    2.5,
+				DistanceMiles: float64(1000 + 100*i + 10*j),
+			}
+		}
+	}
+	return out
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	a := Fingerprint(fpFeatures(4, 500), 0)
+	b := Fingerprint(fpFeatures(4, 500), 0)
+	if a != b {
+		t.Fatalf("identical features hashed differently: %x vs %x", a, b)
+	}
+	if a == 0 {
+		t.Fatalf("suspicious zero fingerprint")
+	}
+}
+
+func TestFingerprintQuantizationAbsorbsWobble(t *testing.T) {
+	base := Fingerprint(fpFeatures(4, 500), 0)
+	// 500 and 520 Mbps land in the same 50 Mbps bucket ([500, 550)).
+	wobble := Fingerprint(fpFeatures(4, 520), 0)
+	if base != wobble {
+		t.Fatalf("within-bucket wobble changed the fingerprint")
+	}
+	// A regime shift of several buckets must move it.
+	shifted := Fingerprint(fpFeatures(4, 200), 0)
+	if base == shifted {
+		t.Fatalf("300 Mbps regime shift did not change the fingerprint")
+	}
+}
+
+func TestFingerprintSeesTopology(t *testing.T) {
+	if Fingerprint(fpFeatures(4, 500), 0) == Fingerprint(fpFeatures(5, 500), 0) {
+		t.Fatalf("cluster size change did not change the fingerprint")
+	}
+	a := fpFeatures(4, 500)
+	b := fpFeatures(4, 500)
+	b[1][2].DistanceMiles += 5 // a topology edit, however small
+	if Fingerprint(a, 0) == Fingerprint(b, 0) {
+		t.Fatalf("distance change did not change the fingerprint")
+	}
+}
+
+func TestFingerprintQuantKnob(t *testing.T) {
+	// A coarser bucket merges regimes the default separates.
+	a := fpFeatures(4, 500)
+	b := fpFeatures(4, 620)
+	if Fingerprint(a, 50) == Fingerprint(b, 50) {
+		t.Fatalf("120 Mbps apart should differ at 50 Mbps buckets")
+	}
+	if Fingerprint(a, 1000) != Fingerprint(b, 1000) {
+		t.Fatalf("120 Mbps apart should merge at 1000 Mbps buckets")
+	}
+}

@@ -278,6 +278,23 @@ func (c *Controller) Stop() {
 	}
 }
 
+// SetGroups swaps the controller's arbitration roster while it runs —
+// the attach/detach path a serving deployment uses as jobs arrive and
+// finish. union is the flat agent list the controller aggregates
+// monitored rates over; groups are the per-slot agent slices a replan
+// partitions windows across (empty/nil slots are idle and receive
+// nothing). The substrate is single-timeline, so calling this from a
+// substrate event is ordered with every epoch tick; a re-gauge snapshot
+// already in flight applies its swap against the NEW roster, since the
+// swap reads the deps at apply time.
+func (c *Controller) SetGroups(union []*agent.Agent, groups [][]*agent.Agent) {
+	if len(groups) > 0 && c.deps.Partition == nil {
+		panic("runtime: SetGroups needs a partition hook")
+	}
+	c.deps.Agents = union
+	c.deps.Groups = groups
+}
+
 // Events returns the completed replans.
 func (c *Controller) Events() []Event { return c.events }
 
@@ -472,6 +489,9 @@ func (c *Controller) beginRegauge(now float64, reason Reason, drifted int, maxFr
 		if len(c.deps.Groups) > 0 {
 			parts := c.deps.Partition(plan)
 			for g, group := range c.deps.Groups {
+				if len(group) == 0 {
+					continue // idle slot of a dynamic deployment
+				}
 				rows := agent.ChunkPlan(c.deps.Cluster, pred, parts[g])
 				for _, a := range group {
 					a.SwapWindow(rows[a.VM()])

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Driver gives a deterministic Plane a real-time face. The substrate
+// is single-timeline — nothing about the Plane tolerates concurrent
+// callers — so exactly one goroutine (Run) owns the clock: it
+// alternates between draining serialized commands that HTTP handlers
+// enqueue via Do and advancing simulated time, pacing the advance
+// against the wall clock per Speed. Commands therefore execute at
+// well-defined simulated instants, between clock slices, and the
+// Plane's determinism survives contact with the network.
+type Driver struct {
+	// TickS is the simulated seconds advanced per loop iteration
+	// (default 1).
+	TickS float64
+	// Speed is simulated seconds per wall second (default 60; <=0
+	// free-runs the clock as fast as the host allows).
+	Speed float64
+
+	plane *Plane
+	cmds  chan func()
+	stop  chan struct{}
+	done  chan struct{}
+	once  sync.Once
+}
+
+// NewDriver wraps a started Plane.
+func NewDriver(p *Plane) *Driver {
+	return &Driver{
+		TickS: 1,
+		Speed: 60,
+		plane: p,
+		cmds:  make(chan func(), 64),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// Do runs fn on the driver goroutine — between clock slices, at the
+// current simulated instant — and returns when it has executed. Every
+// HTTP handler reaches the Plane through this.
+func (d *Driver) Do(fn func()) {
+	ran := make(chan struct{})
+	select {
+	case d.cmds <- func() { fn(); close(ran) }:
+		<-ran
+	case <-d.done:
+		// Driver stopped: run inline, the loop no longer owns the clock.
+		fn()
+	}
+}
+
+// Run owns the timeline until Close: drain commands, advance the
+// clock one tick, pace against the wall. Call it on its own goroutine.
+func (d *Driver) Run() {
+	defer close(d.done)
+	var sleep time.Duration
+	if d.Speed > 0 {
+		sleep = time.Duration(d.TickS / d.Speed * float64(time.Second))
+	}
+	for {
+		select {
+		case <-d.stop:
+			return
+		case fn := <-d.cmds:
+			fn()
+			continue
+		default:
+		}
+		d.plane.Step(d.TickS)
+		if sleep > 0 {
+			timer := time.NewTimer(sleep)
+			select {
+			case <-d.stop:
+				timer.Stop()
+				return
+			case fn := <-d.cmds:
+				timer.Stop()
+				fn()
+			case <-timer.C:
+			}
+		}
+	}
+}
+
+// Close stops the loop; pending Do calls complete inline afterwards.
+func (d *Driver) Close() {
+	d.once.Do(func() { close(d.stop) })
+	<-d.done
+}

@@ -1,0 +1,241 @@
+package serve
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/wanify/wanify"
+	"github.com/wanify/wanify/internal/agent"
+	"github.com/wanify/wanify/internal/cost"
+	"github.com/wanify/wanify/internal/geo"
+	"github.com/wanify/wanify/internal/netsim"
+	"github.com/wanify/wanify/internal/predict"
+	"github.com/wanify/wanify/internal/spark"
+	"github.com/wanify/wanify/internal/substrate"
+)
+
+// newTestPlane stands up a small serving stack — netsim testbed,
+// framework, engine, plane — started and ready for submissions.
+func newTestPlane(t *testing.T, seed uint64, mut func(*Config)) (*Plane, *MemorySink) {
+	t.Helper()
+	rates := cost.DefaultRates()
+	sim := netsim.NewSim(netsim.UniformCluster(geo.TestbedSubset(4), substrate.T2Medium, seed))
+	fw, err := wanify.New(wanify.Config{
+		Cluster: sim, Rates: rates, Seed: seed,
+		Agent: agent.Config{Throttle: true},
+	}, trainTestModel(t, seed))
+	if err != nil {
+		t.Fatalf("framework: %v", err)
+	}
+	sim.RunUntil(60)
+	sink := &MemorySink{}
+	cfg := Config{Rates: rates, Seed: seed, MaxRunning: 2, Sink: sink}
+	if mut != nil {
+		mut(&cfg)
+	}
+	p, err := New(fw, spark.NewEngine(sim, rates), cfg)
+	if err != nil {
+		t.Fatalf("plane: %v", err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	return p, sink
+}
+
+func TestPlaneLifecycle(t *testing.T) {
+	p, sink := newTestPlane(t, 11, func(c *Config) {
+		c.RefreshS = 300
+		c.Train = func(fp uint64) (*predict.Model, error) { return trainTestModel(t, fp), nil }
+	})
+	st, err := p.Submit(JobSpec{Workload: "terasort", InputGB: 0.5, Tenant: "alpha"})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if st.State != "running" || st.ID != 1 {
+		t.Fatalf("first submit should run immediately, got %+v", st)
+	}
+	if _, err := p.Submit(JobSpec{Workload: "tpcds:q78", InputGB: 0.3}); err != nil {
+		t.Fatalf("submit 2: %v", err)
+	}
+	if _, err := p.Submit(JobSpec{Workload: "wordcount", InputGB: 0.2}); err != nil {
+		t.Fatalf("submit 3: %v", err) // queues: both slots busy
+	}
+	if got, _ := p.Status(3); got.State != "queued" {
+		t.Fatalf("third job state = %s, want queued", got.State)
+	}
+	if err := p.DriveUntilIdle(1, 20000); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	p.Step(16) // cross at least one telemetry epoch boundary
+	for id := 1; id <= 3; id++ {
+		st, err := p.Status(id)
+		if err != nil {
+			t.Fatalf("status %d: %v", id, err)
+		}
+		if st.State != "done" {
+			t.Fatalf("job %d finished as %s (err %q)", id, st.State, st.Error)
+		}
+		if st.JCTSeconds <= 0 || st.WANGB <= 0 || st.CostUSD <= 0 {
+			t.Fatalf("job %d missing result economics: %+v", id, st)
+		}
+	}
+	if got := p.Stats(); got.Submitted != 3 || got.Admitted != 3 || got.Done != 3 {
+		t.Fatalf("stats = %+v", got)
+	}
+	// The queued job must have a positive simulated queue wait.
+	st3, _ := p.Status(3)
+	if st3.QueueWaitS <= 0 {
+		t.Fatalf("queued job reports no queue wait: %+v", st3)
+	}
+	// The boot refresh populated the cache through one miss.
+	if cs := p.Cache().Stats(); cs.Misses < 1 {
+		t.Fatalf("boot model refresh never touched the cache: %+v", cs)
+	}
+	// Three admissions → three wall-latency samples, and percentiles
+	// derived from them.
+	if got := p.AdmitNanos(); len(got) != 3 {
+		t.Fatalf("admission latency samples = %d, want 3", len(got))
+	}
+	if p50, p99 := p.AdmitLatencyNanos(); p50 <= 0 || p99 < p50 {
+		t.Fatalf("admission percentiles p50=%d p99=%d", p50, p99)
+	}
+	// Telemetry flowed and every line is well-formed Graphite plaintext.
+	lines := sink.Lines()
+	if len(lines) == 0 {
+		t.Fatalf("no telemetry emitted")
+	}
+	for _, l := range lines {
+		if !ValidLine(l.String()) {
+			t.Fatalf("invalid telemetry line %q", l.String())
+		}
+	}
+	p.Close()
+	if _, err := p.Submit(JobSpec{Workload: "terasort", InputGB: 0.1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v", err)
+	}
+}
+
+func TestPlaneQueueAndQuotaRejections(t *testing.T) {
+	p, _ := newTestPlane(t, 13, func(c *Config) {
+		c.MaxRunning = 1
+		c.QueueCap = 1
+		c.TenantQuota = 2
+	})
+	if _, err := p.Submit(JobSpec{Workload: "terasort", InputGB: 0.3, Tenant: "a"}); err != nil {
+		t.Fatalf("submit 1: %v", err) // runs
+	}
+	if _, err := p.Submit(JobSpec{Workload: "terasort", InputGB: 0.3, Tenant: "a"}); err != nil {
+		t.Fatalf("submit 2: %v", err) // queues
+	}
+	// Tenant a now has 2 in flight — the quota. A third is rejected even
+	// though nothing about the queue itself is full for other tenants.
+	if _, err := p.Submit(JobSpec{Workload: "terasort", InputGB: 0.3, Tenant: "a"}); !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("quota breach: %v", err)
+	}
+	// Tenant b hits the queue bound instead: 1 queued, cap 1.
+	if _, err := p.Submit(JobSpec{Workload: "terasort", InputGB: 0.3, Tenant: "b"}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("queue overflow: %v", err)
+	}
+	st := p.Stats()
+	if st.RejectedQuota != 1 || st.RejectedQueue != 1 {
+		t.Fatalf("rejection counters = %+v", st)
+	}
+	// Rejections leave no job record.
+	if got := len(p.Jobs()); got != 2 {
+		t.Fatalf("rejections left records: %d jobs", got)
+	}
+	// Bad specs are rejected up front.
+	if _, err := p.Submit(JobSpec{Workload: "mapreduce", InputGB: 1}); err == nil {
+		t.Fatalf("unknown workload accepted")
+	}
+	if _, err := p.Submit(JobSpec{Workload: "terasort", InputGB: 0}); err == nil {
+		t.Fatalf("zero-input job accepted")
+	}
+	if _, err := p.Submit(JobSpec{Workload: "terasort", InputGB: 1, DCs: []int{99}}); err == nil {
+		t.Fatalf("out-of-range placement mask accepted")
+	}
+}
+
+func TestPlaneCancel(t *testing.T) {
+	p, _ := newTestPlane(t, 17, func(c *Config) { c.MaxRunning = 1 })
+	if _, err := p.Submit(JobSpec{Workload: "terasort", InputGB: 0.4}); err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	if _, err := p.Submit(JobSpec{Workload: "wordcount", InputGB: 0.4}); err != nil {
+		t.Fatalf("submit 2: %v", err)
+	}
+	if _, err := p.Submit(JobSpec{Workload: "terasort", InputGB: 0.2}); err != nil {
+		t.Fatalf("submit 3: %v", err)
+	}
+	// Cancel the queued job 2: slot math must be untouched.
+	if st, err := p.Cancel(2); err != nil || st.State != "canceled" {
+		t.Fatalf("cancel queued: %v %+v", err, st)
+	}
+	// Cancel the running job 1: frees the slot, job 3 pumps in.
+	if st, err := p.Cancel(1); err != nil || st.State != "canceled" {
+		t.Fatalf("cancel running: %v %+v", err, st)
+	}
+	if st, _ := p.Status(3); st.State != "running" {
+		t.Fatalf("queue did not pump after cancel: job 3 is %s", st.State)
+	}
+	// Double cancel and unknown ids are typed errors.
+	if _, err := p.Cancel(1); !errors.Is(err, ErrNotCancelable) {
+		t.Fatalf("double cancel: %v", err)
+	}
+	if _, err := p.Cancel(404); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("unknown id: %v", err)
+	}
+	// The survivor still completes after the surrounding churn.
+	if err := p.DriveUntilIdle(1, 20000); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if st, _ := p.Status(3); st.State != "done" {
+		t.Fatalf("job 3 finished as %s (err %q)", st.State, st.Error)
+	}
+	if got := p.Stats(); got.Canceled != 2 || got.Done != 1 {
+		t.Fatalf("stats = %+v", got)
+	}
+}
+
+// TestPlaneDeterministicReplay is the property the golden `serve`
+// experiment locks at scale: the same scripted load on the same seed
+// yields identical job histories and an identical telemetry stream.
+func TestPlaneDeterministicReplay(t *testing.T) {
+	run := func() ([]JobStatus, []Line) {
+		p, sink := newTestPlane(t, 23, func(c *Config) { c.MaxRunning = 2 })
+		script := []JobSpec{
+			{Workload: "terasort", InputGB: 0.4, Tenant: "a"},
+			{Workload: "tpcds:q95", InputGB: 0.3, Tenant: "b", Priority: 2},
+			{Workload: "wordcount", InputGB: 0.5, Tenant: "a", HotDCs: []int{0}, HotShare: 0.7},
+			{Workload: "terasort", InputGB: 0.2, Tenant: "b", DCs: []int{0, 1, 2}},
+		}
+		for i, spec := range script {
+			if _, err := p.Submit(spec); err != nil {
+				t.Fatalf("submit %d: %v", i, err)
+			}
+			if i == 2 {
+				// Cancel job 3 before the clock moves, while it is
+				// freshly admitted (or queued).
+				if _, err := p.Cancel(3); err != nil {
+					t.Fatalf("cancel: %v", err)
+				}
+			}
+			p.Step(5) // stagger arrivals on the simulated clock
+		}
+		if err := p.DriveUntilIdle(1, 30000); err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+		p.Step(16) // collect a post-drain telemetry epoch
+		return p.Jobs(), sink.Lines()
+	}
+	jobsA, linesA := run()
+	jobsB, linesB := run()
+	if !reflect.DeepEqual(jobsA, jobsB) {
+		t.Fatalf("job histories diverged:\n%+v\n%+v", jobsA, jobsB)
+	}
+	if !reflect.DeepEqual(linesA, linesB) {
+		t.Fatalf("telemetry streams diverged (%d vs %d lines)", len(linesA), len(linesB))
+	}
+}

@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Telemetry: the control plane streams its observability as Graphite
+// plaintext lines — `<metric.path> <value> <unix-ish timestamp>\n`, the
+// line protocol of the carbon ingest port (2003) every Graphite-family
+// TSDB stack speaks. Timestamps are SIMULATED seconds: the plane's
+// whole life runs on the substrate clock, so its metrics do too, which
+// is what makes the emitted stream byte-reproducible per seed (and
+// assertable in tests via MemorySink). The metric name schema is
+// documented in DESIGN.md §9.
+//
+// Sinks are pluggable: MemorySink for tests and the /metrics endpoint,
+// WriterSink for logs, TCPSink for a real carbon relay, MultiSink to
+// fan out.
+
+// Line is one Graphite plaintext sample.
+type Line struct {
+	// Name is the dotted metric path, e.g. "wanify.serve.queue.depth".
+	Name string
+	// Value is the sample value.
+	Value float64
+	// TS is the sample instant in whole simulated seconds.
+	TS int64
+}
+
+// String renders the line in Graphite plaintext format, newline
+// excluded. Values format with strconv 'g' so rendering is
+// byte-deterministic.
+func (l Line) String() string {
+	return l.Name + " " + strconv.FormatFloat(l.Value, 'g', -1, 64) + " " + strconv.FormatInt(l.TS, 10)
+}
+
+// Sink receives telemetry lines. Emit is called from substrate events
+// on the plane's timeline; implementations used concurrently with an
+// HTTP reader must lock (MemorySink does).
+type Sink interface {
+	Emit(l Line)
+}
+
+// MemorySink collects lines in memory — the test collector and the
+// backing store of the server's /metrics endpoint. Safe for concurrent
+// Emit/read.
+type MemorySink struct {
+	// Cap bounds retained lines (oldest dropped); 0 keeps everything.
+	Cap int
+
+	mu    sync.Mutex
+	lines []Line
+}
+
+// Emit implements Sink.
+func (s *MemorySink) Emit(l Line) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lines = append(s.lines, l)
+	if s.Cap > 0 && len(s.lines) > s.Cap {
+		drop := len(s.lines) - s.Cap
+		s.lines = append(s.lines[:0], s.lines[drop:]...)
+	}
+}
+
+// Lines returns a copy of the retained lines.
+func (s *MemorySink) Lines() []Line {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Line(nil), s.lines...)
+}
+
+// Len reports how many lines are retained.
+func (s *MemorySink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.lines)
+}
+
+// Render writes the retained lines in wire format, one per line.
+func (s *MemorySink) Render(w io.Writer) {
+	for _, l := range s.Lines() {
+		fmt.Fprintf(w, "%s\n", l)
+	}
+}
+
+// WriterSink streams lines in wire format to an io.Writer.
+type WriterSink struct {
+	W io.Writer
+}
+
+// Emit implements Sink.
+func (s WriterSink) Emit(l Line) {
+	fmt.Fprintf(s.W, "%s\n", l)
+}
+
+// TCPSink streams lines to a Graphite carbon plaintext port
+// (conventionally :2003). Delivery is best-effort: a failed dial or
+// write drops the line and the next Emit redials, so a flapping relay
+// never stalls the control plane.
+type TCPSink struct {
+	// Addr is the carbon endpoint, host:port.
+	Addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+	w    *bufio.Writer
+}
+
+// Emit implements Sink.
+func (s *TCPSink) Emit(l Line) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn == nil {
+		conn, err := net.Dial("tcp", s.Addr)
+		if err != nil {
+			return
+		}
+		s.conn = conn
+		s.w = bufio.NewWriter(conn)
+	}
+	if _, err := fmt.Fprintf(s.w, "%s\n", l); err == nil {
+		err = s.w.Flush()
+		if err == nil {
+			return
+		}
+	}
+	s.conn.Close()
+	s.conn, s.w = nil, nil
+}
+
+// Close tears the connection down.
+func (s *TCPSink) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn, s.w = nil, nil
+	}
+}
+
+// MultiSink fans every line out to all children.
+func MultiSink(sinks ...Sink) Sink { return multiSink(sinks) }
+
+type multiSink []Sink
+
+// Emit implements Sink.
+func (m multiSink) Emit(l Line) {
+	for _, s := range m {
+		s.Emit(l)
+	}
+}
+
+// discardSink is the default when a Plane is configured without one.
+type discardSink struct{}
+
+func (discardSink) Emit(Line) {}
+
+// ValidLine reports whether a rendered line parses back as well-formed
+// Graphite plaintext: `path value timestamp` with a dotted metric path.
+// The CI smoke and telemetry tests assert the emitted stream through
+// this single definition.
+func ValidLine(s string) bool {
+	parts := strings.Fields(strings.TrimSpace(s))
+	if len(parts) != 3 {
+		return false
+	}
+	if parts[0] == "" || strings.Count(parts[0], ".") < 1 {
+		return false
+	}
+	if _, err := strconv.ParseFloat(parts[1], 64); err != nil {
+		return false
+	}
+	if _, err := strconv.ParseInt(parts[2], 10, 64); err != nil {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLineString(t *testing.T) {
+	cases := []struct {
+		line Line
+		want string
+	}{
+		{Line{Name: "wanify.serve.queue.depth", Value: 3, TS: 120}, "wanify.serve.queue.depth 3 120"},
+		{Line{Name: "wanify.serve.admit.wait_s", Value: 0.5, TS: 0}, "wanify.serve.admit.wait_s 0.5 0"},
+		{Line{Name: "wanify.serve.pair.0.1.mbps", Value: 512.25, TS: 900}, "wanify.serve.pair.0.1.mbps 512.25 900"},
+	}
+	for _, c := range cases {
+		if got := c.line.String(); got != c.want {
+			t.Fatalf("Line.String() = %q, want %q", got, c.want)
+		}
+		if !ValidLine(c.line.String()) {
+			t.Fatalf("rendered line %q fails its own validator", c.line.String())
+		}
+	}
+}
+
+func TestValidLine(t *testing.T) {
+	good := []string{
+		"a.b 1 0",
+		"wanify.serve.jobs.done 42 1000",
+		"x.y.z -3.5 12345",
+	}
+	bad := []string{
+		"",
+		"nodots 1 0",    // path must be dotted
+		"a.b 1",         // missing timestamp
+		"a.b one 0",     // non-numeric value
+		"a.b 1 later",   // non-numeric timestamp
+		"a.b 1 0 extra", // too many fields
+		"a.b  1  0 trailing junk",
+	}
+	for _, s := range good {
+		if !ValidLine(s) {
+			t.Fatalf("ValidLine(%q) = false, want true", s)
+		}
+	}
+	for _, s := range bad {
+		if ValidLine(s) {
+			t.Fatalf("ValidLine(%q) = true, want false", s)
+		}
+	}
+}
+
+func TestMemorySinkCapAndRender(t *testing.T) {
+	s := &MemorySink{Cap: 3}
+	for i := 0; i < 5; i++ {
+		s.Emit(Line{Name: "a.b", Value: float64(i), TS: int64(i)})
+	}
+	if s.Len() != 3 {
+		t.Fatalf("sink kept %d lines, cap is 3", s.Len())
+	}
+	lines := s.Lines()
+	if lines[0].Value != 2 || lines[2].Value != 4 {
+		t.Fatalf("cap did not keep the newest lines: %+v", lines)
+	}
+	var b strings.Builder
+	s.Render(&b)
+	rendered := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(rendered) != 3 {
+		t.Fatalf("rendered %d lines, want 3", len(rendered))
+	}
+	for _, ln := range rendered {
+		if !ValidLine(ln) {
+			t.Fatalf("rendered line %q is not valid Graphite plaintext", ln)
+		}
+	}
+}
+
+func TestMemorySinkConcurrent(t *testing.T) {
+	s := &MemorySink{Cap: 64}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Emit(Line{Name: "a.b", Value: 1, TS: int64(i)})
+				s.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 64 {
+		t.Fatalf("len = %d, want cap 64", s.Len())
+	}
+}
+
+func TestWriterSinkAndMultiSink(t *testing.T) {
+	var a, b strings.Builder
+	sink := MultiSink(WriterSink{W: &a}, WriterSink{W: &b})
+	sink.Emit(Line{Name: "m.n", Value: 7, TS: 9})
+	want := "m.n 7 9\n"
+	if a.String() != want || b.String() != want {
+		t.Fatalf("multi-sink fanout wrong: %q / %q", a.String(), b.String())
+	}
+}
+
+func TestTCPSinkSpeaksPlaintext(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+
+	got := make(chan string, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			got <- ""
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 256)
+		n, _ := conn.Read(buf)
+		got <- string(buf[:n])
+	}()
+
+	s := &TCPSink{Addr: ln.Addr().String()}
+	s.Emit(Line{Name: "wanify.serve.jobs.done", Value: 12, TS: 600})
+	s.Close()
+
+	payload := <-got
+	if payload != "wanify.serve.jobs.done 12 600\n" {
+		t.Fatalf("carbon payload = %q", payload)
+	}
+	if !ValidLine(strings.TrimRight(payload, "\n")) {
+		t.Fatalf("payload fails ValidLine")
+	}
+}

@@ -99,6 +99,13 @@ type JobSet struct {
 	deadline float64 // liveness bound, extended as phases schedule events
 	running  int
 	err      error
+
+	// Open-mode state (NewOpenJobSet): an open set accepts Admit and
+	// Cancel while an external driver advances the clock, instead of
+	// being run to completion over a fixed roster by Run.
+	open         bool
+	computeRates []float64
+	onDone       func(idx int, res RunResult)
 }
 
 // NewJobSet validates the jobs against the engine's cluster and
@@ -154,10 +161,130 @@ func (s *JobSet) RemainingBytes() []float64 {
 	return out
 }
 
+// NewOpenJobSet prepares an OPEN job set: one that starts with no jobs
+// and accepts Admit (and Cancel) while something else — a serving
+// control plane, a test harness — advances the substrate clock. Where
+// Run owns the drive loop for a fixed roster, an open set is pure
+// event machinery: admissions arm their start events at the current
+// instant, jobs run exactly as under Run (same contention, same load
+// ledger, same recovery), and completion surfaces through the OnJobDone
+// hook instead of a collected result. The per-stage transfer watchdogs
+// still bound liveness; the caller polls Err for a failed set.
+func NewOpenJobSet(e *Engine) *JobSet {
+	return &JobSet{
+		eng:          e,
+		open:         true,
+		startAt:      e.sim.Now(),
+		computeRates: e.ComputeRates(),
+	}
+}
+
+// OnJobDone registers the completion hook an open set calls — within
+// the substrate event that finishes the job — with the job's Admit
+// index and final result. Canceled jobs do not fire it: the canceller
+// already knows.
+func (s *JobSet) OnJobDone(fn func(idx int, res RunResult)) { s.onDone = fn }
+
+// Err reports the error that failed the set, nil while it is healthy.
+func (s *JobSet) Err() error { return s.err }
+
+// Running reports how many admitted jobs have not yet finished.
+func (s *JobSet) Running() int { return s.running }
+
+// Result returns the final result of job idx, with ok false while the
+// job is still running (or was canceled mid-flight, leaving partials).
+func (s *JobSet) Result(idx int) (RunResult, bool) {
+	if idx < 0 || idx >= len(s.states) {
+		return RunResult{}, false
+	}
+	js := s.states[idx]
+	return js.res, js.phase == phaseDone
+}
+
+// Admit adds a job to an open set at the current simulated instant and
+// returns its index (the identity OnJobDone and Cancel use). The job's
+// first stage starts after run.StartDelayS, exactly as under Run.
+func (s *JobSet) Admit(run JobRun) (int, error) {
+	if !s.open {
+		return 0, fmt.Errorf("spark: Admit on a closed job set (use NewOpenJobSet)")
+	}
+	if s.err != nil {
+		return 0, fmt.Errorf("spark: job set already failed: %w", s.err)
+	}
+	e := s.eng
+	if err := run.Job.Validate(e.sim.NumDCs()); err != nil {
+		return 0, err
+	}
+	if run.Sched == nil {
+		return 0, fmt.Errorf("spark: job %q has no scheduler", run.Job.Name)
+	}
+	if run.Policy == nil {
+		run.Policy = SingleConn{}
+	}
+	if run.StartDelayS < 0 {
+		return 0, fmt.Errorf("spark: job %q has negative start delay", run.Job.Name)
+	}
+	js := &jobState{
+		idx:    len(s.states),
+		run:    run,
+		layout: append([]float64(nil), run.Job.InputBytes...),
+		res: RunResult{
+			Job:            run.Job.Name,
+			Scheduler:      run.Sched.Name(),
+			MinShuffleMbps: math.Inf(1),
+		},
+	}
+	s.states = append(s.states, js)
+	s.running++
+	now := e.sim.Now()
+	e.sim.After(run.StartDelayS, func(at float64) {
+		if s.err != nil || js.phase == phaseDone {
+			return
+		}
+		js.startedAt = at
+		s.startStage(js, s.computeRates, at)
+	})
+	s.extendDeadline(now + run.StartDelayS + e.MaxStageTransferS)
+	return js.idx, nil
+}
+
+// Cancel tears job idx out of an open set at the current instant: its
+// in-flight flows stop (delivered bytes stay delivered — substrate
+// flows keep their history), its held CPU load releases, and its state
+// machine parks on done so every pending timer (compute completion,
+// watchdog, recovery wave) finds a finished job and fires inert. The
+// job's partial result remains readable via Result-with-ok-false
+// semantics; co-tenants are untouched.
+func (s *JobSet) Cancel(idx int) error {
+	if !s.open {
+		return fmt.Errorf("spark: Cancel on a closed job set")
+	}
+	if idx < 0 || idx >= len(s.states) {
+		return fmt.Errorf("spark: cancel of unknown job %d", idx)
+	}
+	js := s.states[idx]
+	if js.phase == phaseDone {
+		return fmt.Errorf("spark: job %q already finished", js.run.Job.Name)
+	}
+	for _, f := range js.flows {
+		if !f.Done() {
+			f.Stop()
+		}
+	}
+	s.releaseLoad(js)
+	js.flows, js.pairs = nil, nil
+	js.phase = phaseDone
+	s.running--
+	return nil
+}
+
 // Run executes all jobs concurrently and returns when the last one
 // finishes. The first failing job aborts the whole set, stopping every
 // outstanding transfer.
 func (s *JobSet) Run() (JobSetResult, error) {
+	if s.open {
+		return JobSetResult{}, fmt.Errorf("spark: Run on an open job set (drive the clock externally)")
+	}
 	e := s.eng
 	s.startAt = e.sim.Now()
 	s.running = len(s.states)
@@ -367,7 +494,7 @@ func (s *JobSet) finishTransfers(js *jobState, computeRates []float64, now float
 	s.holdLoad(js)
 	s.extendDeadline(now + computeS)
 	e.sim.After(computeS, func(end float64) {
-		if s.err != nil {
+		if s.err != nil || js.phase != phaseCompute {
 			return
 		}
 		s.releaseLoad(js)
@@ -398,6 +525,9 @@ func (s *JobSet) finishJob(js *jobState, now float64) {
 	}
 	js.res.Cost = s.eng.price(js.run.Job, js.res)
 	s.running--
+	if s.onDone != nil {
+		s.onDone(js.idx, js.res)
+	}
 }
 
 // holdLoad shifts the job's current loadDeltas into the shared ledger

@@ -84,6 +84,9 @@ type Framework struct {
 	jobAgents  [][]*agent.Agent
 	jobSetOpts JobSetOptions
 	throttled  bool // cluster-level tc limits installed by the job set
+
+	// Dynamic slot state (EnableDynamicJobSet; see dynamic.go).
+	dyn *dynamicState
 }
 
 // New builds a Framework around a trained prediction model.
@@ -211,6 +214,7 @@ func (f *Framework) StopAgents() {
 	f.agents = nil
 	f.jobAgents = nil
 	f.deployed = nil
+	f.dyn = nil
 }
 
 // Controller returns the running re-gauging controller, or nil when
