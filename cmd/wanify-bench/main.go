@@ -218,6 +218,19 @@ func main() {
 			"rf_predict_batch_ns_per_op":           rf.PredictBatchNsPerOp(true, 100),
 			"rf_predict_batch_reference_ns_per_op": rf.PredictBatchNsPerOp(false, 100),
 		}
+		// One pooled/reference pair per descent objective: the scorer
+		// refactor routes every objective through the same delta-
+		// evaluated search, so each registered scorer (and the blend
+		// composition) gets its own guarded ratio.
+		for _, s := range []struct{ key, spec string }{
+			{"scorer_jct", "jct"},
+			{"scorer_cost", "cost"},
+			{"scorer_carbon", "carbon"},
+			{"scorer_blend", "blend:jct=0.34,cost=0.33,carbon=0.33"},
+		} {
+			report.Benchmarks[s.key+"_ns_per_op"] = gda.ScorerPlaceNsPerOp(s.spec, true, 200)
+			report.Benchmarks[s.key+"_reference_ns_per_op"] = gda.ScorerPlaceNsPerOp(s.spec, false, 50)
+		}
 		// Control-plane admission→plan latency, from the serve driver's
 		// >1000 scripted submissions (absent unless the serve experiment
 		// ran). The CI guard gates the p50/allocator-churn ratio, which

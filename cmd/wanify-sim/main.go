@@ -12,7 +12,10 @@
 //	wanify-sim -topo fleet:100x4 -sched tetrium -believe oracle -conns uniform
 //
 // Schedulers: locality (vanilla Spark), iridium (Pu et al.'s classic
-// per-site placement), tetrium, kimchi. For the WAN-aware schedulers,
+// per-site placement), tetrium, kimchi — plus the pluggable descent
+// objectives: any registered scorer name (jct, cost, carbon) or a
+// weighted blend such as -sched blend:jct=0.5,cost=0.3,carbon=0.2
+// (see internal/gda's Scorer). For the WAN-aware schedulers,
 // -believe picks the bandwidth matrix they plan with (static,
 // simultaneous, predicted). Connection strategies: single, uniform
 // (8 per pair), wanify (predicted BWs + heterogeneous agent-managed
@@ -63,7 +66,7 @@ func main() {
 		gb      = flag.Float64("gb", 100, "input size in GB (terasort, tpcds)")
 		mb      = flag.Float64("mb", 600, "input size in MB (wordcount)")
 		skew    = flag.Bool("skew", false, "skew input onto 4 hot DCs (§5.8.1)")
-		sched   = flag.String("sched", "locality", "locality | iridium | tetrium | kimchi")
+		sched   = flag.String("sched", "locality", schedUsage)
 		believe = flag.String("believe", "predicted", "static | simultaneous | predicted | oracle (for tetrium/kimchi; oracle = netsim true caps)")
 		conns   = flag.String("conns", "single", "single | uniform | wanify")
 		jobs    = flag.Int("jobs", 1, "run N copies of the job concurrently over one cluster (multi-tenant)")
@@ -80,6 +83,30 @@ func main() {
 		recover = flag.Bool("recover", false, "enable fault recovery: re-replicate lost stage outputs and re-enter the transfer phase instead of aborting")
 	)
 	flag.Parse()
+
+	// Validate the enumerated flags up front — before any model
+	// training or cluster construction runs — so a typo fails in
+	// milliseconds with the valid set, not minutes in.
+	if _, err := schedFor(*sched, nil, gda.ClusterInfo{}); err != nil {
+		log.Fatal(err)
+	}
+	switch *believe {
+	case "static", "simultaneous", "predicted", "oracle":
+	default:
+		log.Fatalf("unknown belief %q (want static | simultaneous | predicted | oracle)", *believe)
+	}
+	switch *conns {
+	case "single", "uniform", "wanify":
+	default:
+		log.Fatalf("unknown conns %q (want single | uniform | wanify)", *conns)
+	}
+	if *jobs < 1 {
+		log.Fatalf("-jobs must be at least 1, got %d", *jobs)
+	}
+	share, err := optimize.ParseShareMode(*shareS)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	rates := cost.DefaultRates()
 	be, err := experiments.ParseBackend(*backend)
@@ -219,13 +246,6 @@ func main() {
 
 	// Connection policy (one per job with -jobs > 1 under wanify:
 	// each job's agents hold that job's partition of the plan).
-	if *jobs < 1 {
-		log.Fatalf("-jobs must be at least 1, got %d", *jobs)
-	}
-	share, err := optimize.ParseShareMode(*shareS)
-	if err != nil {
-		log.Fatal(err)
-	}
 	var jobSet *spark.JobSet // assigned before Run; feeds bytes-remaining sharing
 	var policy spark.ConnPolicy = spark.SingleConn{}
 	policies := make([]spark.ConnPolicy, *jobs)
@@ -284,20 +304,11 @@ func main() {
 		}
 	}
 
-	// Scheduler.
-	var scheduler spark.Scheduler
+	// Scheduler (validated up front; this construction cannot fail).
 	info := gda.NewClusterInfo(sim, rates)
-	switch *sched {
-	case "locality":
-		scheduler = gda.Locality{}
-	case "iridium":
-		scheduler = gda.Iridium{Believed: believed, Info: info}
-	case "tetrium":
-		scheduler = gda.Tetrium{Believed: believed, Info: info}
-	case "kimchi":
-		scheduler = gda.Kimchi{Believed: believed, Info: info}
-	default:
-		log.Fatalf("unknown scheduler %q", *sched)
+	scheduler, err := schedFor(*sched, believed, info)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	if *jobs > 1 {
@@ -369,6 +380,8 @@ func main() {
 		fmt.Printf("WAN bytes total: %.2f GB\n", res.WANBytes/1e9)
 		fmt.Printf("cost: $%.3f (compute $%.3f + network $%.3f + storage $%.4f)\n",
 			res.Cost.Total(), res.Cost.ComputeUSD, res.Cost.NetworkUSD, res.Cost.StorageUSD)
+		fmt.Printf("energy: %.2f kWh, %.3f kgCO2e (compute %.2f kWh + network %.2f kWh)\n",
+			res.Energy.KWh(), res.Energy.KgCO2(), res.Energy.ComputeKWh, res.Energy.NetworkKWh)
 		if res.LostBytes > 0 || res.Recoveries > 0 {
 			fmt.Printf("fault recovery: %.2f GB lost, %.2f GB re-routed over %d waves (%.1f s recompute)\n",
 				res.LostBytes/1e9, res.RecoveredBytes/1e9, res.Recoveries, res.RecomputeS)
@@ -386,6 +399,34 @@ func main() {
 	if len(results) > 1 {
 		fmt.Printf("\nmakespan: %.1f s (%.1f min)\n", makespan, makespan/60)
 	}
+}
+
+// schedUsage is derived from the scorer registry so the flag help, the
+// up-front validation error, and the blend: parser can never drift
+// apart: registering a scorer in internal/gda surfaces it here.
+var schedUsage = "locality | iridium | tetrium | kimchi | " +
+	strings.Join(gda.ScorerNames(), " | ") +
+	" | blend:jct=W,cost=W,carbon=W"
+
+// schedFor resolves a -sched spec to a scheduler. The classic
+// composed schedulers keep their names; everything else goes through
+// the scorer registry (bare scorer names and blend: specs).
+func schedFor(spec string, believed bwmatrix.Matrix, info gda.ClusterInfo) (spark.Scheduler, error) {
+	switch spec {
+	case "locality":
+		return gda.Locality{}, nil
+	case "iridium":
+		return gda.Iridium{Believed: believed, Info: info}, nil
+	case "tetrium":
+		return gda.Tetrium{Believed: believed, Info: info}, nil
+	case "kimchi":
+		return gda.Kimchi{Believed: believed, Info: info}, nil
+	}
+	sc, err := gda.ParseScorer(spec)
+	if err != nil {
+		return nil, fmt.Errorf("unknown scheduler %q (want %s): %v", spec, schedUsage, err)
+	}
+	return gda.Sched{Scorer: sc, Believed: believed, Info: info}, nil
 }
 
 func sumOf(xs []float64) float64 {

@@ -2,6 +2,7 @@ package cost
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"github.com/wanify/wanify/internal/geo"
@@ -98,6 +99,54 @@ func TestSessionsFor(t *testing.T) {
 	for _, c := range cases {
 		if got := SessionsFor(c.rows, c.n); got != c.want {
 			t.Errorf("SessionsFor(%d, %d) = %d, want %d", c.rows, c.n, got, c.want)
+		}
+	}
+}
+
+// TestEgressUnknownRegion checks the fallback row of the egress table:
+// any code with no matching prefix — including an empty one — prices
+// at DefaultEgressPerGB rather than zero or a panic.
+func TestEgressUnknownRegion(t *testing.T) {
+	r := DefaultRates()
+	for _, code := range []string{"mars-north-1", "xx", ""} {
+		if got := r.EgressPerGBFor(geo.Region{Code: code}); got != r.DefaultEgressPerGB {
+			t.Errorf("EgressPerGBFor(%q) = %v, want default %v", code, got, r.DefaultEgressPerGB)
+		}
+	}
+	if r.DefaultEgressPerGB <= 0 {
+		t.Fatalf("DefaultEgressPerGB = %v, want positive", r.DefaultEgressPerGB)
+	}
+}
+
+// TestBreakdownProperties is the property test for the accounting
+// algebra: over seeded random breakdowns, Add must be commutative
+// (bit-exact — IEEE addition commutes), keep the zero value as an
+// exact identity, stay consistent with Total (the total of a sum
+// equals the sum of totals, up to rounding), and associate up to
+// rounding.
+func TestBreakdownProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	random := func() Breakdown {
+		return Breakdown{
+			ComputeUSD: rng.Float64() * 100,
+			NetworkUSD: rng.Float64() * 100,
+			StorageUSD: rng.Float64() * 100,
+		}
+	}
+	for i := 0; i < 200; i++ {
+		a, b, c := random(), random(), random()
+		if a.Add(b) != b.Add(a) {
+			t.Fatalf("Add not commutative: %+v vs %+v", a.Add(b), b.Add(a))
+		}
+		if a.Add(Breakdown{}) != a {
+			t.Fatalf("zero not identity: %+v", a.Add(Breakdown{}))
+		}
+		if got, want := a.Add(b).Total(), a.Total()+b.Total(); math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("Total inconsistent with Add: %v vs %v", got, want)
+		}
+		l, r := a.Add(b).Add(c), a.Add(b.Add(c))
+		if math.Abs(l.Total()-r.Total()) > 1e-9*(1+math.Abs(l.Total())) {
+			t.Fatalf("Add not associative: %+v vs %+v", l, r)
 		}
 	}
 }

@@ -106,6 +106,7 @@ var netsimOnly = map[string]bool{
 	"chaos":           true, // bespoke 6x2 cluster with randomized netsim faults
 	"fleet":           true, // synthetic 100-DC fleet topology (geo.Fleet)
 	"serve":           true, // control-plane load test (scripted netsim arrivals)
+	"pareto":          true, // oracle beliefs read netsim's true per-connection caps
 }
 
 // SupportsBackend reports whether an experiment can run on b. The

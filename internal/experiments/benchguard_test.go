@@ -106,6 +106,27 @@ func TestPlanningBenchRegression(t *testing.T) {
 		}},
 		{"rf_predict_batch", func(opt bool) float64 { return rf.PredictBatchNsPerOp(opt, 40) }},
 	}
+	// One guarded pair per descent objective: every scorer rides the
+	// same pooled delta-evaluated search, so a regression in the shared
+	// machinery (or in one scorer's aggregate maintenance) trips the
+	// corresponding ratio.
+	for _, s := range []struct{ key, spec string }{
+		{"scorer_jct", "jct"},
+		{"scorer_cost", "cost"},
+		{"scorer_carbon", "carbon"},
+		{"scorer_blend", "blend:jct=0.34,cost=0.33,carbon=0.33"},
+	} {
+		spec := s.spec
+		benches = append(benches, struct {
+			key     string
+			measure func(optimized bool) float64
+		}{s.key, func(opt bool) float64 {
+			if opt {
+				return gda.ScorerPlaceNsPerOp(spec, true, 40)
+			}
+			return gda.ScorerPlaceNsPerOp(spec, false, 10)
+		}})
+	}
 	for _, b := range benches {
 		b := b
 		t.Run(b.key, func(t *testing.T) {

@@ -26,6 +26,7 @@ var separateGolden = map[string]bool{
 	"chaos":          true,
 	"fleet":          true,
 	"serve":          true,
+	"pareto":         true,
 }
 
 // renderAll runs every registered experiment at the given seed and
@@ -265,6 +266,36 @@ func TestGoldenServeOutputs(t *testing.T) {
 	if got != string(want) {
 		dumpGoldenDiff(t, filepath.Base(path), got, string(want))
 		t.Errorf("serve-driver output diverged from golden file %s;\nfirst divergence near byte %d",
+			path, firstDiff(got, string(want)))
+	}
+}
+
+// TestGoldenParetoOutputs locks the multi-objective scheduler sweep
+// byte for byte in its own golden file: 13 descent objectives (classic
+// schedulers, single-objective scorers, blend weights) each placing the
+// same TeraSort on the 8-DC testbed, with the JCT-vs-$-vs-kgCO2
+// frontier marked. Regenerate deliberately with
+// `go test -run TestGoldenParetoOutputs -update`.
+func TestGoldenParetoOutputs(t *testing.T) {
+	res, err := Registry["pareto"](Params{Seed: 1, Scale: goldenScale})
+	if err != nil {
+		t.Fatalf("pareto: %v", err)
+	}
+	got := fmt.Sprintf("=== pareto ===\n%s\n", res)
+	path := filepath.Join("testdata", "golden_pareto_seed1.txt")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		dumpGoldenDiff(t, filepath.Base(path), got, string(want))
+		t.Errorf("pareto-driver output diverged from golden file %s;\nfirst divergence near byte %d",
 			path, firstDiff(got, string(want)))
 	}
 }

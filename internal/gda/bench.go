@@ -38,17 +38,49 @@ func PlaceNsPerOp(optimized bool, rounds int) float64 {
 	return float64(time.Since(start).Nanoseconds()) / float64(rounds)
 }
 
+// ScorerPlaceNsPerOp times one PlaceScored round (a reduce plus a map
+// placement, like PlaceNsPerOp) for the named scorer on the 8-region
+// testbed. optimized=false replays the full-evaluation
+// placeScorerReference oracle; cmd/wanify-bench records both per
+// scorer so the CI guard gates their hardware-independent ratios.
+func ScorerPlaceNsPerOp(spec string, optimized bool, rounds int) float64 {
+	sc, err := ParseScorer(spec)
+	if err != nil {
+		panic(err)
+	}
+	info, believed, layout := benchCluster()
+	mapStage := spark.Stage{Name: "m", Kind: spark.MapKind, SecPerGB: 4, Selectivity: 0.4}
+	reduceStage := spark.Stage{Name: "r", Kind: spark.ReduceKind, SecPerGB: 2, Selectivity: 1}
+
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		if optimized {
+			PlaceScored(sc, believed, info, reduceStage, layout)
+			PlaceScored(sc, believed, info, mapStage, layout)
+		} else {
+			placeScorerReference(sc, believed, info, reduceStage, layout)
+			placeScorerReference(sc, believed, info, mapStage, layout)
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(rounds)
+}
+
 // benchCluster is a deterministic 8-DC planning problem: heterogeneous
 // compute, a skewed layout, and a believed matrix with strong and weak
 // links (including one near-blackout pair to exercise the BW floor).
+// Carbon coefficients come from the default energy rates so the
+// carbon-pricing scorer benchmarks descend on real gradients.
 func benchCluster() (ClusterInfo, bwmatrix.Matrix, []float64) {
 	regions := geo.Testbed()
 	n := len(regions)
 	rates := cost.DefaultRates()
+	energy := cost.DefaultEnergyRates()
 	info := ClusterInfo{
-		Regions:      regions,
-		ComputeRates: make([]float64, n),
-		EgressPerGB:  make([]float64, n),
+		Regions:          regions,
+		ComputeRates:     make([]float64, n),
+		EgressPerGB:      make([]float64, n),
+		CarbonPerCompSec: make([]float64, n),
+		CarbonPerGB:      make([]float64, n),
 	}
 	rng := simrand.Derive(42, "gda-bench")
 	believed := bwmatrix.New(n)
@@ -56,6 +88,8 @@ func benchCluster() (ClusterInfo, bwmatrix.Matrix, []float64) {
 	for i := 0; i < n; i++ {
 		info.ComputeRates[i] = 1 + float64(rng.IntN(4))
 		info.EgressPerGB[i] = rates.EgressPerGBFor(regions[i])
+		info.CarbonPerCompSec[i] = energy.ComputeKgCO2PerSec(info.ComputeRates[i]*11, regions[i])
+		info.CarbonPerGB[i] = energy.WANKgCO2PerGB(regions[i])
 		layout[i] = rng.Uniform(1, 40) * 1e9
 		for j := 0; j < n; j++ {
 			if i != j {

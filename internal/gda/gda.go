@@ -34,24 +34,52 @@ type ClusterInfo struct {
 	ComputeRates []float64
 	// EgressPerGB is the WAN egress price per DC.
 	EgressPerGB []float64
+	// CarbonPerCompSec is the kgCO₂-eq of one second of the DC's full
+	// compute draw (aggregate watts × grid intensity). Nil is treated
+	// as all zeros — only carbon-aware scorers read it.
+	CarbonPerCompSec []float64
+	// CarbonPerGB is the kgCO₂-eq of one GB leaving the DC over the
+	// WAN, attributed to the sender like egress pricing. Nil = zeros.
+	CarbonPerGB []float64
 }
 
 // NewClusterInfo extracts scheduler-visible cluster facts from a
-// simulator and pricing table.
+// simulator and pricing table, with the default energy/carbon rates.
 func NewClusterInfo(sim substrate.Cluster, rates cost.Rates) ClusterInfo {
+	return NewClusterInfoEnergy(sim, rates, cost.DefaultEnergyRates())
+}
+
+// NewClusterInfoEnergy is NewClusterInfo with explicit energy rates
+// (wanify.Config.Energy feeds through here).
+func NewClusterInfoEnergy(sim substrate.Cluster, rates cost.Rates, energy cost.EnergyRates) ClusterInfo {
 	n := sim.NumDCs()
 	info := ClusterInfo{
-		Regions:      sim.Regions(),
-		ComputeRates: make([]float64, n),
-		EgressPerGB:  make([]float64, n),
+		Regions:          sim.Regions(),
+		ComputeRates:     make([]float64, n),
+		EgressPerGB:      make([]float64, n),
+		CarbonPerCompSec: make([]float64, n),
+		CarbonPerGB:      make([]float64, n),
 	}
 	for dc := 0; dc < n; dc++ {
+		watts := 0.0
 		for _, vm := range sim.VMsOfDC(dc) {
 			info.ComputeRates[dc] += sim.Spec(vm).ComputeRate
+			watts += sim.Spec(vm).Watts
 		}
 		info.EgressPerGB[dc] = rates.EgressPerGBFor(info.Regions[dc])
+		info.CarbonPerCompSec[dc] = energy.ComputeKgCO2PerSec(watts, info.Regions[dc])
+		info.CarbonPerGB[dc] = energy.WANKgCO2PerGB(info.Regions[dc])
 	}
 	return info
+}
+
+// carbonAt reads a carbon coefficient with nil-as-zeros semantics, so
+// ClusterInfo literals predating the energy model keep working.
+func carbonAt(xs []float64, i int) float64 {
+	if i < len(xs) {
+		return xs[i]
+	}
+	return 0
 }
 
 // N returns the cluster size.
@@ -146,6 +174,68 @@ func (e estimator) estimateDetail(stage spark.Stage, layout []float64, p spark.P
 	return tNet + tComp, loadSum, usd
 }
 
+// estimateAgg is estimateDetail extended with the carbon aggregate:
+// the Secs/LoadSum/USD fields evaluate the identical expressions in
+// the identical order (locked bit-equal by
+// TestEstimateAggMatchesDetail), and KgCO2 accumulates each network
+// entry's sender-attributed transport carbon followed by each DC's
+// compute carbon — the canonical order the search context's carbon
+// delta paths replicate. This is the full-evaluation oracle behind
+// placeScorerReference.
+func (e estimator) estimateAgg(stage spark.Stage, layout []float64, p spark.Placement) Aggregates {
+	var transfer [][]float64
+	if stage.Kind == spark.MapKind {
+		transfer = spark.MigrationMatrix(layout, p)
+	} else {
+		transfer = spark.ShuffleMatrix(layout, p)
+	}
+	n := e.info.N()
+	var a Aggregates
+	tNet := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b := transfer[i][j]
+			if i == j || b <= 0 {
+				continue
+			}
+			bw := e.believed[i][j]
+			if bw < 1 {
+				bw = 1
+			}
+			t := b * 8 / (bw * 1e6)
+			a.LoadSum += t
+			if t > tNet {
+				tNet = t
+			}
+			a.USD += b / 1e9 * e.info.EgressPerGB[i]
+			a.KgCO2 += b / 1e9 * carbonAt(e.info.CarbonPerGB, i)
+		}
+	}
+	total := 0.0
+	for _, b := range layout {
+		total += b
+	}
+	tComp := 0.0
+	for j := 0; j < n; j++ {
+		share := total * p[j]
+		if share <= 0 {
+			continue
+		}
+		rate := e.info.ComputeRates[j]
+		if rate <= 0 {
+			rate = 1e-6
+		}
+		t := share / 1e9 * stage.SecPerGB / rate
+		a.LoadSum += t
+		if t > tComp {
+			tComp = t
+		}
+		a.KgCO2 += t * carbonAt(e.info.CarbonPerCompSec, j)
+	}
+	a.Secs = tNet + tComp
+	return a
+}
+
 // The descent's step schedule halves unconditionally after each
 // exhausted sweep. An earlier revision tracked an `improved` flag and
 // then halved in both arms of `if !improved` — evidently a
@@ -178,7 +268,7 @@ func (t Tetrium) Name() string {
 }
 
 // Place implements spark.Scheduler. Tetrium optimizes completion time;
-// the search's loadSum term guides the greedy descent off max()
+// the JCT scorer's loadSum term guides the greedy descent off max()
 // plateaus, and the (weaker still) dollar term breaks ties among
 // near-equal placements (Hung et al. break ties toward lower cost) so
 // WAN bytes don't drift up. Three deterministic starts — data locality,
@@ -188,11 +278,7 @@ func (t Tetrium) Name() string {
 // The descent itself runs on the pooled delta-evaluating context
 // (search.go), bit-identical to placeTetriumReference.
 func (t Tetrium) Place(_ int, stage spark.Stage, layout []float64) spark.Placement {
-	s := getSearch(estimator{believed: t.Believed, info: t.Info}, stage, layout)
-	best, _, _, _ := s.placeTetrium()
-	out := append(spark.Placement(nil), best...)
-	putSearch(s)
-	return out
+	return PlaceScored(JCT{}, t.Believed, t.Info, stage, layout)
 }
 
 // Kimchi minimizes the WAN dollar cost of a stage subject to its
@@ -231,14 +317,8 @@ func (k Kimchi) Place(_ int, stage spark.Stage, layout []float64) spark.Placemen
 		slack = 0.10
 	}
 	s := getSearch(estimator{believed: k.Believed, info: k.Info}, stage, layout)
-	fast, tBest, _, _ := s.placeTetrium()
-	budget := tBest * (1 + slack)
-	s.descend(fast, func(secs, _, usd float64) float64 {
-		if secs > budget {
-			return usd + 1e6*(secs-budget)
-		}
-		return usd
-	})
+	fast, agg := s.placeMultiStart(JCT{})
+	s.descend(fast, Cost{BudgetS: agg.Secs * (1 + slack)})
 	out := append(spark.Placement(nil), s.p...)
 	putSearch(s)
 	return out

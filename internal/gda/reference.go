@@ -1,6 +1,9 @@
 package gda
 
-import "github.com/wanify/wanify/internal/spark"
+import (
+	"github.com/wanify/wanify/internal/bwmatrix"
+	"github.com/wanify/wanify/internal/spark"
+)
 
 // This file keeps the pre-optimization scheduler search verbatim — the
 // same playbook as netsim's allocateReference and rf's trainReference.
@@ -71,6 +74,34 @@ func placeTetriumReference(t Tetrium, stage spark.Stage, layout []float64) spark
 		spark.LocalityPlacement(layout),
 		spark.UniformPlacement(n),
 		spark.Placement(append([]float64(nil), t.Info.ComputeRates...)).Normalize(),
+	}
+	var best spark.Placement
+	bestV := 0.0
+	for i, s := range starts {
+		cand := descendReference(n, s, obj)
+		if v := obj(cand); i == 0 || v < bestV {
+			best, bestV = cand, v
+		}
+	}
+	return best
+}
+
+// placeScorerReference is the full-evaluation oracle for PlaceScored:
+// the same three starts and descendReference moves, with every
+// candidate priced by sc.Score over estimateAgg's from-scratch
+// aggregates (fresh transfer matrix per evaluation, no caches, no
+// screens). TestScorerPlaceMatchesReference locks PlaceScored to this
+// element for element, for every registered scorer.
+func placeScorerReference(sc Scorer, believed bwmatrix.Matrix, info ClusterInfo, stage spark.Stage, layout []float64) spark.Placement {
+	est := estimator{believed: believed, info: info}
+	obj := func(p spark.Placement) float64 {
+		return sc.Score(est.estimateAgg(stage, layout, p))
+	}
+	n := info.N()
+	starts := []spark.Placement{
+		spark.LocalityPlacement(layout),
+		spark.UniformPlacement(n),
+		spark.Placement(append([]float64(nil), info.ComputeRates...)).Normalize(),
 	}
 	var best spark.Placement
 	bestV := 0.0

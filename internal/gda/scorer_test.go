@@ -1,0 +1,262 @@
+package gda
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/wanify/wanify/internal/simrand"
+	"github.com/wanify/wanify/internal/spark"
+)
+
+// withCarbon fills a planning problem's carbon coefficient tables from
+// a named stream, with clean-grid zeros in the mix — the scorer
+// equivalence sweeps need real carbon gradients and the zero edge.
+func withCarbon(ci ClusterInfo, seed uint64) ClusterInfo {
+	rng := simrand.Derive(seed, "gda-carbon-eqtest")
+	n := ci.N()
+	ci.CarbonPerCompSec = make([]float64, n)
+	ci.CarbonPerGB = make([]float64, n)
+	for i := 0; i < n; i++ {
+		if rng.IntN(5) == 0 {
+			ci.CarbonPerCompSec[i] = 0 // hydro-clean grid
+		} else {
+			ci.CarbonPerCompSec[i] = rng.Uniform(1e-6, 5e-4)
+		}
+		ci.CarbonPerGB[i] = rng.Uniform(0, 0.05)
+	}
+	return ci
+}
+
+// equivalenceScorers is the sweep set for the delta-vs-full locks:
+// every registered scorer plus blends with zero weights (which must
+// stay on the cheaper non-carbon path) and a finite Kimchi-style
+// budget wall.
+func equivalenceScorers() []Scorer {
+	return []Scorer{
+		JCT{},
+		Cost{BudgetS: math.Inf(1)},
+		Cost{BudgetS: 120},
+		Carbon{},
+		Blend{WJCT: 1},
+		Blend{WJCT: 0.5, WCost: 0.5},
+		Blend{WCarbon: 1},
+		Blend{WJCT: 0.5, WCost: 0.3, WCarbon: 0.2},
+	}
+}
+
+// TestScorerPlaceMatchesReference locks PlaceScored bit-exact against
+// the full-evaluation placeScorerReference oracle for every scorer in
+// the sweep set, across randomized hostile clusters (believed
+// blackouts, negative measurements, empty DCs, zero compute rates) on
+// map and reduce stages.
+func TestScorerPlaceMatchesReference(t *testing.T) {
+	stages := []spark.Stage{
+		{Name: "m", Kind: spark.MapKind, SecPerGB: 3, Selectivity: 0.5},
+		{Name: "r", Kind: spark.ReduceKind, SecPerGB: 1.5, Selectivity: 1},
+	}
+	for n := 2; n <= 8; n++ {
+		for trial := 0; trial < 2; trial++ {
+			ci, believed, layout := randomPlanningProblem(n, uint64(n*300+trial))
+			ci = withCarbon(ci, uint64(n*300+trial))
+
+			for _, stage := range stages {
+				for _, sc := range equivalenceScorers() {
+					label := fmt.Sprintf("n=%d trial=%d stage=%s scorer=%s", n, trial, stage.Name, sc.Name())
+					got := PlaceScored(sc, believed, ci, stage, layout)
+					want := placeScorerReference(sc, believed, ci, stage, layout)
+					requirePlacementsEqual(t, got, want, label)
+				}
+			}
+		}
+	}
+}
+
+// TestScorerPlaceMatchesReferenceFleetSparse extends the scorer lock to
+// fleet-shaped sparse problems where the search runs its nzRows fast
+// paths — including n=64 with data on a handful of DCs.
+func TestScorerPlaceMatchesReferenceFleetSparse(t *testing.T) {
+	scorers := []Scorer{
+		JCT{},
+		Cost{BudgetS: math.Inf(1)},
+		Carbon{},
+		Blend{WJCT: 0.5, WCost: 0.3, WCarbon: 0.2},
+	}
+	stages := []spark.Stage{
+		{Name: "m", Kind: spark.MapKind, SecPerGB: 3, Selectivity: 0.5},
+		{Name: "r", Kind: spark.ReduceKind, SecPerGB: 1.5, Selectivity: 1},
+	}
+	type dims struct{ n, nz int }
+	for _, d := range []dims{{24, 4}, {64, 6}} {
+		ci, believed, layout := fleetPlanningProblem(d.n, d.nz, uint64(d.n*5000+d.nz))
+		ci = withCarbon(ci, uint64(d.n*5000+d.nz))
+
+		// The dense reference is O(n⁴) per descent; at n=64 run the
+		// reduce stage only (the sparse map path is covered at 24).
+		checkStages := stages
+		if d.n > 24 {
+			checkStages = stages[1:]
+		}
+		for _, stage := range checkStages {
+			for _, sc := range scorers {
+				label := fmt.Sprintf("n=%d nz=%d stage=%s scorer=%s", d.n, d.nz, stage.Name, sc.Name())
+				got := PlaceScored(sc, believed, ci, stage, layout)
+				want := placeScorerReference(sc, believed, ci, stage, layout)
+				requirePlacementsEqual(t, got, want, label)
+			}
+		}
+	}
+}
+
+// TestScorerPlaceZeroLayout sweeps the all-zero-layout edge (no data
+// anywhere: empty nzRows, zero total, zero migration deficits) across
+// every scorer — the search must still agree with the reference
+// instead of tripping over its sparsity fast paths.
+func TestScorerPlaceZeroLayout(t *testing.T) {
+	ci, believed, _ := randomPlanningProblem(5, 77)
+	ci = withCarbon(ci, 77)
+	layout := make([]float64, 5)
+	for _, stage := range []spark.Stage{
+		{Name: "m", Kind: spark.MapKind, SecPerGB: 3, Selectivity: 0.5},
+		{Name: "r", Kind: spark.ReduceKind, SecPerGB: 1.5, Selectivity: 1},
+	} {
+		for _, sc := range equivalenceScorers() {
+			label := fmt.Sprintf("zero-layout stage=%s scorer=%s", stage.Name, sc.Name())
+			got := PlaceScored(sc, believed, ci, stage, layout)
+			want := placeScorerReference(sc, believed, ci, stage, layout)
+			requirePlacementsEqual(t, got, want, label)
+		}
+	}
+}
+
+// TestEstimateAggMatchesDetail locks estimateAgg's shared fields to
+// estimateDetail bit for bit: the carbon-extended estimator must not
+// perturb the original aggregates by a single ulp, or every golden
+// breaks.
+func TestEstimateAggMatchesDetail(t *testing.T) {
+	for n := 2; n <= 8; n += 2 {
+		ci, believed, layout := randomPlanningProblem(n, uint64(n)*31+7)
+		ci = withCarbon(ci, uint64(n)*31+7)
+		est := estimator{believed: believed, info: ci}
+		for _, stage := range []spark.Stage{
+			{Name: "m", Kind: spark.MapKind, SecPerGB: 2, Selectivity: 1},
+			{Name: "r", Kind: spark.ReduceKind, SecPerGB: 2, Selectivity: 1},
+		} {
+			for _, p := range []spark.Placement{
+				spark.UniformPlacement(n),
+				spark.LocalityPlacement(layout),
+			} {
+				secs, load, usd := est.estimateDetail(stage, layout, p)
+				a := est.estimateAgg(stage, layout, p)
+				if a.Secs != secs || a.LoadSum != load || a.USD != usd {
+					t.Fatalf("n=%d %s: estimateAgg (%v,%v,%v) != estimateDetail (%v,%v,%v)",
+						n, stage.Name, a.Secs, a.LoadSum, a.USD, secs, load, usd)
+				}
+			}
+		}
+	}
+}
+
+// TestSearchCarbonAggregatesMatchEstimateAgg checks the carbon
+// counterpart of the Kimchi budget invariant: after a carbon-pricing
+// descent, the context's cached Aggregates — KgCO2 included — are
+// bit-equal to a fresh estimateAgg of the final placement.
+func TestSearchCarbonAggregatesMatchEstimateAgg(t *testing.T) {
+	for n := 2; n <= 8; n += 2 {
+		ci, believed, layout := randomPlanningProblem(n, uint64(n)*13+5)
+		ci = withCarbon(ci, uint64(n)*13+5)
+		est := estimator{believed: believed, info: ci}
+		for _, stage := range []spark.Stage{
+			{Name: "m", Kind: spark.MapKind, SecPerGB: 2, Selectivity: 1},
+			{Name: "r", Kind: spark.ReduceKind, SecPerGB: 2, Selectivity: 1},
+		} {
+			for _, sc := range []Scorer{Carbon{}, Blend{WJCT: 0.4, WCost: 0.3, WCarbon: 0.3}} {
+				s := getSearch(est, stage, layout)
+				s.descend(spark.UniformPlacement(n), sc)
+				if want := est.estimateAgg(stage, layout, s.p); s.agg != want {
+					t.Fatalf("n=%d %s %s: cached %+v != fresh %+v", n, stage.Name, sc.Name(), s.agg, want)
+				}
+				putSearch(s)
+			}
+		}
+	}
+}
+
+// TestScorerPlaceSteadyStateAllocs checks no scorer implementation
+// allocates in the warm descent loop: after pool warm-up, a Place is a
+// handful of fixed allocations (the returned placement and interface
+// boxing) for every scorer, carbon-pricing blends included.
+func TestScorerPlaceSteadyStateAllocs(t *testing.T) {
+	ci, believed, layout := randomPlanningProblem(8, 99)
+	ci = withCarbon(ci, 99)
+	stage := spark.Stage{Name: "r", Kind: spark.ReduceKind, SecPerGB: 2, Selectivity: 1}
+	for _, sc := range equivalenceScorers() {
+		PlaceScored(sc, believed, ci, stage, layout) // warm the pool
+		avg := testing.AllocsPerRun(20, func() { PlaceScored(sc, believed, ci, stage, layout) })
+		if avg > 12 {
+			t.Fatalf("%s: PlaceScored allocates %.1f times per call in steady state", sc.Name(), avg)
+		}
+	}
+}
+
+func TestParseScorer(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Scorer
+	}{
+		{"jct", JCT{}},
+		{"cost", Cost{BudgetS: math.Inf(1)}},
+		{"carbon", Carbon{}},
+		{"blend:jct=0.5,cost=0.3,carbon=0.2", Blend{WJCT: 0.5, WCost: 0.3, WCarbon: 0.2}},
+		{"blend:carbon=1", Blend{WCarbon: 1}},
+		{"blend:jct=1,cost=0", Blend{WJCT: 1}},
+	}
+	for _, c := range cases {
+		got, err := ParseScorer(c.spec)
+		if err != nil {
+			t.Fatalf("ParseScorer(%q): %v", c.spec, err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Fatalf("ParseScorer(%q) = %#v, want %#v", c.spec, got, c.want)
+		}
+	}
+
+	bad := []string{
+		"", "tetrium", "blend:", "blend:jct", "blend:jct=x", "blend:jct=NaN",
+		"blend:jct=-1", "blend:watts=1", "blend:jct=0,cost=0,carbon=0",
+	}
+	for _, spec := range bad {
+		if _, err := ParseScorer(spec); err == nil {
+			t.Fatalf("ParseScorer(%q) unexpectedly succeeded", spec)
+		}
+	}
+
+	// A blend's Name round-trips through the parser.
+	b := Blend{WJCT: 0.25, WCost: 0.5, WCarbon: 0.25}
+	got, err := ParseScorer(b.Name())
+	if err != nil {
+		t.Fatalf("ParseScorer(%q): %v", b.Name(), err)
+	}
+	if got != b {
+		t.Fatalf("round-trip %q = %#v", b.Name(), got)
+	}
+}
+
+func TestScorerNames(t *testing.T) {
+	names := ScorerNames()
+	want := []string{"carbon", "cost", "jct"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("ScorerNames() = %v, want %v", names, want)
+	}
+}
+
+// TestSchedName checks the Scorer→Scheduler adapter's report labels.
+func TestSchedName(t *testing.T) {
+	if got := (Sched{Scorer: Carbon{}}).Name(); got != "carbon" {
+		t.Fatalf("Sched name = %q", got)
+	}
+	if got := (Sched{Label: "green", Scorer: Carbon{}}).Name(); got != "green" {
+		t.Fatalf("labelled Sched name = %q", got)
+	}
+}

@@ -7,7 +7,8 @@ import (
 )
 
 // search is the reusable context behind the estimator-based scheduler
-// descents (Tetrium, Kimchi). The reference search re-allocates a
+// descents (every Scorer-composed scheduler: Tetrium, Kimchi, the
+// cost/carbon/blend Scheds). The reference search re-allocates a
 // candidate Placement and rebuilds the full O(n²) Shuffle/Migration
 // matrix for every single-move candidate at every step level; the
 // context instead keeps per-entry caches of the base placement's
@@ -69,10 +70,31 @@ type search struct {
 	uE   []float64 // n×n per-entry egress dollars for p
 	comp []float64 // per-DC compute seconds for p
 
-	secs, loadSum, usd float64 // estimateDetail(p) aggregates
+	agg Aggregates // estimateAgg(p) aggregates (KgCO2 only when needC)
 
 	// Shuffle-candidate scratch: replacement columns `from` and `to`.
 	tF, tT, uF, uT []float64
+
+	// Carbon machinery, maintained only while the active scorer's
+	// NeedsCarbon — the aggregate is column-linear for shuffle stages
+	// and deficit-scalable for map stages exactly like usd, so it rides
+	// the same delta and screen structure. When needC is false every
+	// carbon aggregate is exactly 0 and the screens' added carbon terms
+	// are exact +0.0 identities, keeping the non-carbon path
+	// bit-identical to the pre-scorer search.
+	needC       bool
+	carbonReady bool      // per-lease: coefficient slabs filled
+	netC        []float64 // per-DC kgCO₂ per GB sent (ClusterInfo.CarbonPerGB)
+	compC       []float64 // per-DC kgCO₂ per compute-second
+	cE          []float64 // n×n per-entry network kgCO₂ for p
+	cbF, cbT    []float64 // shuffle-candidate carbon columns
+	colRateCSum []float64 // Σ_{i≠j} layout[i]/1e9·netC[i]
+	colSumC     []float64 // Σ_i cE[i][j]
+	totalC      float64   // Σ colSumC
+	compCarbSum float64   // Σ comp[j]·compC[j]
+	mapRowC     []float64 // per-row Σ cE (map stages)
+	mapColC     []float64 // per-column Σ cE (map stages)
+	mapTotC     float64
 
 	// Map-stage state: the base placement's surplus/deficit split
 	// (maintained like the shuffle column caches — two entries per
@@ -183,9 +205,19 @@ func (s *search) init(est estimator, stage spark.Stage, layout []float64) {
 		s.mapColU = make([]float64, n)
 		s.mapRow2 = make([][2]mapEntry, n)
 		s.mapCol2 = make([][2]mapEntry, n)
+		s.netC = make([]float64, n)
+		s.compC = make([]float64, n)
+		s.cE = make([]float64, n*n)
+		s.cbF = make([]float64, n)
+		s.cbT = make([]float64, n)
+		s.colRateCSum = make([]float64, n)
+		s.colSumC = make([]float64, n)
+		s.mapRowC = make([]float64, n)
+		s.mapColC = make([]float64, n)
 		s.transfer = nil
 	}
 	s.est, s.stage, s.layout = est, stage, layout
+	s.needC, s.carbonReady = false, false
 	total := 0.0
 	s.nzRows = s.nzRows[:0]
 	for i, b := range layout {
@@ -246,6 +278,37 @@ func (s *search) entryTerms(i, j int, b float64) (t, u float64) {
 	return b * 8 / s.bwDen[i*s.n+j], b / 1e9 * s.est.info.EgressPerGB[i]
 }
 
+// entryCarbon is the carbon counterpart of entryTerms — estimateAgg's
+// exact per-entry transport expression. Only called while needC.
+func (s *search) entryCarbon(i, j int, b float64) float64 {
+	if i == j || b <= 0 {
+		return 0
+	}
+	return b / 1e9 * s.netC[i]
+}
+
+// prepCarbon fills the carbon coefficient slabs and their
+// placement-independent screen rates, once per lease and only when a
+// carbon-pricing scorer actually descends on this context.
+func (s *search) prepCarbon() {
+	info := s.est.info
+	for i := 0; i < s.n; i++ {
+		s.netC[i] = carbonAt(info.CarbonPerGB, i)
+		s.compC[i] = carbonAt(info.CarbonPerCompSec, i)
+	}
+	for j := 0; j < s.n; j++ {
+		csum := 0.0
+		for _, i := range s.nzRows {
+			if i == j {
+				continue
+			}
+			csum += s.layout[i] / 1e9 * s.netC[i]
+		}
+		s.colRateCSum[j] = csum
+	}
+	s.carbonReady = true
+}
+
 // splitSD is MigrationMatrix's surplus/deficit split for DC x holding
 // task share px — the builder's exact expressions.
 func (s *search) splitSD(x int, px float64) (sur, def float64) {
@@ -283,6 +346,15 @@ func (s *search) fillBase() {
 				s.tE[base+j], s.uE[base+j] = s.entryTerms(i, j, row[j])
 			}
 		}
+		if s.needC {
+			for i := 0; i < n; i++ {
+				row := s.transfer[i]
+				base := i * n
+				for j := 0; j < n; j++ {
+					s.cE[base+j] = s.entryCarbon(i, j, row[j])
+				}
+			}
+		}
 	} else {
 		// A shuffle entry is layout[i]·p[j] — ShuffleMatrixInto's exact
 		// expression, computed inline so zero rows need no matrix build
@@ -293,11 +365,19 @@ func (s *search) fillBase() {
 				s.tE[base+j], s.uE[base+j] = s.entryTerms(i, j, s.layout[i]*s.p[j])
 			}
 		}
+		if s.needC {
+			for _, i := range s.nzRows {
+				base := i * n
+				for j := 0; j < n; j++ {
+					s.cE[base+j] = s.entryCarbon(i, j, s.layout[i]*s.p[j])
+				}
+			}
+		}
 	}
 	for j := 0; j < n; j++ {
 		s.comp[j] = s.compTerm(s.p[j], j)
 	}
-	s.secs, s.loadSum, s.usd = s.reduceBase()
+	s.agg = s.reduceBase()
 	if s.stage.Kind == spark.MapKind {
 		s.mapTotalDef = 0
 		for i := 0; i < n; i++ {
@@ -352,6 +432,25 @@ func (s *search) fillBase() {
 			}
 			s.mapColT[j], s.mapColU[j] = colT, colU
 		}
+		if s.needC {
+			s.mapTotC = 0
+			for i := 0; i < n; i++ {
+				rowC := 0.0
+				base := i * n
+				for j := 0; j < n; j++ {
+					rowC += s.cE[base+j]
+				}
+				s.mapRowC[i] = rowC
+				s.mapTotC += rowC
+			}
+			for j := 0; j < n; j++ {
+				colC := 0.0
+				for i := 0; i < n; i++ {
+					colC += s.cE[i*n+j]
+				}
+				s.mapColC[j] = colC
+			}
+		}
 	} else {
 		for j := 0; j < n; j++ {
 			s.refreshColumn(j)
@@ -376,6 +475,13 @@ func (s *search) refreshColumn(j int) {
 	s.colSumT[j] = sum
 	s.colMaxT[j] = max
 	s.colSumU[j] = usum
+	if s.needC {
+		csum := 0.0
+		for _, i := range s.nzRows {
+			csum += s.cE[i*s.n+j]
+		}
+		s.colSumC[j] = csum
+	}
 }
 
 // refreshTotals re-derives the grand screening totals from the column
@@ -387,39 +493,64 @@ func (s *search) refreshTotals() {
 		s.totalU += s.colSumU[j]
 		s.compSum += s.comp[j]
 	}
+	if s.needC {
+		s.totalC, s.compCarbSum = 0, 0
+		for j := 0; j < s.n; j++ {
+			s.totalC += s.colSumC[j]
+			s.compCarbSum += s.comp[j] * s.compC[j]
+		}
+	}
 }
 
-// reduceBase folds the cached entries into (secs, loadSum, usd) in
-// estimateDetail's canonical order: network entries row-major, then
-// compute terms by DC.
-func (s *search) reduceBase() (secs, loadSum, usd float64) {
+// reduceBase folds the cached entries into the estimate Aggregates in
+// estimateDetail/estimateAgg's canonical order: network entries
+// row-major, then compute terms by DC. The carbon fold is a separate
+// pass over the same order — KgCO2 has its own accumulator, so its
+// bits only depend on its own addition sequence, and skipped zero
+// entries contribute exact +0.0 identities.
+func (s *search) reduceBase() Aggregates {
+	var a Aggregates
 	tNet := 0.0
 	for _, i := range s.nzRows {
 		base := i * s.n
 		for j := 0; j < s.n; j++ {
 			t := s.tE[base+j]
-			loadSum += t
+			a.LoadSum += t
 			if t > tNet {
 				tNet = t
 			}
-			usd += s.uE[base+j]
+			a.USD += s.uE[base+j]
 		}
 	}
 	tComp := 0.0
 	for _, c := range s.comp {
-		loadSum += c
+		a.LoadSum += c
 		if c > tComp {
 			tComp = c
 		}
 	}
-	return tNet + tComp, loadSum, usd
+	a.Secs = tNet + tComp
+	if s.needC {
+		for _, i := range s.nzRows {
+			base := i * s.n
+			for j := 0; j < s.n; j++ {
+				a.KgCO2 += s.cE[base+j]
+			}
+		}
+		for j, c := range s.comp {
+			a.KgCO2 += c * s.compC[j]
+		}
+	}
+	return a
 }
 
 // evalShuffleCand delta-evaluates the move (from→to, pf/pt being the
 // two changed placement entries) for a shuffle stage: O(n) fresh
 // divisions for the two changed transfer columns, then the canonical
-// reduction substituting them over the cached rest.
-func (s *search) evalShuffleCand(from, to int, pf, pt float64) (secs, loadSum, usd float64) {
+// reduction substituting them over the cached rest. The carbon fold,
+// when the scorer needs it, is the same substitution replayed for the
+// KgCO2 accumulator in its own canonical-order pass.
+func (s *search) evalShuffleCand(from, to int, pf, pt float64) Aggregates {
 	n := s.n
 	for _, i := range s.nzRows {
 		s.tF[i], s.uF[i] = s.entryTerms(i, from, s.layout[i]*pf)
@@ -428,6 +559,7 @@ func (s *search) evalShuffleCand(from, to int, pf, pt float64) (secs, loadSum, u
 	cF := s.compTerm(pf, from)
 	cT := s.compTerm(pt, to)
 
+	var a Aggregates
 	tNet := 0.0
 	for _, i := range s.nzRows {
 		base := i * n
@@ -441,11 +573,11 @@ func (s *search) evalShuffleCand(from, to int, pf, pt float64) (secs, loadSum, u
 			default:
 				t, u = s.tE[base+j], s.uE[base+j]
 			}
-			loadSum += t
+			a.LoadSum += t
 			if t > tNet {
 				tNet = t
 			}
-			usd += u
+			a.USD += u
 		}
 	}
 	tComp := 0.0
@@ -457,12 +589,42 @@ func (s *search) evalShuffleCand(from, to int, pf, pt float64) (secs, loadSum, u
 		case to:
 			c = cT
 		}
-		loadSum += c
+		a.LoadSum += c
 		if c > tComp {
 			tComp = c
 		}
 	}
-	return tNet + tComp, loadSum, usd
+	a.Secs = tNet + tComp
+	if s.needC {
+		for _, i := range s.nzRows {
+			s.cbF[i] = s.entryCarbon(i, from, s.layout[i]*pf)
+			s.cbT[i] = s.entryCarbon(i, to, s.layout[i]*pt)
+		}
+		for _, i := range s.nzRows {
+			base := i * n
+			for j := 0; j < n; j++ {
+				switch j {
+				case from:
+					a.KgCO2 += s.cbF[i]
+				case to:
+					a.KgCO2 += s.cbT[i]
+				default:
+					a.KgCO2 += s.cE[base+j]
+				}
+			}
+		}
+		for j := 0; j < n; j++ {
+			c := s.comp[j]
+			switch j {
+			case from:
+				c = cF
+			case to:
+				c = cT
+			}
+			a.KgCO2 += c * s.compC[j]
+		}
+	}
+	return a
 }
 
 // evalMapCand evaluates a candidate for a map stage. The migration
@@ -476,11 +638,12 @@ func (s *search) evalShuffleCand(from, to int, pf, pt float64) (secs, loadSum, u
 // performs per entry, evaluated once), and the unchanged compute terms
 // come from the base cache. The nonzero entries fold in the reference's
 // row-major order, so the result bits match a full rebuild.
-func (s *search) evalMapCand(from, to int, pf, pt float64) (secs, loadSum, usd float64) {
+func (s *search) evalMapCand(from, to int, pf, pt float64) Aggregates {
 	n := s.n
 	oldF, oldT := s.p[from], s.p[to]
 	s.p[from], s.p[to] = pf, pt
 
+	var a Aggregates
 	tNet := 0.0
 	if s.total > 0 {
 		// Surplus/deficit differ from the maintained base split only at
@@ -532,11 +695,14 @@ func (s *search) evalMapCand(from, to int, pf, pt float64) (secs, loadSum, usd f
 						continue
 					}
 					t := b * 8 / s.bwDen[base+j]
-					loadSum += t
+					a.LoadSum += t
 					if t > tNet {
 						tNet = t
 					}
-					usd += b / 1e9 * s.est.info.EgressPerGB[i]
+					a.USD += b / 1e9 * s.est.info.EgressPerGB[i]
+					if s.needC {
+						a.KgCO2 += b / 1e9 * s.netC[i]
+					}
 				}
 			}
 		}
@@ -552,13 +718,17 @@ func (s *search) evalMapCand(from, to int, pf, pt float64) (secs, loadSum, usd f
 		case to:
 			c = cT
 		}
-		loadSum += c
+		a.LoadSum += c
 		if c > tComp {
 			tComp = c
 		}
+		if s.needC {
+			a.KgCO2 += c * s.compC[j]
+		}
 	}
 	s.p[from], s.p[to] = oldF, oldT
-	return tNet + tComp, loadSum, usd
+	a.Secs = tNet + tComp
+	return a
 }
 
 // applyMove commits the accepted move into s.p and refreshes the base
@@ -582,6 +752,13 @@ func (s *search) applyMove(from, to int, step float64) {
 		s.tE[base+from], s.uE[base+from] = s.entryTerms(i, from, s.layout[i]*pf)
 		s.tE[base+to], s.uE[base+to] = s.entryTerms(i, to, s.layout[i]*pt)
 	}
+	if s.needC {
+		for _, i := range s.nzRows {
+			base := i * n
+			s.cE[base+from] = s.entryCarbon(i, from, s.layout[i]*pf)
+			s.cE[base+to] = s.entryCarbon(i, to, s.layout[i]*pt)
+		}
+	}
 	s.comp[from] = s.compTerm(pf, from)
 	s.comp[to] = s.compTerm(pt, to)
 	s.refreshColumn(from)
@@ -598,8 +775,10 @@ func (s *search) applyMove(from, to int, step float64) {
 // improvement can never be screened out — it merely falls through to
 // the exact canonical evaluation. Rejections are safe by construction:
 // the screen's value understates the candidate's true objective by at
-// most the margin.
-func (s *search) screen(from, to int, pf, pt float64, bestV float64, combine func(secs, loadSum, usd float64) float64) bool {
+// most the margin — which is why only ScreenSafe (monotone) scorers
+// reach this path. The carbon terms are exact +0.0 when the scorer
+// doesn't price carbon, so the non-carbon margin bits are unchanged.
+func (s *search) screen(from, to int, pf, pt float64, bestV float64, sc Scorer) bool {
 	tNet := pf * s.colRateMax[from]
 	if v := pt * s.colRateMax[to]; v > tNet {
 		tNet = v
@@ -631,15 +810,28 @@ func (s *search) screen(from, to int, pf, pt float64, bestV float64, combine fun
 	if usd < 0 {
 		usd = 0
 	}
+	co2, cm := 0.0, 0.0
+	if s.needC {
+		// The carbon aggregate is column-linear exactly like usd, with
+		// the per-DC compute carbon scaling by pf/pt through compRate.
+		co2 = s.totalC - s.colSumC[from] - s.colSumC[to] +
+			pf*s.colRateCSum[from] + pt*s.colRateCSum[to] +
+			s.compCarbSum - s.comp[from]*s.compC[from] - s.comp[to]*s.compC[to] +
+			pf*s.compRate[from]*s.compC[from] + pt*s.compRate[to]*s.compC[to]
+		if co2 < 0 {
+			co2 = 0
+		}
+		cm = s.totalC + s.compCarbSum
+	}
 	secs := tNet + tComp
-	v := combine(secs, load, usd)
+	v := sc.Score(Aggregates{Secs: secs, LoadSum: load, USD: usd, KgCO2: co2})
 	// The margin dominates every error source: ulp-level scale
 	// factorization, arbitrary- vs canonical-order summation, the
 	// cancellation in the total-minus-columns differences (covered by
 	// the absolute term) and the ×1e6 amplification at Kimchi's
 	// latency wall (covered by the 1e-7·secs share, three orders wider
 	// than 1e6 × the relative secs error).
-	margin := 1e-7*(secs+load+usd) + 1e-12*(s.totalT+s.totalU+s.compSum)
+	margin := 1e-7*(secs+load+usd+co2) + 1e-12*(s.totalT+s.totalU+s.compSum+cm)
 	return v-margin >= bestV-1e-9
 }
 
@@ -649,7 +841,7 @@ func (s *search) screen(from, to int, pf, pt float64, bestV float64, combine fun
 // unchanged block's sums and max bound the candidate's objective from
 // below in O(n) (the changed rows and columns contribute ≥ 0 and are
 // dropped). Approximate, margin-guarded, rejection-only.
-func (s *search) mapScreen(from, to int, pf, pt float64, bestV float64, combine func(secs, loadSum, usd float64) float64) bool {
+func (s *search) mapScreen(from, to int, pf, pt float64, bestV float64, sc Scorer) bool {
 	n := s.n
 	surF, defF := s.splitSD(from, pf)
 	surT, defT := s.splitSD(to, pt)
@@ -765,11 +957,39 @@ func (s *search) mapScreen(from, to int, pf, pt float64, bestV float64, combine 
 		}
 	}
 
+	co2, cm := 0.0, 0.0
+	if s.needC {
+		// Carbon entries scale entrywise like dollars: the unchanged
+		// block by k, the moved DCs' rows/columns by their surplus/
+		// deficit ratios, plus the compute carbon of the candidate.
+		cornerC := s.cE[from*n+to] + s.cE[to*n+from] + s.cE[from*n+from] + s.cE[to*n+to]
+		blockC := s.mapTotC - s.mapRowC[from] - s.mapRowC[to] - s.mapColC[from] - s.mapColC[to] + cornerC
+		if blockC < 0 {
+			blockC = 0
+		}
+		co2 = k*blockC +
+			rsF*clamp0(s.mapRowC[from]-s.cE[from*n+from]-s.cE[from*n+to]) +
+			rsT*clamp0(s.mapRowC[to]-s.cE[to*n+to]-s.cE[to*n+from]) +
+			csF*clamp0(s.mapColC[from]-s.cE[from*n+from]-s.cE[to*n+from]) +
+			csT*clamp0(s.mapColC[to]-s.cE[to*n+to]-s.cE[from*n+to])
+		for j := 0; j < n; j++ {
+			c := s.comp[j]
+			switch j {
+			case from:
+				c = cF
+			case to:
+				c = cT
+			}
+			co2 += c * s.compC[j]
+		}
+		cm = s.mapTotC
+	}
+
 	secs := tNet + tComp
 	load := netLoad + compLoad
 	usd := netUsd
-	v := combine(secs, load, usd)
-	margin := 1e-7*(secs+load+usd) + 1e-12*(s.mapTotT+s.mapTotU+compLoad)
+	v := sc.Score(Aggregates{Secs: secs, LoadSum: load, USD: usd, KgCO2: co2})
+	margin := 1e-7*(secs+load+usd+co2) + 1e-12*(s.mapTotT+s.mapTotU+compLoad+cm)
 	return v-margin >= bestV-1e-9
 }
 
@@ -799,22 +1019,28 @@ func normalizeInto(dst, src spark.Placement) {
 }
 
 // descend runs the greedy shrinking-step descent from start under the
-// combined objective, leaving the final placement in s.p (with its
-// estimate aggregates in s.secs/s.loadSum/s.usd) and returning the
-// final objective value. Moves, acceptance rule (strict 1e-9
-// improvement against the best-so-far) and step schedule replicate
-// descendReference exactly.
-func (s *search) descend(start spark.Placement, combine func(secs, loadSum, usd float64) float64) float64 {
+// scorer's objective, leaving the final placement in s.p (with its
+// estimate aggregates in s.agg) and returning the final objective
+// value. Moves, acceptance rule (strict 1e-9 improvement against the
+// best-so-far) and step schedule replicate descendReference exactly.
+// Only ScreenSafe scorers get the rejection screens; the rest pay the
+// exact canonical evaluation for every candidate — slower, never wrong.
+func (s *search) descend(start spark.Placement, sc Scorer) float64 {
+	s.needC = sc.NeedsCarbon()
+	if s.needC && !s.carbonReady {
+		s.prepCarbon()
+	}
+	useScreens := sc.ScreenSafe()
 	normalizeInto(s.p, start)
 	s.fillBase()
-	best := combine(s.secs, s.loadSum, s.usd)
+	best := sc.Score(s.agg)
 	isMap := s.stage.Kind == spark.MapKind
 	step := 0.10
 	for step >= 0.005 {
 		for {
 			bestV := best
 			bestFrom, bestTo := -1, -1
-			var bestSecs, bestLoad, bestUsd float64
+			var bestAgg Aggregates
 			for from := 0; from < s.n; from++ {
 				if s.p[from] < step {
 					continue
@@ -825,22 +1051,22 @@ func (s *search) descend(start spark.Placement, combine func(secs, loadSum, usd 
 						continue
 					}
 					pt := s.p[to] + step
-					var secs, load, usd float64
+					var a Aggregates
 					if isMap {
-						if s.mapScreen(from, to, pf, pt, bestV, combine) {
+						if useScreens && s.mapScreen(from, to, pf, pt, bestV, sc) {
 							continue
 						}
-						secs, load, usd = s.evalMapCand(from, to, pf, pt)
+						a = s.evalMapCand(from, to, pf, pt)
 					} else {
-						if s.screen(from, to, pf, pt, bestV, combine) {
+						if useScreens && s.screen(from, to, pf, pt, bestV, sc) {
 							continue
 						}
-						secs, load, usd = s.evalShuffleCand(from, to, pf, pt)
+						a = s.evalShuffleCand(from, to, pf, pt)
 					}
-					if v := combine(secs, load, usd); v < bestV-1e-9 {
+					if v := sc.Score(a); v < bestV-1e-9 {
 						bestV = v
 						bestFrom, bestTo = from, to
-						bestSecs, bestLoad, bestUsd = secs, load, usd
+						bestAgg = a
 					}
 				}
 			}
@@ -849,25 +1075,19 @@ func (s *search) descend(start spark.Placement, combine func(secs, loadSum, usd 
 			}
 			s.applyMove(bestFrom, bestTo, step)
 			best = bestV
-			s.secs, s.loadSum, s.usd = bestSecs, bestLoad, bestUsd
+			s.agg = bestAgg
 		}
 		step /= 2
 	}
 	return best
 }
 
-// tetriumCombine is Tetrium's objective over the estimate aggregates —
-// the exact expression of the reference closure.
-func tetriumCombine(secs, loadSum, usd float64) float64 {
-	return secs + 1e-3*loadSum + 0.05*usd
-}
-
-// placeTetrium runs the three-start Tetrium descent and returns the
-// winning placement in s.bestBuf along with its estimate aggregates.
-// Kimchi reads the seconds for its latency budget directly instead of
-// re-estimating the placement the descent just scored, and both phases
-// share this one context.
-func (s *search) placeTetrium() (best spark.Placement, secs, loadSum, usd float64) {
+// placeMultiStart runs the three-start descent under any Scorer and
+// returns the winning placement in s.bestBuf along with its estimate
+// aggregates. Kimchi reads the JCT phase's seconds for its latency
+// budget directly instead of re-estimating the placement the descent
+// just scored, and both of its phases share this one context.
+func (s *search) placeMultiStart(sc Scorer) (best spark.Placement, agg Aggregates) {
 	normalizeInto(s.starts[0], s.layout) // data locality
 	u := 1 / float64(s.n)
 	for i := range s.starts[1] {
@@ -877,14 +1097,14 @@ func (s *search) placeTetrium() (best spark.Placement, secs, loadSum, usd float6
 
 	bestV := 0.0
 	for i := 0; i < 3; i++ {
-		v := s.descend(s.starts[i], tetriumCombine)
+		v := s.descend(s.starts[i], sc)
 		if i == 0 || v < bestV {
 			bestV = v
 			copy(s.bestBuf, s.p)
-			secs, loadSum, usd = s.secs, s.loadSum, s.usd
+			agg = s.agg
 		}
 	}
-	return s.bestBuf, secs, loadSum, usd
+	return s.bestBuf, agg
 }
 
 // descendGeneric is the allocation-light descent for objectives without

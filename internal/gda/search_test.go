@@ -209,11 +209,11 @@ func TestSearchAggregatesMatchEstimateDetail(t *testing.T) {
 			{Name: "r", Kind: spark.ReduceKind, SecPerGB: 2, Selectivity: 1},
 		} {
 			s := getSearch(est, stage, layout)
-			s.descend(spark.UniformPlacement(n), tetriumCombine)
+			s.descend(spark.UniformPlacement(n), JCT{})
 			secs, load, usd := est.estimateDetail(stage, layout, s.p)
-			if s.secs != secs || s.loadSum != load || s.usd != usd {
+			if s.agg.Secs != secs || s.agg.LoadSum != load || s.agg.USD != usd {
 				t.Fatalf("n=%d %s: cached aggregates (%v,%v,%v) != fresh (%v,%v,%v)",
-					n, stage.Name, s.secs, s.loadSum, s.usd, secs, load, usd)
+					n, stage.Name, s.agg.Secs, s.agg.LoadSum, s.agg.USD, secs, load, usd)
 			}
 			putSearch(s)
 		}

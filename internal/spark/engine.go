@@ -51,6 +51,11 @@ type RunResult struct {
 	// (≥1 MB) WAN transfers of the job.
 	MinShuffleMbps float64
 	Cost           cost.Breakdown
+	// Energy is the job's energy/carbon account, itemized like Cost:
+	// compute kWh for every VM held over the JCT, network kWh for the
+	// WAN bytes moved, each converted to kgCO₂-eq through the grid
+	// intensity of the region where the energy was drawn.
+	Energy cost.EnergyBreakdown
 
 	// Fault-recovery totals over all stages (zero on fault-free runs).
 	LostBytes      float64
@@ -84,6 +89,9 @@ type Engine struct {
 	// Recovery controls reaction to substrate faults (see
 	// RecoveryConfig). Zero value: disabled, faults fail the run.
 	Recovery RecoveryConfig
+	// Energy parameterizes the energy/carbon account (NewEngine fills
+	// the defaults; zero-value Engines report zero energy).
+	Energy cost.EnergyRates
 }
 
 // NewEngine builds an engine over a simulator with the given pricing.
@@ -93,6 +101,7 @@ func NewEngine(sim substrate.Cluster, rates cost.Rates) *Engine {
 		rates:                     rates,
 		ComputeLoadDuringTransfer: 0.3,
 		MaxStageTransferS:         6 * 3600,
+		Energy:                    cost.DefaultEnergyRates(),
 	}
 }
 
@@ -222,6 +231,7 @@ func (e *Engine) RunJob(job Job, sched Scheduler, policy ConnPolicy) (RunResult,
 		res.OutputBytes += b
 	}
 	res.Cost = e.price(job, res)
+	res.Energy = e.energy(res)
 	return res, nil
 }
 
@@ -404,5 +414,34 @@ func (e *Engine) price(job Job, res RunResult) cost.Breakdown {
 		}
 	}
 	b.StorageUSD = e.rates.StorageUSD(job.TotalInputBytes()/1e9, res.JCTSeconds)
+	return b
+}
+
+// energy itemizes the job's energy/carbon account the way price
+// itemizes dollars: every cluster VM draws its attributable watts for
+// the full JCT (converted through its own region's grid intensity),
+// and cross-DC bytes pay the WAN transport energy at the sender's
+// grid — the accounting the carbon-aware placement scorer plans
+// against.
+func (e *Engine) energy(res RunResult) cost.EnergyBreakdown {
+	var b cost.EnergyBreakdown
+	regions := e.sim.Regions()
+	for v := 0; v < e.sim.NumVMs(); v++ {
+		id := substrate.VMID(v)
+		kwh := e.Energy.ComputeKWh(e.sim.Spec(id), res.JCTSeconds)
+		b.ComputeKWh += kwh
+		b.ComputeKgCO2 += kwh * e.Energy.IntensityFor(regions[e.sim.DCOf(id)]) / 1000
+	}
+	for _, st := range res.Stages {
+		for i := range st.PairBytes {
+			for j := range st.PairBytes[i] {
+				if i != j {
+					kwh := e.Energy.NetworkKWh(st.PairBytes[i][j])
+					b.NetworkKWh += kwh
+					b.NetworkKgCO2 += kwh * e.Energy.IntensityFor(regions[i]) / 1000
+				}
+			}
+		}
+	}
 	return b
 }

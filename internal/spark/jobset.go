@@ -524,6 +524,7 @@ func (s *JobSet) finishJob(js *jobState, now float64) {
 		js.res.OutputBytes += b
 	}
 	js.res.Cost = s.eng.price(js.run.Job, js.res)
+	js.res.Energy = s.eng.energy(js.res)
 	s.running--
 	if s.onDone != nil {
 		s.onDone(js.idx, js.res)

@@ -54,6 +54,10 @@ type VMSpec struct {
 	VCPUs int
 	// HourlyUSD is the on-demand instance price, used by the cost model.
 	HourlyUSD float64
+	// Watts is the instance's attributable average power draw, used by
+	// the energy/carbon model (a vCPU-share slice of the host, not a
+	// whole server).
+	Watts float64
 }
 
 // Predefined instance shapes used across the paper's experiments.
@@ -62,13 +66,13 @@ type VMSpec struct {
 // the paper notes for m5.large ("10 Gbps NIC, WAN throttled to half").
 var (
 	// T2Medium hosts Spark workers in the paper's evaluation.
-	T2Medium = VMSpec{Type: "t2.medium", EgressMbps: 2400, IngressMbps: 2800, MemGB: 4, ComputeRate: 1.0, VCPUs: 2, HourlyUSD: 0.0464}
+	T2Medium = VMSpec{Type: "t2.medium", EgressMbps: 2400, IngressMbps: 2800, MemGB: 4, ComputeRate: 1.0, VCPUs: 2, HourlyUSD: 0.0464, Watts: 11}
 	// T2Large hosts the Spark master.
-	T2Large = VMSpec{Type: "t2.large", EgressMbps: 3000, IngressMbps: 3400, MemGB: 8, ComputeRate: 1.2, VCPUs: 2, HourlyUSD: 0.0928}
+	T2Large = VMSpec{Type: "t2.large", EgressMbps: 3000, IngressMbps: 3400, MemGB: 8, ComputeRate: 1.2, VCPUs: 2, HourlyUSD: 0.0928, Watts: 17}
 	// T3Nano (unlimited burst) runs the bandwidth-monitoring probes.
-	T3Nano = VMSpec{Type: "t3.nano", EgressMbps: 1000, IngressMbps: 1100, MemGB: 0.5, ComputeRate: 0.25, VCPUs: 2, HourlyUSD: 0.0052}
+	T3Nano = VMSpec{Type: "t3.nano", EgressMbps: 1000, IngressMbps: 1100, MemGB: 0.5, ComputeRate: 0.25, VCPUs: 2, HourlyUSD: 0.0052, Watts: 2.2}
 	// E2Medium is the GCP instance used in the multi-cloud check (§5.8.3).
-	E2Medium = VMSpec{Type: "e2-medium", EgressMbps: 2200, IngressMbps: 2600, MemGB: 4, ComputeRate: 0.95, VCPUs: 2, HourlyUSD: 0.0335}
+	E2Medium = VMSpec{Type: "e2-medium", EgressMbps: 2200, IngressMbps: 2600, MemGB: 4, ComputeRate: 0.95, VCPUs: 2, HourlyUSD: 0.0335, Watts: 10}
 )
 
 // VMStats is a snapshot of a VM's host-level metrics, the sources of

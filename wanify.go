@@ -48,6 +48,10 @@ type Config struct {
 	Cluster substrate.Cluster
 	// Rates prices measurement and query activity.
 	Rates cost.Rates
+	// Energy parameterizes the energy/carbon account behind the
+	// carbon-aware placement scorer and the engine's per-job
+	// EnergyBreakdown (zero value: DefaultEnergyRates).
+	Energy cost.EnergyRates
 	// Seed drives snapshot noise and any tie-breaking.
 	Seed uint64
 	// MaxConnsPerPair is the optimizer's M (default 8).
@@ -103,6 +107,9 @@ func New(cfg Config, model *predict.Model) (*Framework, error) {
 	if cfg.RelationD == 0 {
 		cfg.RelationD = optimize.DefaultD
 	}
+	if cfg.Energy.IsZero() {
+		cfg.Energy = cost.DefaultEnergyRates()
+	}
 	return &Framework{
 		cfg:   cfg,
 		model: model,
@@ -112,6 +119,11 @@ func New(cfg Config, model *predict.Model) (*Framework, error) {
 
 // Model returns the framework's prediction model.
 func (f *Framework) Model() *predict.Model { return f.model }
+
+// EnergyRates returns the deployment's energy/carbon parameters
+// (Config.Energy, or the defaults when unset) — what schedulers and
+// engines built next to this framework should price carbon with.
+func (f *Framework) EnergyRates() cost.EnergyRates { return f.cfg.Energy }
 
 // DetermineRuntimeBW takes a 1-second snapshot of the cluster and
 // predicts the stable runtime bandwidth matrix — the §4.1.2 Runtime
