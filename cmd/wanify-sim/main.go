@@ -25,7 +25,12 @@
 // jobs (fair, priority, remaining). -rebalance adds the mid-job
 // re-gauging controller (internal/runtime): the plan is re-measured
 // and swapped into the running agents when WAN drift is detected —
-// with -jobs N one controller arbitrates for the whole set. -overlap
+// with -jobs N one controller arbitrates for the whole set. -hardened
+// upgrades the controller to failure-aware gauging (probe
+// retry/backoff, partial snapshots fused with the last-known-good
+// belief, coverage-gated replans, circuit breaker); -probe-fail T
+// injects a measurement-poisoning fault burst at time T to aim at a
+// re-gauge window. -overlap
 // pipelines compute into the transfer window (SDTP-style). -backend
 // selects the substrate (netsim, trace, trace:<name|file>); -model
 // reuses a wanify-train model so the online run skips retraining.
@@ -54,6 +59,7 @@ import (
 	"github.com/wanify/wanify/internal/netsim"
 	"github.com/wanify/wanify/internal/optimize"
 	"github.com/wanify/wanify/internal/predict"
+	rgauge "github.com/wanify/wanify/internal/runtime"
 	"github.com/wanify/wanify/internal/spark"
 	"github.com/wanify/wanify/internal/substrate"
 	"github.com/wanify/wanify/internal/trace"
@@ -72,6 +78,8 @@ func main() {
 		jobs    = flag.Int("jobs", 1, "run N copies of the job concurrently over one cluster (multi-tenant)")
 		shareS  = flag.String("share", "fair", "with -jobs N and -conns wanify: split the global plan's windows across jobs by fair | priority | remaining (priority: job 0 ranks highest)")
 		rebal   = flag.Bool("rebalance", false, "with -conns wanify: re-gauge and rebalance the plan mid-job when WAN drift is detected (with -jobs N: one shared controller arbitrates for all jobs)")
+		harden  = flag.Bool("hardened", false, "with -rebalance: failure-aware gauging — probe retry/backoff, partial snapshots fused with the last-known-good belief, coverage-gated replans and a circuit breaker")
+		pfailAt = flag.Float64("probe-fail", -1, "inject a measurement-poisoning burst at this simulated time (s): the first third of the DCs partition for 60 s and one healthy pair resets 1 s in; aim it at a -rebalance re-gauge window and pair with -hardened to watch the poisoned snapshot be rejected instead of replanned")
 		overlap = flag.Bool("overlap", false, "pipeline compute into the transfer window (SDTP-style)")
 		traceTo = flag.String("trace", "", "write a per-pair rate time series (CSV) to this file")
 		backend = flag.String("backend", "netsim", "substrate backend: netsim | trace | trace:<name|file>")
@@ -102,6 +110,9 @@ func main() {
 	}
 	if *jobs < 1 {
 		log.Fatalf("-jobs must be at least 1, got %d", *jobs)
+	}
+	if *harden && !*rebal {
+		log.Fatal("-hardened configures the re-gauging controller and requires -rebalance")
 	}
 	share, err := optimize.ParseShareMode(*shareS)
 	if err != nil {
@@ -145,6 +156,29 @@ func main() {
 		}
 		schedule.Apply(sim)
 		fmt.Printf("fault schedule: %s\n", schedule)
+	}
+
+	// Measurement-poisoning burst: partition enough DCs to drag a
+	// snapshot below the hardened coverage threshold, and reset one
+	// healthy pair mid-window so a probe dies in flight.
+	if *pfailAt >= 0 {
+		dark := n / 3
+		if dark < 1 {
+			dark = 1
+		}
+		var schedule substrate.FaultSchedule
+		for dc := 1; dc <= dark; dc++ {
+			schedule = append(schedule, substrate.Fault{
+				Kind: substrate.FaultPartitionDC, DC: dc % n,
+				At: *pfailAt, Until: *pfailAt + 60,
+			})
+		}
+		schedule = append(schedule, substrate.Fault{
+			Kind: substrate.FaultResetPair, SrcDC: (dark + 1) % n, DstDC: (dark + 2) % n,
+			At: *pfailAt + 1,
+		})
+		schedule.Apply(sim)
+		fmt.Printf("probe-fail schedule: %s\n", schedule)
 	}
 
 	// Input layout.
@@ -209,7 +243,8 @@ func main() {
 		}
 		fw, err = wanify.New(wanify.Config{
 			Cluster: sim, Rates: rates, Seed: *seed,
-			Agent: agent.Config{Throttle: true},
+			Agent:   agent.Config{Throttle: true},
+			Runtime: rgauge.Config{Hardened: *harden},
 		}, model)
 		if err != nil {
 			log.Fatal(err)
@@ -393,6 +428,13 @@ func main() {
 				ctl.Replans(), ctl.DriftEpochs(), ctl.TotalCost().BytesTransferred/1e6)
 			for _, ev := range ctl.Events() {
 				fmt.Printf("  replan %s\n", ev)
+			}
+			if g := ctl.Gauge(); g.Hardened {
+				fmt.Printf("  gauge: coverage %.0f%%, %d rejected snapshots, %d probe retries, %d unmeasurable pairs, %d belief-filled\n",
+					g.LastCoverage*100, g.RejectedSnapshots, g.Retries, g.UnmeasurablePairs, g.FusedPairs)
+				for _, in := range ctl.Incidents() {
+					fmt.Printf("  incident %s\n", in)
+				}
 			}
 		}
 	}

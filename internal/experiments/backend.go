@@ -107,6 +107,7 @@ var netsimOnly = map[string]bool{
 	"fleet":           true, // synthetic 100-DC fleet topology (geo.Fleet)
 	"serve":           true, // control-plane load test (scripted netsim arrivals)
 	"pareto":          true, // oracle beliefs read netsim's true per-connection caps
+	"degrade":         true, // fault schedule cut against the netsim testbed's re-gauge window
 }
 
 // SupportsBackend reports whether an experiment can run on b. The

@@ -22,7 +22,7 @@ func TestRegistryComplete(t *testing.T) {
 		"rebalance", "rebalance-trace",
 		"multijob", "multijob-trace",
 		"failover", "chaos", "fleet",
-		"serve", "pareto",
+		"serve", "pareto", "degrade",
 	}
 	for _, id := range want {
 		if _, ok := Registry[id]; !ok {

@@ -27,6 +27,7 @@ var separateGolden = map[string]bool{
 	"fleet":          true,
 	"serve":          true,
 	"pareto":         true,
+	"degrade":        true,
 }
 
 // renderAll runs every registered experiment at the given seed and

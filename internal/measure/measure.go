@@ -60,6 +60,12 @@ type Report struct {
 	BytesTransferred float64
 	// VMSeconds is the aggregate busy VM time (N VMs × elapsed).
 	VMSeconds float64
+	// FailedProbes counts probe flows a fault terminated mid-window
+	// (endpoint death, pair reset, born-failed against a dead VM).
+	// Their bytes are excluded from the pair averages — a flow frozen
+	// at its failure instant integrated over the full window would
+	// read as a fabricated near-zero bandwidth.
+	FailedProbes int
 }
 
 // Add returns the element-wise sum of two reports.
@@ -68,6 +74,7 @@ func (r Report) Add(o Report) Report {
 		ElapsedS:         r.ElapsedS + o.ElapsedS,
 		BytesTransferred: r.BytesTransferred + o.BytesTransferred,
 		VMSeconds:        r.VMSeconds + o.VMSeconds,
+		FailedProbes:     r.FailedProbes + o.FailedProbes,
 	}
 }
 
@@ -133,11 +140,19 @@ func Snapshot(sim substrate.Cluster, opts Options) (bwmatrix.Matrix, []substrate
 // lets the simulation advance on its own for Options.DurationS, and
 // then Collects — same probes, same noise order, no nested clock.
 type PendingSnapshot struct {
-	sim    substrate.Cluster
-	opts   Options
-	pairs  [][2]int
-	probes []pendingProbe
-	begun  float64
+	sim      substrate.Cluster
+	opts     Options
+	pairs    [][2]int
+	probes   []pendingProbe
+	begun    float64
+	finished bool // Collect, CollectPartial or Abandon already ran
+
+	// hardened-path state (BeginSnapshotHardened; see partial.go).
+	// Both stay zero on the legacy path so BeginSnapshot + Collect is
+	// byte-identical to builds that predate failure-aware gauging.
+	hardened bool
+	policy   RetryPolicy
+	chains   []*probeChain
 }
 
 type pendingProbe struct {
@@ -185,12 +200,31 @@ func (ps *PendingSnapshot) Ready() bool {
 }
 
 // Abandon tears the probes down without producing a sample (the
-// snapshot's owner is shutting down mid-window).
+// snapshot's owner is shutting down mid-window). Teardown is
+// idempotent under faults: probes a VM kill or pair reset already
+// terminated are skipped rather than re-Stopped, retry probes the
+// hardened path started are torn down with the originals, and a
+// second Abandon is a no-op.
 func (ps *PendingSnapshot) Abandon() {
+	if ps.finished {
+		return
+	}
+	ps.finished = true
 	for _, pr := range ps.probes {
+		if pr.flow.Failed() {
+			continue // the fault already tore this probe down
+		}
 		pr.flow.Stop()
 	}
 	ps.probes = nil
+	for _, ch := range ps.chains {
+		for i := range ch.segs {
+			if f := ch.segs[i].flow; !f.Failed() && !f.Done() {
+				f.Stop()
+			}
+		}
+	}
+	ps.chains = nil
 }
 
 // Collect tears the probes down and returns the sampled bandwidth
@@ -201,8 +235,11 @@ func (ps *PendingSnapshot) Abandon() {
 // time (rates stay honest); collecting at exactly DurationS matches
 // Snapshot byte for byte.
 func (ps *PendingSnapshot) Collect() (bwmatrix.Matrix, []substrate.VMStats, Report) {
-	if ps.probes == nil {
+	if ps.finished {
 		panic("measure: PendingSnapshot collected twice")
+	}
+	if ps.hardened {
+		panic("measure: hardened snapshot must be collected with CollectPartial")
 	}
 	// Clock subtraction can land an ulp either side of the configured
 	// duration; treat anything within tol as on-time and use the
@@ -219,13 +256,23 @@ func (ps *PendingSnapshot) Collect() (bwmatrix.Matrix, []substrate.VMStats, Repo
 	}
 	byPair := make(map[[2]int]float64, len(ps.pairs))
 	totalBytes := 0.0
+	failed := 0
 	for _, pr := range ps.probes {
+		if pr.flow.Failed() {
+			// A fault terminated this probe mid-window: its frozen byte
+			// count integrated over the full window would fabricate a
+			// near-zero reading, so it contributes nothing to the pair
+			// average (and needs no Stop — the fault tore it down).
+			failed++
+			continue
+		}
 		bytes := pr.flow.TransferredBytes() - pr.start
 		totalBytes += bytes
 		byPair[pr.pair] += bytes * 8 / 1e6 / window // Mbps
 		pr.flow.Stop()
 	}
 	ps.probes = nil
+	ps.finished = true
 	n := ps.sim.NumDCs()
 	out := bwmatrix.New(n)
 	// Iterate the ordered pair list (not the map) so measurement noise
@@ -241,6 +288,7 @@ func (ps *PendingSnapshot) Collect() (bwmatrix.Matrix, []substrate.VMStats, Repo
 		ElapsedS:         window,
 		BytesTransferred: totalBytes,
 		VMSeconds:        window * float64(ps.sim.NumVMs()),
+		FailedProbes:     failed,
 	}
 	return out, stats, rep
 }
@@ -273,7 +321,12 @@ func SnapshotByVM(sim substrate.Cluster, opts Options) (bwmatrix.Matrix, []subst
 	sim.RunFor(opts.DurationS)
 	out := bwmatrix.New(nv)
 	totalBytes := 0.0
+	failed := 0
 	for _, pr := range probes {
+		if pr.flow.Failed() {
+			failed++
+			continue // see Collect: a fault-frozen probe poisons the average
+		}
 		bytes := pr.flow.TransferredBytes() - pr.start
 		totalBytes += bytes
 		out[pr.src][pr.dst] = noisy(bytes*8/1e6/opts.DurationS, opts)
@@ -287,6 +340,7 @@ func SnapshotByVM(sim substrate.Cluster, opts Options) (bwmatrix.Matrix, []subst
 		ElapsedS:         opts.DurationS,
 		BytesTransferred: totalBytes,
 		VMSeconds:        opts.DurationS * float64(nv),
+		FailedProbes:     failed,
 	}
 	return out, stats, rep
 }
@@ -327,7 +381,12 @@ func probePairs(sim substrate.Cluster, pairs [][2]int, opts Options) (map[[2]int
 	sim.RunFor(opts.DurationS)
 	out := make(map[[2]int]float64, len(pairs))
 	totalBytes := 0.0
+	failed := 0
 	for _, pr := range probes {
+		if pr.flow.Failed() {
+			failed++
+			continue // see Collect: a fault-frozen probe poisons the average
+		}
 		bytes := pr.flow.TransferredBytes() - pr.start
 		totalBytes += bytes
 		out[pr.pair] += bytes * 8 / 1e6 / opts.DurationS // Mbps
@@ -337,6 +396,7 @@ func probePairs(sim substrate.Cluster, pairs [][2]int, opts Options) (map[[2]int
 		ElapsedS:         opts.DurationS,
 		BytesTransferred: totalBytes,
 		VMSeconds:        opts.DurationS * float64(sim.NumVMs()),
+		FailedProbes:     failed,
 	}
 	return out, rep
 }

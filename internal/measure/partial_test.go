@@ -1,0 +1,270 @@
+package measure
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/wanify/wanify/internal/substrate"
+)
+
+// collectHardened begins a hardened snapshot on a fresh frozen sim,
+// applies the fault schedule, runs out the window and collects. The
+// helper rebuilds everything from the seed so determinism tests can
+// compare two complete runs.
+func collectHardened(n int, seed uint64, sched substrate.FaultSchedule, pol RetryPolicy) *PartialSnapshot {
+	sim := frozenSim(n, seed)
+	sim.RunFor(5) // settle away from t=0 so fault times are mid-stream
+	ps := BeginSnapshotHardened(sim, Options{DurationS: 1, Conns: 1}, pol)
+	sched.Apply(sim)
+	sim.RunFor(1)
+	return ps.CollectPartial()
+}
+
+// TestHardenedMatchesLegacyOnHealthyCluster: with no faults the
+// hardened snapshot must read exactly what the legacy snapshot reads —
+// every pair Measured at confidence 1, coverage 1, same matrix.
+func TestHardenedMatchesLegacyOnHealthyCluster(t *testing.T) {
+	opts := Options{DurationS: 1, Conns: 1}
+
+	legacySim := frozenSim(4, 7)
+	legacy := BeginSnapshot(legacySim, opts)
+	legacySim.RunFor(1)
+	want, _, wantRep := legacy.Collect()
+
+	hardSim := frozenSim(4, 7)
+	hard := BeginSnapshotHardened(hardSim, opts, RetryPolicy{})
+	hardSim.RunFor(1)
+	got := hard.CollectPartial()
+
+	if !reflect.DeepEqual(got.BW, want) {
+		t.Errorf("hardened BW diverges from legacy on a healthy cluster:\n got %v\nwant %v", got.BW, want)
+	}
+	if cov := got.Coverage(); cov != 1 {
+		t.Errorf("coverage = %v, want 1", cov)
+	}
+	if got.Retries() != 0 || got.Unmeasurable() != 0 {
+		t.Errorf("healthy cluster reported retries=%d unmeasurable=%d", got.Retries(), got.Unmeasurable())
+	}
+	for _, p := range got.Pairs {
+		s := got.Samples[p]
+		if s.Outcome != PairMeasured || s.Confidence != 1 || s.FailedProbes != 0 {
+			t.Errorf("pair %v = %+v, want Measured at confidence 1", p, s)
+		}
+	}
+	if got.Bill.FailedProbes != 0 || got.Bill.BytesTransferred != wantRep.BytesTransferred {
+		t.Errorf("bill %+v diverges from legacy %+v", got.Bill, wantRep)
+	}
+}
+
+// TestCollectPartialUnderFaults exercises the three fault kinds inside
+// one probe window: a VM kill (pairs lose their endpoint mid-window),
+// a pair reset (probe dies, retry succeeds) and a DC partition (probes
+// stall at rate zero without failing). Asserts the outcome tags,
+// retry counts and coverage arithmetic.
+func TestCollectPartialUnderFaults(t *testing.T) {
+	// 5 DCs, 1 VM each: VM i lives in DC i. Window is [5, 6).
+	sched := substrate.FaultSchedule{
+		{Kind: substrate.FaultKillVM, VM: 3, At: 5.3},
+		{Kind: substrate.FaultResetPair, SrcDC: 0, DstDC: 1, At: 5.4},
+		{Kind: substrate.FaultPartitionDC, DC: 4, At: 5.0, Until: 10},
+	}
+	part := collectHardened(5, 3, sched, RetryPolicy{})
+
+	if len(part.Pairs) != 20 {
+		t.Fatalf("pairs = %d, want 20", len(part.Pairs))
+	}
+	for _, p := range part.Pairs {
+		s := part.Samples[p]
+		switch {
+		case p[0] == 4 || p[1] == 4:
+			// Partitioned the whole window: stalled at rate 0, tagged
+			// unmeasurable rather than read as a zero-bandwidth link.
+			if s.Outcome != PairUnmeasurable || s.Confidence != 0 {
+				t.Errorf("partitioned pair %v = %+v, want Unmeasurable at confidence 0", p, s)
+			}
+			if part.BW[p[0]][p[1]] != 0 {
+				t.Errorf("partitioned pair %v left %.1f Mbps in BW, want 0", p, part.BW[p[0]][p[1]])
+			}
+		case p[0] == 3 || p[1] == 3:
+			// Endpoint killed at 5.3: the 0.3 s before the kill is a
+			// usable (low-confidence) reading; the retry found the VM
+			// dead and gave up.
+			if s.Outcome != PairRetried {
+				t.Errorf("killed-endpoint pair %v = %+v, want Retried", p, s)
+			}
+			if s.FailedProbes == 0 {
+				t.Errorf("killed-endpoint pair %v counted no failed probes", p)
+			}
+			if s.Confidence <= 0 || s.Confidence > 0.45 {
+				t.Errorf("killed-endpoint pair %v confidence %.2f, want ~0.3", p, s.Confidence)
+			}
+		case p[0] == 0 && p[1] == 1:
+			// Reset at 5.4: probe died, backoff 0.1 s, replacement ran
+			// out the window. Both segments are live time.
+			if s.Outcome != PairRetried || s.Retries == 0 || s.FailedProbes == 0 {
+				t.Errorf("reset pair %v = %+v, want Retried with retries", p, s)
+			}
+			if s.Confidence < 0.8 || s.Confidence > 1 {
+				t.Errorf("reset pair %v confidence %.2f, want ~0.9 (0.4+0.5 of 1 s)", p, s.Confidence)
+			}
+			// The chain time-averages its segments: the reading must be
+			// in the vicinity of the healthy pairs, not doubled by
+			// summing two segment rates.
+			if healthy := part.Samples[[2]int{1, 0}]; s.Mbps > 1.6*healthy.Mbps {
+				t.Errorf("reset pair %v reads %.0f Mbps vs healthy reverse %.0f — segment rates summed instead of time-averaged?", p, s.Mbps, healthy.Mbps)
+			}
+		default:
+			if s.Outcome != PairMeasured || s.Confidence != 1 {
+				t.Errorf("healthy pair %v = %+v, want Measured at confidence 1", p, s)
+			}
+		}
+	}
+	// 8 partitioned pairs out of 20 are unmeasurable.
+	if got, want := part.Coverage(), 12.0/20.0; got != want {
+		t.Errorf("coverage = %v, want %v", got, want)
+	}
+	if part.Unmeasurable() != 8 {
+		t.Errorf("unmeasurable = %d, want 8", part.Unmeasurable())
+	}
+	if part.Retries() == 0 {
+		t.Error("no retries recorded across kill + reset faults")
+	}
+	if part.Bill.FailedProbes == 0 {
+		t.Error("bill counted no failed probes")
+	}
+}
+
+// TestCollectPartialDeterministicPerSeed: the hardened collection under
+// a fault schedule is a pure function of the seed.
+func TestCollectPartialDeterministicPerSeed(t *testing.T) {
+	sched := substrate.FaultSchedule{
+		{Kind: substrate.FaultKillVM, VM: 2, At: 5.25},
+		{Kind: substrate.FaultResetPair, SrcDC: 0, DstDC: 1, At: 5.5},
+	}
+	a := collectHardened(4, 11, sched, RetryPolicy{})
+	b := collectHardened(4, 11, sched, RetryPolicy{})
+	if !reflect.DeepEqual(a.Samples, b.Samples) {
+		t.Errorf("samples diverge across identical runs:\n a=%v\n b=%v", a.Samples, b.Samples)
+	}
+	if !reflect.DeepEqual(a.BW, b.BW) {
+		t.Error("BW matrices diverge across identical runs")
+	}
+	if a.Bill != b.Bill {
+		t.Errorf("bills diverge: %+v vs %+v", a.Bill, b.Bill)
+	}
+}
+
+// TestRetryBudgetExhaustion: a pair reset over and over burns the
+// retry budget and the chain gives up instead of probing forever.
+func TestRetryBudgetExhaustion(t *testing.T) {
+	sim := frozenSim(3, 5)
+	sim.RunFor(5)
+	ps := BeginSnapshotHardened(sim, Options{DurationS: 1, Conns: 1}, RetryPolicy{MaxRetries: 2})
+	// Reset the pair at every instant a probe could be running.
+	for _, at := range []float64{5.1, 5.25, 5.5, 5.75, 5.9} {
+		sim.ResetPair(0, 1, at)
+	}
+	sim.RunFor(1)
+	part := ps.CollectPartial()
+	s := part.Samples[[2]int{0, 1}]
+	if s.Retries != 2 {
+		t.Errorf("retries = %d, want exactly the budget of 2", s.Retries)
+	}
+	if s.FailedProbes < 3 {
+		t.Errorf("failed probes = %d, want original + both retries", s.FailedProbes)
+	}
+	// Whatever live slivers it saw, the reverse pair stayed healthy.
+	if rev := part.Samples[[2]int{1, 0}]; rev.Outcome != PairMeasured {
+		t.Errorf("reverse pair = %+v, want untouched", rev)
+	}
+}
+
+// TestFailedProbesExcludedFromLegacyCollect locks the satellite bugfix:
+// a probe a fault froze mid-window contributes nothing to the pair
+// average and is counted in Report.FailedProbes instead.
+func TestFailedProbesExcludedFromLegacyCollect(t *testing.T) {
+	sim := frozenSim(3, 9)
+	sim.RunFor(5)
+	ps := BeginSnapshot(sim, Options{DurationS: 1, Conns: 1})
+	sim.KillVM(2, 5.5)
+	sim.RunFor(1)
+	bw, _, rep := ps.Collect()
+	// Pairs touching DC 2 lost their only probe; the pair average must
+	// be zero, not a half-window byte count diluted to a bogus rate.
+	for _, p := range [][2]int{{0, 2}, {1, 2}, {2, 0}, {2, 1}} {
+		if bw[p[0]][p[1]] != 0 {
+			t.Errorf("pair %v = %.2f Mbps from a failed probe, want 0", p, bw[p[0]][p[1]])
+		}
+	}
+	if bw[0][1] <= 0 || bw[1][0] <= 0 {
+		t.Error("healthy pairs lost their reading")
+	}
+	if rep.FailedProbes != 4 {
+		t.Errorf("FailedProbes = %d, want 4", rep.FailedProbes)
+	}
+}
+
+// TestAbandonIdempotentUnderFaults locks the satellite bugfix: Abandon
+// after a mid-probe VM kill skips the already-failed flows, tears down
+// hardened retry probes too, and a second Abandon is a no-op.
+func TestAbandonIdempotentUnderFaults(t *testing.T) {
+	t.Run("legacy", func(t *testing.T) {
+		sim := frozenSim(3, 13)
+		sim.RunFor(5)
+		ps := BeginSnapshot(sim, Options{DurationS: 1, Conns: 1})
+		sim.KillVM(1, 5.2)
+		sim.RunFor(0.5) // mid-window: 4 probes already dead
+		ps.Abandon()
+		ps.Abandon() // must be a no-op, not a double-Stop
+	})
+	t.Run("hardened", func(t *testing.T) {
+		sim := frozenSim(3, 13)
+		sim.RunFor(5)
+		ps := BeginSnapshotHardened(sim, Options{DurationS: 1, Conns: 1}, RetryPolicy{})
+		sim.ResetPair(0, 1, 5.2) // spawns a retry probe at ~5.3
+		sim.RunFor(0.5)
+		ps.Abandon()
+		ps.Abandon()
+		// The abandoned window keeps its timers armed on the substrate;
+		// running past them must not resurrect probes or panic.
+		sim.RunFor(2)
+	})
+	t.Run("collect-after-abandon-panics", func(t *testing.T) {
+		sim := frozenSim(3, 13)
+		ps := BeginSnapshotHardened(sim, Options{DurationS: 1, Conns: 1}, RetryPolicy{})
+		sim.RunFor(1)
+		ps.Abandon()
+		defer func() {
+			if recover() == nil {
+				t.Error("CollectPartial after Abandon did not panic")
+			}
+		}()
+		ps.CollectPartial()
+	})
+}
+
+// TestHardenedGuards: the two collection paths refuse each other's
+// snapshots.
+func TestHardenedGuards(t *testing.T) {
+	sim := frozenSim(3, 1)
+	ps := BeginSnapshotHardened(sim, Options{DurationS: 1, Conns: 1}, RetryPolicy{})
+	sim.RunFor(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Collect on a hardened snapshot did not panic")
+			}
+		}()
+		ps.Collect()
+	}()
+
+	sim2 := frozenSim(3, 1)
+	legacy := BeginSnapshot(sim2, Options{DurationS: 1, Conns: 1})
+	sim2.RunFor(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("CollectPartial on a legacy snapshot did not panic")
+		}
+	}()
+	legacy.CollectPartial()
+}

@@ -100,6 +100,35 @@ type Config struct {
 	// MaxReplans caps the number of replans per controller lifetime
 	// (default 0: unlimited).
 	MaxReplans int
+
+	// --- failure-aware gauging (DESIGN.md §11; default all off) ---
+
+	// Hardened turns on failure-aware gauging: re-gauge snapshots run
+	// with probe retry/backoff (measure.BeginSnapshotHardened), come
+	// back as tagged partial samples, fuse with the last-known-good
+	// belief store, and pass through the coverage gate and circuit
+	// breaker below. Default off: the legacy collect-and-swap path is
+	// byte-identical to builds that predate hardening.
+	Hardened bool
+	// Retry is the hardened snapshot's probe retry policy (zero value:
+	// measure defaults — 2 retries, 0.1 s base backoff, ×2 growth
+	// capped at 1 s).
+	Retry measure.RetryPolicy
+	// MinCoverage is the measured-pair fraction a snapshot must reach
+	// for the controller to replan from it (default 0.6). Below it the
+	// controller enters degraded mode for that trigger: the current
+	// plan is kept, the rejection is recorded as an incident, and the
+	// circuit breaker advances.
+	MinCoverage float64
+	// BeliefHalfLifeS is the staleness half-life of the per-pair
+	// belief store's confidence (default 120 s).
+	BeliefHalfLifeS float64
+	// BreakerThreshold is how many consecutive rejected snapshots open
+	// the circuit breaker (default 3).
+	BreakerThreshold int
+	// BreakerBackoffS is how long an open breaker suppresses re-gauge
+	// triggers before re-arming (default 4×EpochS).
+	BreakerBackoffS float64
 }
 
 func (c Config) withDefaults() Config {
@@ -123,6 +152,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CooldownS == 0 {
 		c.CooldownS = 2 * c.EpochS
+	}
+	if c.MinCoverage == 0 {
+		c.MinCoverage = 0.6
+	}
+	if c.BeliefHalfLifeS == 0 {
+		c.BeliefHalfLifeS = 120
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerBackoffS == 0 {
+		c.BreakerBackoffS = 4 * c.EpochS
 	}
 	return c
 }
@@ -171,11 +212,14 @@ type Deps struct {
 // Reason states why a replan fired.
 type Reason int8
 
-// Replan reasons.
+// Replan reasons. The first three fire replans; the last two tag
+// incidents of the hardened path (Incidents), which swap no plan.
 const (
 	ReasonDrift    Reason = iota // live rates departed from the plan
 	ReasonStale                  // the plan aged past StaleAfterS
 	ReasonEvacuate               // a DC was confirmed dead; plan routes around it
+	ReasonDegraded               // snapshot rejected: coverage below MinCoverage
+	ReasonBreaker                // consecutive rejections opened the circuit breaker
 )
 
 // String names the reason.
@@ -185,6 +229,10 @@ func (r Reason) String() string {
 		return "stale"
 	case ReasonEvacuate:
 		return "evacuate"
+	case ReasonDegraded:
+		return "degraded"
+	case ReasonBreaker:
+		return "breaker-open"
 	default:
 		return "drift"
 	}
@@ -209,10 +257,24 @@ type Event struct {
 	EvacuatedDCs []int
 	// Cost is the measurement bill of the re-gauge snapshot.
 	Cost measure.Report
+	// Coverage is the measured-pair fraction of the snapshot behind
+	// this event (hardened runs only; zero on legacy events).
+	Coverage float64
+	// ReopenAt is when an opened circuit breaker re-arms
+	// (ReasonBreaker incidents only).
+	ReopenAt float64
 }
 
 // String renders the event for reports.
 func (e Event) String() string {
+	switch e.Reason {
+	case ReasonDegraded:
+		return fmt.Sprintf("t=%.0fs degraded (coverage=%.0f%%) plan kept",
+			e.TriggeredAt, e.Coverage*100)
+	case ReasonBreaker:
+		return fmt.Sprintf("t=%.0fs breaker-open until t=%.0fs",
+			e.TriggeredAt, e.ReopenAt)
+	}
 	if len(e.EvacuatedDCs) > 0 {
 		return fmt.Sprintf("t=%.0fs %s (dcs=%v) applied t=%.0fs",
 			e.TriggeredAt, e.Reason, e.EvacuatedDCs, e.AppliedAt)
@@ -239,6 +301,42 @@ type Controller struct {
 	driftEpochs int
 	cancel      func()
 	stopped     bool
+
+	// --- failure-aware gauging state (Config.Hardened) ---
+	belief       *beliefStore
+	incidents    []Event // rejected snapshots and breaker openings
+	breakerFails int     // consecutive rejected snapshots
+	breakerUntil float64 // open breaker suppresses triggers until then
+	gauge        GaugeStats
+}
+
+// GaugeStats describes the failure-aware gauging state — what serve
+// surfaces in /healthz, /v1/cluster and wanify.serve.gauge.* lines.
+type GaugeStats struct {
+	// Hardened reports whether failure-aware gauging is on.
+	Hardened bool
+	// Degraded reports whether the controller is refusing to replan:
+	// the breaker is open, or the last snapshot was rejected.
+	Degraded bool
+	// LastCoverage is the measured-pair fraction of the most recent
+	// collected snapshot (1 before any hardened snapshot).
+	LastCoverage float64
+	// RejectedSnapshots counts snapshots refused for low coverage.
+	RejectedSnapshots int
+	// Retries counts replacement probes across all snapshots.
+	Retries int
+	// UnmeasurablePairs is the unmeasurable count of the most recent
+	// snapshot.
+	UnmeasurablePairs int
+	// FusedPairs counts pair readings filled from the belief store
+	// instead of a measurement, cumulatively.
+	FusedPairs int
+	// BreakerOpen reports whether the circuit breaker is open.
+	BreakerOpen bool
+	// BreakerUntil is when an open breaker re-arms (0 when closed).
+	BreakerUntil float64
+	// ConsecutiveFails is the current run of rejected snapshots.
+	ConsecutiveFails int
 }
 
 // Start begins the re-gauging loop against the given deployment state:
@@ -258,6 +356,14 @@ func Start(deps Deps, cfg Config, pred bwmatrix.Matrix, plan optimize.Plan) *Con
 		pred:   pred.Clone(),
 		plan:   plan,
 		planAt: deps.Cluster.Now(),
+	}
+	if c.cfg.Hardened {
+		// Seed the belief store with the prediction the current plan
+		// was built from: the best last-known-good available before
+		// any hardened snapshot lands.
+		c.belief = newBeliefStore(deps.Cluster.NumDCs(), c.cfg.BeliefHalfLifeS)
+		c.belief.seed(pred, c.planAt, 0.5)
+		c.gauge = GaugeStats{Hardened: true, LastCoverage: 1}
 	}
 	c.cancel = deps.Cluster.Every(c.cfg.EpochS, c.epoch)
 	return c
@@ -300,6 +406,31 @@ func (c *Controller) Events() []Event { return c.events }
 
 // Replans returns how many plan swaps have been applied.
 func (c *Controller) Replans() int { return len(c.events) }
+
+// Incidents returns the hardened path's degraded-mode record: every
+// rejected snapshot and breaker opening (empty on legacy runs). These
+// never swap a plan and never count toward Replans.
+func (c *Controller) Incidents() []Event { return c.incidents }
+
+// Gauge returns the failure-aware gauging state (zero-valued with
+// Hardened false when the controller runs the legacy path).
+func (c *Controller) Gauge() GaugeStats {
+	g := c.gauge
+	if g.Hardened {
+		now := c.deps.Cluster.Now()
+		g.BreakerOpen = now < c.breakerUntil
+		if g.BreakerOpen {
+			g.BreakerUntil = c.breakerUntil
+		}
+		g.ConsecutiveFails = c.breakerFails
+		g.Degraded = g.BreakerOpen || c.breakerFails > 0
+	}
+	return g
+}
+
+// Degraded reports whether the hardened controller is currently
+// refusing to replan (always false on the legacy path).
+func (c *Controller) Degraded() bool { return c.Gauge().Degraded }
 
 // DriftEpochs returns how many epochs counted toward a drift streak —
 // a churn diagnostic: on a stable network this stays zero.
@@ -346,6 +477,14 @@ func (c *Controller) epoch(now float64) {
 	// DC is marked handled only when its replan actually starts.
 	if evac := c.newlyDead(); len(evac) > 0 {
 		c.beginRegauge(now, ReasonEvacuate, drifted, maxFrac, evac)
+		return
+	}
+	// An open circuit breaker suppresses drift and staleness triggers:
+	// N consecutive snapshots came back unusable, so re-probing every
+	// epoch only burns measurement budget on a WAN that cannot answer.
+	// Evacuation (above) still passes — a confirmed-dead DC needs no
+	// snapshot quality to be worth routing around.
+	if c.cfg.Hardened && now < c.breakerUntil {
 		return
 	}
 	if now-c.planAt < c.cfg.CooldownS {
@@ -458,6 +597,18 @@ func (c *Controller) beginRegauge(now float64, reason Reason, drifted int, maxFr
 		c.deadHandled[dc] = true
 	}
 	opts := c.deps.SnapshotOpts()
+	if c.cfg.Hardened {
+		ps := measure.BeginSnapshotHardened(c.deps.Cluster, opts, c.cfg.Retry)
+		c.pending = ps
+		c.deps.Cluster.After(ps.DurationS(), func(applied float64) {
+			if c.stopped || c.pending != ps {
+				return // Stop drained the snapshot already
+			}
+			c.pending = nil
+			c.applyHardened(ps.CollectPartial(), now, applied, reason, drifted, maxFrac, evac)
+		})
+		return
+	}
 	ps := measure.BeginSnapshot(c.deps.Cluster, opts)
 	c.pending = ps
 	c.deps.Cluster.After(ps.DurationS(), func(applied float64) {
@@ -466,66 +617,137 @@ func (c *Controller) beginRegauge(now float64, reason Reason, drifted int, maxFr
 		}
 		c.pending = nil
 		snap, stats, rep := ps.Collect()
-		pred := c.deps.Predict(snap, stats)
-		// A dead DC carries no traffic whatever the model extrapolates:
-		// zero its rows and columns so optimization runs over the
-		// surviving topology only (the optimizer's bandwidth floor keeps
-		// its descent finite on the zeroed pairs).
-		for dc := 0; dc < pred.N(); dc++ {
-			if c.dcAlive(dc) {
-				continue
-			}
-			for j := 0; j < pred.N(); j++ {
-				pred[dc][j], pred[j][dc] = 0, 0
-			}
-		}
-		plan := c.deps.Optimize(pred)
-		// Atomic swap: every agent receives its chunk of the new plan
-		// within this one substrate event, so no transfer ever observes
-		// a half-old, half-new plan. Multi-job deployments re-gauge once
-		// and swap each job's partition of the shared windows here —
-		// still one event, so no job ever runs against another job's
-		// stale share either.
-		if len(c.deps.Groups) > 0 {
-			parts := c.deps.Partition(plan)
-			for g, group := range c.deps.Groups {
-				if len(group) == 0 {
-					continue // idle slot of a dynamic deployment
-				}
-				rows := agent.ChunkPlan(c.deps.Cluster, pred, parts[g])
-				for _, a := range group {
-					a.SwapWindow(rows[a.VM()])
-				}
-			}
-		} else {
-			rows := agent.ChunkPlan(c.deps.Cluster, pred, plan)
-			for _, a := range c.deps.Agents {
-				a.SwapWindow(rows[a.VM()])
-			}
-		}
-		if c.deps.OnPlanSwap != nil {
-			c.deps.OnPlanSwap(pred, plan)
-		}
-		c.pred = pred.Clone()
-		c.plan = plan
-		c.planAt = applied
-		c.streak = 0
-		c.events = append(c.events, Event{
-			TriggeredAt:  now,
-			AppliedAt:    applied,
-			Reason:       reason,
-			DriftedPairs: drifted,
-			MaxDriftFrac: maxFrac,
-			EvacuatedDCs: evac,
-			Cost:         rep,
-		})
+		c.applyRegauge(snap, stats, rep, now, applied, reason, drifted, maxFrac, evac, 0)
 	})
 }
 
-// TotalCost sums the measurement bills of all replans.
+// applyHardened consumes a collected partial snapshot: reject it and
+// advance the circuit breaker when measured coverage is below the
+// threshold (degraded mode — the current plan keeps flying), fuse the
+// tagged samples with the belief store otherwise and replan from the
+// fused matrix.
+func (c *Controller) applyHardened(part *measure.PartialSnapshot, now, applied float64, reason Reason, drifted int, maxFrac float64, evac []int) {
+	cov := part.Coverage()
+	c.gauge.LastCoverage = cov
+	c.gauge.Retries += part.Retries()
+	c.gauge.UnmeasurablePairs = part.Unmeasurable()
+	if cov < c.cfg.MinCoverage {
+		// Degraded mode: too few pairs answered for the snapshot to
+		// describe the WAN. Replanning from it would swap a poisoned
+		// plan into every agent, so the controller refuses: the
+		// current plan is kept (planAt untouched — the staleness that
+		// triggered this keeps retriggering once the WAN answers
+		// again), the rejection is recorded, and enough consecutive
+		// rejections open the circuit breaker.
+		c.gauge.RejectedSnapshots++
+		c.breakerFails++
+		c.incidents = append(c.incidents, Event{
+			TriggeredAt:  now,
+			AppliedAt:    applied,
+			Reason:       ReasonDegraded,
+			DriftedPairs: drifted,
+			MaxDriftFrac: maxFrac,
+			Cost:         part.Bill,
+			Coverage:     cov,
+		})
+		if c.breakerFails >= c.cfg.BreakerThreshold {
+			c.breakerUntil = applied + c.cfg.BreakerBackoffS
+			c.incidents = append(c.incidents, Event{
+				TriggeredAt: applied,
+				Reason:      ReasonBreaker,
+				Coverage:    cov,
+				ReopenAt:    c.breakerUntil,
+			})
+			c.breakerFails = 0 // re-armed fresh after the backoff
+		}
+		c.streak = 0
+		return
+	}
+	c.breakerFails = 0
+	// Fusion: measured pairs blend with the staleness-decayed belief;
+	// unmeasurable pairs fall back to the believed value, floored at
+	// the 1 Mbps blackout belief — never a fabricated zero.
+	fused := part.BW.Clone()
+	for _, p := range part.Pairs {
+		s := part.Samples[p]
+		if s.Outcome == measure.PairUnmeasurable {
+			fused[p[0]][p[1]] = c.belief.value(p[0], p[1])
+			c.gauge.FusedPairs++
+		} else {
+			fused[p[0]][p[1]] = c.belief.fuse(p[0], p[1], s.Mbps, s.Confidence, applied)
+		}
+	}
+	c.applyRegauge(fused, part.Stats, part.Bill, now, applied, reason, drifted, maxFrac, evac, cov)
+}
+
+// applyRegauge turns a collected (and, when hardened, fused) snapshot
+// into the next plan and swaps it into the agents.
+func (c *Controller) applyRegauge(snap bwmatrix.Matrix, stats []substrate.VMStats, rep measure.Report, now, applied float64, reason Reason, drifted int, maxFrac float64, evac []int, coverage float64) {
+	pred := c.deps.Predict(snap, stats)
+	// A dead DC carries no traffic whatever the model extrapolates:
+	// zero its rows and columns so optimization runs over the
+	// surviving topology only (the optimizer's bandwidth floor keeps
+	// its descent finite on the zeroed pairs).
+	for dc := 0; dc < pred.N(); dc++ {
+		if c.dcAlive(dc) {
+			continue
+		}
+		for j := 0; j < pred.N(); j++ {
+			pred[dc][j], pred[j][dc] = 0, 0
+		}
+	}
+	plan := c.deps.Optimize(pred)
+	// Atomic swap: every agent receives its chunk of the new plan
+	// within this one substrate event, so no transfer ever observes
+	// a half-old, half-new plan. Multi-job deployments re-gauge once
+	// and swap each job's partition of the shared windows here —
+	// still one event, so no job ever runs against another job's
+	// stale share either.
+	if len(c.deps.Groups) > 0 {
+		parts := c.deps.Partition(plan)
+		for g, group := range c.deps.Groups {
+			if len(group) == 0 {
+				continue // idle slot of a dynamic deployment
+			}
+			rows := agent.ChunkPlan(c.deps.Cluster, pred, parts[g])
+			for _, a := range group {
+				a.SwapWindow(rows[a.VM()])
+			}
+		}
+	} else {
+		rows := agent.ChunkPlan(c.deps.Cluster, pred, plan)
+		for _, a := range c.deps.Agents {
+			a.SwapWindow(rows[a.VM()])
+		}
+	}
+	if c.deps.OnPlanSwap != nil {
+		c.deps.OnPlanSwap(pred, plan)
+	}
+	c.pred = pred.Clone()
+	c.plan = plan
+	c.planAt = applied
+	c.streak = 0
+	c.events = append(c.events, Event{
+		TriggeredAt:  now,
+		AppliedAt:    applied,
+		Reason:       reason,
+		DriftedPairs: drifted,
+		MaxDriftFrac: maxFrac,
+		EvacuatedDCs: evac,
+		Cost:         rep,
+		Coverage:     coverage,
+	})
+}
+
+// TotalCost sums the measurement bills of all replans, plus those of
+// rejected snapshots — a snapshot the coverage gate refused still
+// moved probe bytes over the WAN.
 func (c *Controller) TotalCost() measure.Report {
 	var rep measure.Report
 	for _, e := range c.events {
+		rep = rep.Add(e.Cost)
+	}
+	for _, e := range c.incidents {
 		rep = rep.Add(e.Cost)
 	}
 	return rep

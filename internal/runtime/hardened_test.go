@@ -1,0 +1,282 @@
+package runtime_test
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/wanify/wanify/internal/bwmatrix"
+	"github.com/wanify/wanify/internal/measure"
+	"github.com/wanify/wanify/internal/optimize"
+	rgauge "github.com/wanify/wanify/internal/runtime"
+)
+
+// TestHardenedHealthyMatchesLegacyBehaviour: on a healthy network the
+// hardened controller replans exactly as the legacy one does — full
+// coverage, no incidents, no degraded state.
+func TestHardenedHealthyMatchesLegacyBehaviour(t *testing.T) {
+	sim := frozenSim(3, 51)
+	pred := accuratePred(sim)
+	agents := deployAgents(sim, tightRows(sim, pred))
+	ctl := rgauge.Start(deps(sim, agents, 51), rgauge.Config{
+		Enabled: true, EpochS: 5, StaleAfterS: 30, CooldownS: 10,
+		Hardened: true,
+	}, pred, optimize.GlobalOptimize(pred, optimize.Options{}))
+	defer ctl.Stop()
+
+	sim.RunFor(100)
+	if got := ctl.Replans(); got < 2 {
+		t.Fatalf("hardened staleness clock fired %d replans, want >= 2", got)
+	}
+	for _, ev := range ctl.Events() {
+		if ev.Coverage != 1 {
+			t.Errorf("healthy replan coverage = %v, want 1", ev.Coverage)
+		}
+	}
+	if n := len(ctl.Incidents()); n != 0 {
+		t.Errorf("healthy run recorded %d incidents", n)
+	}
+	g := ctl.Gauge()
+	if !g.Hardened || g.Degraded || g.BreakerOpen || g.RejectedSnapshots != 0 {
+		t.Errorf("healthy gauge = %+v", g)
+	}
+	if ctl.Degraded() {
+		t.Error("healthy hardened controller reports degraded")
+	}
+}
+
+// TestLegacyGaugeStaysZero: with Hardened off the gauge surface is
+// inert — serve must be able to omit it entirely.
+func TestLegacyGaugeStaysZero(t *testing.T) {
+	sim := frozenSim(3, 52)
+	pred := accuratePred(sim)
+	agents := deployAgents(sim, tightRows(sim, pred))
+	ctl := rgauge.Start(deps(sim, agents, 52), rgauge.Config{
+		Enabled: true, EpochS: 5, StaleAfterS: 30, CooldownS: 10,
+	}, pred, optimize.GlobalOptimize(pred, optimize.Options{}))
+	defer ctl.Stop()
+
+	sim.RunFor(60)
+	if g := ctl.Gauge(); g != (rgauge.GaugeStats{}) {
+		t.Errorf("legacy gauge = %+v, want zero value", g)
+	}
+	if ctl.Degraded() || len(ctl.Incidents()) != 0 {
+		t.Error("legacy controller grew hardened state")
+	}
+}
+
+// TestDegradedModeAndBreaker walks the full state machine: a partition
+// poisons every snapshot (coverage far below threshold) → rejections
+// accumulate → the breaker opens and suppresses re-gauging → the
+// partition heals → the breaker re-arms and the next clean snapshot
+// replans. Along the way it locks the acceptance property: no plan
+// swap ever consumes a below-coverage-threshold snapshot.
+func TestDegradedModeAndBreaker(t *testing.T) {
+	sim := frozenSim(4, 53)
+	pred := accuratePred(sim)
+	agents := deployAgents(sim, tightRows(sim, pred))
+
+	snapshots := 0
+	d := deps(sim, agents, 53)
+	baseSnap := d.SnapshotOpts
+	d.SnapshotOpts = func() measure.Options {
+		snapshots++
+		return baseSnap()
+	}
+	const minCov = 0.6
+	ctl := rgauge.Start(d, rgauge.Config{
+		Enabled: true, EpochS: 5, StaleAfterS: 30, CooldownS: 10,
+		Hardened: true, MinCoverage: minCov,
+		// Defaults: BreakerThreshold 3, BreakerBackoffS 4×EpochS = 20.
+	}, pred, optimize.GlobalOptimize(pred, optimize.Options{}))
+	defer ctl.Stop()
+
+	// DCs 1 and 2 partition just before the first stale snapshot
+	// (t=30) and heal at t=80: 10 of 12 ordered pairs stall →
+	// coverage 1/6, every snapshot rejected until the heal.
+	sim.PartitionDC(1, 29, 80)
+	sim.PartitionDC(2, 29, 80)
+
+	sim.RunFor(50) // t=50: three rejections behind us, breaker open
+	if got := ctl.Replans(); got != 0 {
+		t.Fatalf("%d plan swaps from sub-threshold snapshots", got)
+	}
+	g := ctl.Gauge()
+	if !g.BreakerOpen || !g.Degraded {
+		t.Fatalf("breaker not open after 3 rejections: %+v", g)
+	}
+	if g.BreakerUntil != 61 {
+		t.Errorf("breaker re-arms at %v, want 61 (opened at 41 + 20s backoff)", g.BreakerUntil)
+	}
+	if g.RejectedSnapshots != 3 || snapshots != 3 {
+		t.Errorf("rejected=%d snapshots=%d, want 3/3 (epochs 30, 35, 40)", g.RejectedSnapshots, snapshots)
+	}
+	if g.LastCoverage >= minCov {
+		t.Errorf("LastCoverage = %v, want below %v", g.LastCoverage, minCov)
+	}
+
+	sim.RunFor(12) // t=62: breaker held through the 45–60 epochs
+	if snapshots != 3 {
+		t.Errorf("open breaker let %d extra snapshots through", snapshots-3)
+	}
+
+	sim.RunFor(48) // t=110: healed at 80; breaker from the 2nd burst re-arms, clean replan lands
+	if got := ctl.Replans(); got != 1 {
+		t.Fatalf("replans after heal = %d, want exactly 1", got)
+	}
+	ev := ctl.Events()[0]
+	if ev.Reason != rgauge.ReasonStale || ev.Coverage != 1 {
+		t.Errorf("recovery replan = %+v, want stale at coverage 1", ev)
+	}
+	if ctl.Degraded() {
+		t.Error("controller still degraded after a clean replan")
+	}
+
+	// The acceptance property, over everything that happened: swaps
+	// only from snapshots at or above the threshold, rejections only
+	// below it.
+	for _, ev := range ctl.Events() {
+		if ev.Coverage < minCov {
+			t.Errorf("plan swap consumed a %.0f%%-coverage snapshot", ev.Coverage*100)
+		}
+	}
+	degraded, breakers := 0, 0
+	for _, in := range ctl.Incidents() {
+		switch in.Reason {
+		case rgauge.ReasonDegraded:
+			degraded++
+			if in.Coverage >= minCov {
+				t.Errorf("rejected snapshot had coverage %v >= threshold", in.Coverage)
+			}
+		case rgauge.ReasonBreaker:
+			breakers++
+			if in.ReopenAt <= in.TriggeredAt {
+				t.Errorf("breaker incident re-arms at %v, before it opened at %v", in.ReopenAt, in.TriggeredAt)
+			}
+		default:
+			t.Errorf("incident with replan reason %v", in.Reason)
+		}
+	}
+	if degraded < 4 || breakers < 1 {
+		t.Errorf("incidents = %d degraded + %d breaker, want >= 4 and >= 1", degraded, breakers)
+	}
+	// Rejected snapshots still cost probe bytes: the bill covers them.
+	if ctl.TotalCost().BytesTransferred <= ev.Cost.BytesTransferred {
+		t.Error("TotalCost omits the rejected snapshots' probe traffic")
+	}
+}
+
+// TestBeliefFillsUnmeasurablePairs: a snapshot at exactly the coverage
+// threshold is accepted, and its unmeasurable pairs replan on the
+// last-known-good belief instead of a fabricated zero.
+func TestBeliefFillsUnmeasurablePairs(t *testing.T) {
+	sim := frozenSim(5, 54)
+	pred := accuratePred(sim)
+	agents := deployAgents(sim, tightRows(sim, pred))
+	ctl := rgauge.Start(deps(sim, agents, 54), rgauge.Config{
+		Enabled: true, EpochS: 5, StaleAfterS: 30, CooldownS: 10,
+		Hardened: true,
+	}, pred, optimize.GlobalOptimize(pred, optimize.Options{}))
+	defer ctl.Stop()
+
+	// DC 4 partitioned across the snapshot window: 8 of 20 pairs
+	// unmeasurable, coverage exactly 0.6 — at the default threshold,
+	// so the swap proceeds with belief-filled rows.
+	sim.PartitionDC(4, 29, 1e9)
+	sim.RunFor(40)
+
+	if got := ctl.Replans(); got != 1 {
+		t.Fatalf("replans = %d, want 1 (coverage 0.6 meets the 0.6 threshold)", got)
+	}
+	ev := ctl.Events()[0]
+	if ev.Coverage != 0.6 {
+		t.Errorf("event coverage = %v, want 0.6", ev.Coverage)
+	}
+	got := ctl.CurrentPred()
+	for j := 0; j < 4; j++ {
+		// The partitioned DC's pairs measured nothing; the fused
+		// prediction must carry the seeded last-known-good verbatim.
+		if got[4][j] != pred[4][j] || got[j][4] != pred[j][4] {
+			t.Errorf("unmeasurable pair (4,%d): pred %v/%v, want last-known-good %v/%v",
+				j, got[4][j], got[j][4], pred[4][j], pred[j][4])
+		}
+		if got[4][j] == 0 {
+			t.Errorf("unmeasurable pair (4,%d) replanned on zero", j)
+		}
+	}
+	if g := ctl.Gauge(); g.FusedPairs != 8 || g.UnmeasurablePairs != 8 {
+		t.Errorf("gauge fused/unmeasurable = %d/%d, want 8/8", g.FusedPairs, g.UnmeasurablePairs)
+	}
+}
+
+// TestNoSwapBelowCoverageThresholdProperty is the seed-swept property
+// lock: whatever the fault timing does to coverage, every applied swap
+// consumed a snapshot at or above MinCoverage and every rejection was
+// below it.
+func TestNoSwapBelowCoverageThresholdProperty(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		sim := frozenSim(4, seed)
+		pred := accuratePred(sim)
+		agents := deployAgents(sim, tightRows(sim, pred))
+		ctl := rgauge.Start(deps(sim, agents, seed), rgauge.Config{
+			Enabled: true, EpochS: 5, StaleAfterS: 15, CooldownS: 5,
+			Hardened: true,
+		}, pred, optimize.GlobalOptimize(pred, optimize.Options{}))
+
+		// Rolling partitions with varying overlap of the 1 s snapshot
+		// windows (those open at 15+5k); some snapshots die, some
+		// squeak through, some are clean.
+		sim.PartitionDC(1, 14.5, 36)
+		sim.PartitionDC(2, 35.2, 55)
+		sim.PartitionDC(3, 60, 75.8)
+		sim.RunFor(120)
+
+		if ctl.Replans() == 0 {
+			t.Errorf("seed %d: scenario produced no replans at all", seed)
+		}
+		for _, ev := range ctl.Events() {
+			if ev.Coverage < 0.6 {
+				t.Errorf("seed %d: swap at t=%.0f consumed coverage %.2f < 0.6", seed, ev.AppliedAt, ev.Coverage)
+			}
+		}
+		for _, in := range ctl.Incidents() {
+			if in.Reason == rgauge.ReasonDegraded && in.Coverage >= 0.6 {
+				t.Errorf("seed %d: rejection at t=%.0f had coverage %.2f >= 0.6", seed, in.AppliedAt, in.Coverage)
+			}
+		}
+		ctl.Stop()
+	}
+}
+
+// TestHardenedDeterminism: the full degraded/breaker history is a pure
+// function of the seed.
+func TestHardenedDeterminism(t *testing.T) {
+	run := func() ([]rgauge.Event, []rgauge.Event, bwmatrix.Matrix) {
+		sim := frozenSim(4, 55)
+		pred := accuratePred(sim)
+		agents := deployAgents(sim, tightRows(sim, pred))
+		ctl := rgauge.Start(deps(sim, agents, 55), rgauge.Config{
+			Enabled: true, EpochS: 5, StaleAfterS: 15, CooldownS: 5,
+			Hardened: true,
+		}, pred, optimize.GlobalOptimize(pred, optimize.Options{}))
+		defer ctl.Stop()
+		sim.PartitionDC(1, 14.5, 40)
+		sim.PartitionDC(2, 14.5, 40)
+		sim.RunFor(90)
+		return ctl.Events(), ctl.Incidents(), ctl.CurrentPred()
+	}
+	ev1, in1, pred1 := run()
+	ev2, in2, pred2 := run()
+	if len(in1) == 0 {
+		t.Fatal("scenario produced no incidents")
+	}
+	assertDeepEqual(t, "events", ev1, ev2)
+	assertDeepEqual(t, "incidents", in1, in2)
+	assertDeepEqual(t, "pred", pred1, pred2)
+}
+
+func assertDeepEqual(t *testing.T, what string, a, b interface{}) {
+	t.Helper()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("%s diverge:\n%v\n%v", what, a, b)
+	}
+}

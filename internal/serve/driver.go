@@ -42,15 +42,37 @@ func NewDriver(p *Plane) *Driver {
 
 // Do runs fn on the driver goroutine — between clock slices, at the
 // current simulated instant — and returns when it has executed. Every
-// HTTP handler reaches the Plane through this.
+// HTTP handler reaches the Plane through this. After Close, fn runs
+// inline on the caller: the loop no longer owns the clock. (The send
+// below cannot be raced against done in one select: cmds is buffered,
+// so the send would win even against a long-closed driver and leave
+// the caller waiting on a command no loop will ever drain.)
 func (d *Driver) Do(fn func()) {
 	ran := make(chan struct{})
 	select {
-	case d.cmds <- func() { fn(); close(ran) }:
-		<-ran
 	case <-d.done:
-		// Driver stopped: run inline, the loop no longer owns the clock.
 		fn()
+		return
+	default:
+	}
+	select {
+	case d.cmds <- func() { fn(); close(ran) }:
+	case <-d.done:
+		fn()
+		return
+	}
+	select {
+	case <-ran:
+	case <-d.done:
+		// The loop exited while the command was queued. Its shutdown
+		// drain completes before done closes, so by now the command
+		// either ran (ran is closed) or is stranded in the buffer for
+		// good — run it inline then.
+		select {
+		case <-ran:
+		default:
+			fn()
+		}
 	}
 }
 
@@ -58,6 +80,7 @@ func (d *Driver) Do(fn func()) {
 // clock one tick, pace against the wall. Call it on its own goroutine.
 func (d *Driver) Run() {
 	defer close(d.done)
+	defer d.drainCmds()
 	var sleep time.Duration
 	if d.Speed > 0 {
 		sleep = time.Duration(d.TickS / d.Speed * float64(time.Second))
@@ -83,6 +106,21 @@ func (d *Driver) Run() {
 				fn()
 			case <-timer.C:
 			}
+		}
+	}
+}
+
+// drainCmds executes commands enqueued between the stop signal and the
+// loop's exit, so no Do caller is left waiting on a dead loop. It runs
+// before done closes, which is what makes Do's stranded-command check
+// race-free.
+func (d *Driver) drainCmds() {
+	for {
+		select {
+		case fn := <-d.cmds:
+			fn()
+		default:
+			return
 		}
 	}
 }

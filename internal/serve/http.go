@@ -153,7 +153,18 @@ func (s *Server) metricsDump(w http.ResponseWriter, _ *http.Request) {
 	s.metrics.Render(w)
 }
 
+// healthz answers 200 with "ok" normally and 200 with "degraded" while
+// the hardened controller is refusing to replan — the process is alive
+// and serving either way (liveness probes must not kill a plane that
+// is correctly riding out a WAN outage), but the body flips so
+// monitors can alarm on measurement health.
 func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	degraded := false
+	s.driver.Do(func() { degraded = s.plane.Degraded() })
 	w.WriteHeader(http.StatusOK)
+	if degraded {
+		w.Write([]byte("degraded\n"))
+		return
+	}
 	w.Write([]byte("ok\n"))
 }

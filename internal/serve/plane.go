@@ -212,6 +212,34 @@ type ClusterStatus struct {
 	// MinBelievedMbps is the weakest pair of the current runtime-BW
 	// belief — the quantity WANify exists to keep honest.
 	MinBelievedMbps float64 `json:"min_believed_mbps"`
+	// Gauge surfaces the failure-aware gauging state (DESIGN.md §11).
+	// Omitted entirely when the controller runs the legacy path, so
+	// legacy /v1/cluster responses are byte-identical.
+	Gauge *GaugeStatus `json:"gauge,omitempty"`
+}
+
+// GaugeStatus is the failure-aware gauging section of /v1/cluster:
+// the runtime controller's GaugeStats rendered for the API.
+type GaugeStatus struct {
+	// Degraded reports the controller is refusing to replan — the
+	// breaker is open or the last snapshot was rejected. /healthz
+	// mirrors this as its body.
+	Degraded bool `json:"degraded"`
+	// LastCoverage is the measured-pair fraction of the most recent
+	// re-gauge snapshot.
+	LastCoverage float64 `json:"last_coverage"`
+	// RejectedSnapshots counts snapshots refused for low coverage.
+	RejectedSnapshots int `json:"rejected_snapshots"`
+	// Retries counts replacement probes across all snapshots.
+	Retries int `json:"retries"`
+	// UnmeasurablePairs is the most recent snapshot's unmeasurable
+	// pair count.
+	UnmeasurablePairs int `json:"unmeasurable_pairs"`
+	// FusedPairs counts readings filled from the belief store.
+	FusedPairs int `json:"fused_pairs"`
+	// BreakerOpen and BreakerUntil describe the circuit breaker.
+	BreakerOpen  bool    `json:"breaker_open"`
+	BreakerUntil float64 `json:"breaker_until,omitempty"`
 }
 
 // PlaneStats are the plane's cumulative admission counters.
@@ -724,6 +752,18 @@ func (p *Plane) Cluster() ClusterStatus {
 	if c := p.fw.Controller(); c != nil {
 		st.Replans = c.Replans()
 		st.DriftEpochs = c.DriftEpochs()
+		if g := c.Gauge(); g.Hardened {
+			st.Gauge = &GaugeStatus{
+				Degraded:          g.Degraded,
+				LastCoverage:      g.LastCoverage,
+				RejectedSnapshots: g.RejectedSnapshots,
+				Retries:           g.Retries,
+				UnmeasurablePairs: g.UnmeasurablePairs,
+				FusedPairs:        g.FusedPairs,
+				BreakerOpen:       g.BreakerOpen,
+				BreakerUntil:      g.BreakerUntil,
+			}
+		}
 	}
 	if pred := p.fw.Predicted(); pred != nil {
 		st.MinBelievedMbps = pred.MinOffDiagonal()
@@ -759,6 +799,23 @@ func (p *Plane) telemetryEpoch(now float64) {
 	if c := p.fw.Controller(); c != nil {
 		emit("wanify.serve.replans", float64(c.Replans()))
 		emit("wanify.serve.drift_epochs", float64(c.DriftEpochs()))
+		// The gauge family exists only on hardened deployments, so
+		// legacy runs keep their telemetry line counts (and goldens)
+		// unchanged.
+		if g := c.Gauge(); g.Hardened {
+			b2f := func(b bool) float64 {
+				if b {
+					return 1
+				}
+				return 0
+			}
+			emit("wanify.serve.gauge.degraded", b2f(g.Degraded))
+			emit("wanify.serve.gauge.coverage", g.LastCoverage)
+			emit("wanify.serve.gauge.rejected", float64(g.RejectedSnapshots))
+			emit("wanify.serve.gauge.breaker_open", b2f(g.BreakerOpen))
+			emit("wanify.serve.gauge.retries", float64(g.Retries))
+			emit("wanify.serve.gauge.unmeasurable", float64(g.UnmeasurablePairs))
+		}
 		if live := c.Live(); live != nil {
 			for i := 0; i < live.N(); i++ {
 				for j := 0; j < live.N(); j++ {
@@ -769,6 +826,16 @@ func (p *Plane) telemetryEpoch(now float64) {
 			}
 		}
 	}
+}
+
+// Degraded reports whether the hardened re-gauging controller is
+// refusing to replan (always false on legacy deployments). /healthz
+// answers "degraded" while this holds.
+func (p *Plane) Degraded() bool {
+	if c := p.fw.Controller(); c != nil {
+		return c.Degraded()
+	}
+	return false
 }
 
 // Idle reports whether nothing is queued or running.
