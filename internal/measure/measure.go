@@ -56,7 +56,10 @@ func SnapshotOptions(rng *simrand.Source) Options {
 type Report struct {
 	// ElapsedS is the simulated wall time the measurement took.
 	ElapsedS float64
-	// BytesTransferred is the total probe traffic over the WAN.
+	// BytesTransferred is the total probe traffic over the WAN. Every
+	// collector — legacy and hardened alike — excludes the bytes of
+	// fault-terminated probe flows, so bills are comparable across the
+	// two paths for the same fault schedule.
 	BytesTransferred float64
 	// VMSeconds is the aggregate busy VM time (N VMs × elapsed).
 	VMSeconds float64

@@ -305,7 +305,13 @@ func (ps *PendingSnapshot) CollectPartial() *PartialSnapshot {
 				end = now // survived to collection
 			}
 			bytes := seg.flow.TransferredBytes() - seg.startBytes
-			totalBytes += bytes
+			if !seg.flow.Failed() {
+				// Billing convention (see Report.BytesTransferred):
+				// fault-terminated probes are excluded, exactly as in
+				// legacy Collect — their live-time rate still feeds the
+				// pair average below, but not the bill.
+				totalBytes += bytes
+			}
 			if live := end - seg.startT; live > 0 {
 				chBytes += bytes
 				chLive += live

@@ -631,13 +631,22 @@ func (c *Controller) applyHardened(part *measure.PartialSnapshot, now, applied f
 	c.gauge.LastCoverage = cov
 	c.gauge.Retries += part.Retries()
 	c.gauge.UnmeasurablePairs = part.Unmeasurable()
-	if cov < c.cfg.MinCoverage {
+	// Evacuation bypasses the coverage gate: a dead DC is a fact, not a
+	// measurement, and its own pairs are what drag coverage down (2/n of
+	// the ordered pairs on an n-DC cluster — a 3- or 4-DC cluster can
+	// never clear the 0.6 default with one DC dark). beginRegauge already
+	// marked the DC handled, so gating here would refuse the evacuation
+	// forever; instead the unmeasurable pairs fall back to the decayed
+	// belief below and applyRegauge zeroes the dead DC's rows anyway.
+	if cov < c.cfg.MinCoverage && reason != ReasonEvacuate {
 		// Degraded mode: too few pairs answered for the snapshot to
 		// describe the WAN. Replanning from it would swap a poisoned
 		// plan into every agent, so the controller refuses: the
 		// current plan is kept (planAt untouched — the staleness that
 		// triggered this keeps retriggering once the WAN answers
-		// again), the rejection is recorded, and enough consecutive
+		// again; the drift streak also survives, so a standing drift
+		// signal does not rebuild hysteresis from scratch after every
+		// rejection), the rejection is recorded, and enough consecutive
 		// rejections open the circuit breaker.
 		c.gauge.RejectedSnapshots++
 		c.breakerFails++
@@ -647,6 +656,7 @@ func (c *Controller) applyHardened(part *measure.PartialSnapshot, now, applied f
 			Reason:       ReasonDegraded,
 			DriftedPairs: drifted,
 			MaxDriftFrac: maxFrac,
+			EvacuatedDCs: evac,
 			Cost:         part.Bill,
 			Coverage:     cov,
 		})
@@ -660,10 +670,14 @@ func (c *Controller) applyHardened(part *measure.PartialSnapshot, now, applied f
 			})
 			c.breakerFails = 0 // re-armed fresh after the backoff
 		}
-		c.streak = 0
 		return
 	}
-	c.breakerFails = 0
+	if cov >= c.cfg.MinCoverage {
+		// Only a snapshot that genuinely cleared the gate re-arms the
+		// breaker counter — an evacuation swapped at low coverage says
+		// nothing about whether the WAN can be measured again.
+		c.breakerFails = 0
+	}
 	// Fusion: measured pairs blend with the staleness-decayed belief;
 	// unmeasurable pairs fall back to the believed value, floored at
 	// the 1 Mbps blackout belief — never a fabricated zero.

@@ -209,9 +209,11 @@ func TestBeliefFillsUnmeasurablePairs(t *testing.T) {
 }
 
 // TestNoSwapBelowCoverageThresholdProperty is the seed-swept property
-// lock: whatever the fault timing does to coverage, every applied swap
-// consumed a snapshot at or above MinCoverage and every rejection was
-// below it.
+// lock: whatever the fault timing does to coverage, every applied
+// drift/staleness swap consumed a snapshot at or above MinCoverage and
+// every rejection was below it. (Evacuation swaps are exempt by design
+// — see TestEvacuationBypassesCoverageGate — but these scenarios only
+// partition DCs, never kill VMs, so none fire here.)
 func TestNoSwapBelowCoverageThresholdProperty(t *testing.T) {
 	for seed := uint64(1); seed <= 3; seed++ {
 		sim := frozenSim(4, seed)
@@ -234,7 +236,7 @@ func TestNoSwapBelowCoverageThresholdProperty(t *testing.T) {
 			t.Errorf("seed %d: scenario produced no replans at all", seed)
 		}
 		for _, ev := range ctl.Events() {
-			if ev.Coverage < 0.6 {
+			if ev.Reason != rgauge.ReasonEvacuate && ev.Coverage < 0.6 {
 				t.Errorf("seed %d: swap at t=%.0f consumed coverage %.2f < 0.6", seed, ev.AppliedAt, ev.Coverage)
 			}
 		}
@@ -244,6 +246,60 @@ func TestNoSwapBelowCoverageThresholdProperty(t *testing.T) {
 			}
 		}
 		ctl.Stop()
+	}
+}
+
+// TestEvacuationBypassesCoverageGate is the regression lock for the
+// one sanctioned coverage-gate exception: a dead DC makes its own 2/n
+// of the ordered pairs unmeasurable, so on a 3-DC cluster the
+// evacuation snapshot can never clear the 0.6 default — and since
+// beginRegauge marks the DC handled when the replan *starts*, a gated
+// rejection would strand the dead DC in the plan forever. The hardened
+// controller must swap the evacuation anyway, filling the unmeasurable
+// pairs from belief and zeroing the dead DC, without recording a
+// degraded incident or advancing the breaker.
+func TestEvacuationBypassesCoverageGate(t *testing.T) {
+	sim := frozenSim(3, 56)
+	pred := accuratePred(sim)
+	agents := deployAgents(sim, tightRows(sim, pred))
+	ctl := rgauge.Start(deps(sim, agents, 56), rgauge.Config{
+		// Cooldown and hysteresis high enough that nothing else can
+		// replan inside this run: any event is the evacuation.
+		Enabled: true, EpochS: 5, CooldownS: 1000, HysteresisEpochs: 100,
+		Hardened: true,
+	}, pred, optimize.GlobalOptimize(pred, optimize.Options{}))
+	defer ctl.Stop()
+
+	for _, vm := range sim.VMsOfDC(2) {
+		sim.KillVM(vm, 7)
+	}
+	sim.RunFor(120)
+
+	if got := ctl.Replans(); got != 1 {
+		t.Fatalf("DC death fired %d replans, want exactly 1 (coverage gate must not reject the evacuation)", got)
+	}
+	ev := ctl.Events()[0]
+	if ev.Reason != rgauge.ReasonEvacuate || !reflect.DeepEqual(ev.EvacuatedDCs, []int{2}) {
+		t.Errorf("replan = %+v, want evacuation of DC2", ev)
+	}
+	if ev.Coverage >= 0.6 {
+		t.Errorf("evacuation snapshot coverage = %v, want below the 0.6 gate (the scenario must exercise the bypass)", ev.Coverage)
+	}
+	if n := len(ctl.Incidents()); n != 0 {
+		t.Errorf("evacuation recorded %d incidents, want 0 (the bypass is not a rejection)", n)
+	}
+	if ctl.Degraded() {
+		t.Error("controller degraded after a clean evacuation")
+	}
+	newPred := ctl.CurrentPred()
+	for j := 0; j < sim.NumDCs(); j++ {
+		if newPred[2][j] != 0 || newPred[j][2] != 0 {
+			t.Errorf("evacuated pred keeps bandwidth through dead DC2: pred[2][%d]=%.0f pred[%d][2]=%.0f",
+				j, newPred[2][j], j, newPred[j][2])
+		}
+	}
+	if newPred[0][1] == 0 || newPred[1][0] == 0 {
+		t.Errorf("surviving pair replanned on zero bandwidth: %v/%v", newPred[0][1], newPred[1][0])
 	}
 }
 
